@@ -1,0 +1,312 @@
+// Command tahoma is the CLI for the TAHOMA visual-analytics predicate
+// optimizer. Subcommands mirror the system's lifecycle:
+//
+//	tahoma corpus   -category fence -dir ./corpus            generate + ingest a corpus
+//	tahoma init     -category fence -zoo ./zoo/fence         train the design space, persist it
+//	tahoma frontier -zoo ./zoo/fence -scenario camera        print the Pareto frontier
+//	tahoma query    -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
+//	tahoma explain  -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+	"tahoma/internal/pareto"
+	"tahoma/internal/profile"
+	"tahoma/internal/repstore"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+	"tahoma/internal/vdb"
+	"tahoma/internal/xform"
+	"tahoma/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tahoma: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "init":
+		err = cmdInit(os.Args[2:])
+	case "frontier":
+		err = cmdFrontier(os.Args[2:])
+	case "query", "explain":
+		err = cmdQuery(os.Args[1], os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: tahoma <command> [flags]
+
+commands:
+  corpus    generate a synthetic labeled corpus and ingest it into a representation store
+  init      train the model design space for a predicate and persist the model repository
+  frontier  print the Pareto-optimal cascades for a persisted predicate under a scenario
+  query     run a SQL query against a corpus using installed predicates
+  explain   show the query plan without executing it
+
+categories: %s
+`, strings.Join(synth.CategoryNames(), ", "))
+}
+
+func parseScenario(s string) (scenario.Kind, error) {
+	return scenario.ParseKind(s)
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	category := fs.String("category", "fence", "target category")
+	dir := fs.String("dir", "./corpus", "representation store directory")
+	n := fs.Int("n", 120, "corpus size")
+	size := fs.Int("size", 64, "source resolution")
+	seed := fs.Int64("seed", 1, "content seed")
+	fs.Parse(args)
+
+	cat, err := synth.CategoryByName(*category)
+	if err != nil {
+		return err
+	}
+	sp, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: *size, TrainN: *n, ConfigN: 2, EvalN: 2, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	transforms := xform.Grid([]int{*size / 8, *size / 4, *size / 2, *size}, xform.AllColors)
+	store, err := repstore.Create(*dir, *size, *size, transforms)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	images := make([]*img.Image, 0, sp.Train.Len())
+	positives := 0
+	for _, e := range sp.Train.Examples {
+		images = append(images, e.Image)
+		if e.Label {
+			positives++
+		}
+	}
+	if err := store.IngestAll(images); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d images (%d containing %s) into %s with %d representations each\n",
+		len(images), positives, *category, *dir, len(transforms))
+	return nil
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	category := fs.String("category", "fence", "target category")
+	zooDir := fs.String("zoo", "", "output model repository directory (required)")
+	size := fs.Int("size", 64, "source resolution")
+	trainN := fs.Int("train", 200, "training examples")
+	configN := fs.Int("config", 120, "calibration examples")
+	evalN := fs.Int("eval", 240, "evaluation examples")
+	seed := fs.Int64("seed", 1, "seed")
+	quick := fs.Bool("quick", false, "use the reduced design space")
+	fs.Parse(args)
+	if *zooDir == "" {
+		return fmt.Errorf("init: -zoo is required")
+	}
+
+	cat, err := synth.CategoryByName(*category)
+	if err != nil {
+		return err
+	}
+	sp, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: *size, TrainN: *trainN, ConfigN: *configN, EvalN: *evalN,
+		Seed: *seed, Augment: true,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	if *quick {
+		cfg.Sizes = []int{*size / 4, *size / 2, *size}
+		cfg.ConvWidths = []int{4}
+	}
+	cfg.DeepXform.Size = *size
+	log.Printf("training design space for %s (%d train images)...", *category, sp.Train.Len())
+	sys, err := core.Initialize("contains_object("+*category+")", sp, cfg)
+	if err != nil {
+		return err
+	}
+	if err := zoo.Save(*zooDir, sys.Repo()); err != nil {
+		return err
+	}
+	fmt.Printf("initialized %d models for %s; repository saved to %s\n",
+		len(sys.Models), *category, *zooDir)
+	return nil
+}
+
+func loadSystem(zooDir string) (*core.System, error) {
+	repo, err := zoo.Load(zooDir)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromRepo(repo, core.DefaultConfig())
+}
+
+func cmdFrontier(args []string) error {
+	fs := flag.NewFlagSet("frontier", flag.ExitOnError)
+	zooDir := fs.String("zoo", "", "model repository directory (required)")
+	scen := fs.String("scenario", "camera", "deployment scenario")
+	profiled := fs.Bool("profiled", false, "price cascades with costs measured on this machine instead of the analytic model")
+	fs.Parse(args)
+	if *zooDir == "" {
+		return fmt.Errorf("frontier: -zoo is required")
+	}
+	kind, err := parseScenario(*scen)
+	if err != nil {
+		return err
+	}
+	sys, err := loadSystem(*zooDir)
+	if err != nil {
+		return err
+	}
+	var cm scenario.CostModel
+	if *profiled {
+		// Measure real load/transform/infer costs for every model on this
+		// machine (the paper's cost profiler), then price with them.
+		srcSize := sys.Models[sys.DeepIdx].Xform.Size
+		probe := synth.Categories()[0]
+		sp, err := synth.GenerateBinary(probe, synth.Options{
+			BaseSize: srcSize, TrainN: 8, ConfigN: 2, EvalN: 2, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		var samples []*img.Image
+		for _, e := range sp.Train.Examples {
+			samples = append(samples, e.Image)
+		}
+		log.Printf("profiling %d models on this machine...", len(sys.Models))
+		meas, err := profile.Measure(sys.Models, samples, profile.Options{})
+		if err != nil {
+			return err
+		}
+		cm = meas.CostModel(kind)
+	} else {
+		cm, err = scenario.NewAnalytic(kind, scenario.DefaultParams())
+		if err != nil {
+			return err
+		}
+	}
+	results, err := sys.EvaluateCascades(sys.BuildOptions(2), cm)
+	if err != nil {
+		return err
+	}
+	front := pareto.Frontier(core.Points(results))
+	fmt.Printf("%s: %d cascades evaluated under %s; %d Pareto-optimal:\n",
+		sys.Predicate, len(results), kind, len(front))
+	fmt.Printf("%12s %10s  %s\n", "thru (img/s)", "accuracy", "cascade")
+	for _, p := range front {
+		r := results[p.Index]
+		fmt.Printf("%12.0f %10.3f  %s\n", r.Throughput, r.Accuracy, r.Spec.Describe(sys.Models))
+	}
+	// Show where images decide inside the 5%-accuracy-budget pick.
+	if pick, err := pareto.SelectByAccuracyLoss(front, 0.05); err == nil {
+		stats, err := sys.Evaluator.Occupancy(results[pick.Index].Spec)
+		if err == nil {
+			fmt.Printf("\nlevel occupancy of the 5%%-loss pick:\n")
+			for i, st := range stats {
+				fmt.Printf("  level %d: %s\n", i+1, st)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdQuery(mode string, args []string) error {
+	fs := flag.NewFlagSet(mode, flag.ExitOnError)
+	zooDir := fs.String("zoo", "", "model repository directory (required)")
+	corpusDir := fs.String("corpus", "", "representation store directory (required)")
+	sql := fs.String("sql", "", "SQL query (required)")
+	scen := fs.String("scenario", "camera", "deployment scenario")
+	loss := fs.Float64("accuracy-loss", 0.05, "permissible accuracy loss (Uacc)")
+	fs.Parse(args)
+	if *zooDir == "" || *corpusDir == "" || *sql == "" {
+		return fmt.Errorf("%s: -zoo, -corpus and -sql are required", mode)
+	}
+	kind, err := parseScenario(*scen)
+	if err != nil {
+		return err
+	}
+	sys, err := loadSystem(*zooDir)
+	if err != nil {
+		return err
+	}
+	store, err := repstore.Open(*corpusDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	var images []*img.Image
+	var meta []vdb.Metadata
+	if err := store.ScanSource(func(i int, im *img.Image) error {
+		images = append(images, im)
+		meta = append(meta, vdb.Metadata{ID: int64(i), Location: "corpus", Camera: "cam-0", TS: int64(i)})
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	cm, err := scenario.NewAnalytic(kind, scenario.DefaultParams())
+	if err != nil {
+		return err
+	}
+	db := vdb.New(cm)
+	if err := db.LoadCorpus(images, meta); err != nil {
+		return err
+	}
+	// The category is the text inside contains_object(...) — register the
+	// loaded system under its own category name.
+	category := strings.TrimSuffix(strings.TrimPrefix(sys.Predicate, "contains_object("), ")")
+	if err := db.InstallPredicate(category, sys, 2); err != nil {
+		return err
+	}
+	cons := core.Constraints{MaxAccuracyLoss: *loss}
+	if mode == "explain" {
+		plan, err := db.Explain(*sql, cons)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	res, err := db.Query(*sql, cons)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("-- %d rows, %d classifier invocations\n", res.Count, res.UDFCalls)
+	return nil
+}

@@ -1,0 +1,73 @@
+package tahoma_test
+
+import (
+	"fmt"
+
+	"tahoma"
+)
+
+// Example shows the full lifecycle: generate a corpus, initialize the
+// predicate, inspect the frontier, choose a cascade, classify.
+func Example() {
+	splits, err := tahoma.GenerateCorpus("cloak", tahoma.CorpusOptions{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 60, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	params := tahoma.DefaultCostParams()
+	params.SourceW, params.SourceH = 16, 16
+	pred, err := tahoma.InstallPredicate("cloak", splits, tahoma.TinyConfig(),
+		tahoma.Camera, params)
+	if err != nil {
+		panic(err)
+	}
+
+	clf, err := pred.Choose(tahoma.Constraints{MaxAccuracyLoss: 0.05})
+	if err != nil {
+		panic(err)
+	}
+	label, err := clf.Classify(splits.Eval.Examples[0].Image)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(label == splits.Eval.Examples[0].Label)
+	// Output: true
+}
+
+// ExamplePredicate_Reprice demonstrates re-pricing an installed predicate
+// under a different deployment scenario without retraining: evaluation is
+// cheap because per-model scores are computed once at initialization.
+func ExamplePredicate_Reprice() {
+	splits, err := tahoma.GenerateCorpus("cloak", tahoma.CorpusOptions{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 60, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	params := tahoma.DefaultCostParams()
+	params.SourceW, params.SourceH = 16, 16
+	pred, err := tahoma.InstallPredicate("cloak", splits, tahoma.TinyConfig(),
+		tahoma.InferOnly, params)
+	if err != nil {
+		panic(err)
+	}
+	archive, err := pred.Reprice(tahoma.Archive, params)
+	if err != nil {
+		panic(err)
+	}
+	// The archive scenario prices full-size loads, so every cascade's
+	// throughput drops relative to inference-only pricing.
+	fastest := func(p *tahoma.Predicate) float64 {
+		best := 0.0
+		for _, pt := range p.Frontier() {
+			if pt.Throughput > best {
+				best = pt.Throughput
+			}
+		}
+		return best
+	}
+	fmt.Println(fastest(archive) < fastest(pred))
+	// Output: true
+}

@@ -1,0 +1,119 @@
+// Archive: retrospective analysis over an archival corpus (the ARCHIVE
+// deployment scenario). A labeled photo archive with metadata is searched
+// with combined metadata + content predicates; the plan shows metadata
+// pushdown cutting classifier invocations, and the second run hits the
+// materialized predicate column.
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+	"tahoma/internal/vdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The "archive": a labeled corpus of scorpion photos among others.
+	cat, err := synth.CategoryByName("scorpion")
+	if err != nil {
+		return err
+	}
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 32, TrainN: 140, ConfigN: 60, EvalN: 160, Seed: 5, Augment: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. Initialize the predicate on a reduced grid (archives are queried
+	// rarely; initialization cost amortizes over future predicates too).
+	cfg := core.DefaultConfig()
+	cfg.Sizes = []int{8, 16, 32}
+	cfg.DeepXform.Size = 32
+	fmt.Println("initializing contains_object(scorpion)...")
+	sys, err := core.Initialize("contains_object(scorpion)", splits, cfg)
+	if err != nil {
+		return err
+	}
+
+	// 3. Build the archive DB under ARCHIVE pricing: each classified image
+	// pays a full-size load plus per-representation transform costs.
+	params := scenario.DefaultParams()
+	params.SourceW, params.SourceH = 32, 32
+	cm, err := scenario.NewAnalytic(scenario.Archive, params)
+	if err != nil {
+		return err
+	}
+	db := vdb.New(cm)
+
+	locations := []string{"shed", "garden", "basement", "porch"}
+	images := make([]*img.Image, 0, splits.Eval.Len())
+	meta := make([]vdb.Metadata, 0, splits.Eval.Len())
+	for i, e := range splits.Eval.Examples {
+		images = append(images, e.Image)
+		meta = append(meta, vdb.Metadata{
+			ID:       int64(i),
+			Location: locations[i%len(locations)],
+			Camera:   fmt.Sprintf("trail-%d", i%3),
+			TS:       int64(i * 60),
+		})
+	}
+	if err := db.LoadCorpus(images, meta); err != nil {
+		return err
+	}
+	if err := db.InstallPredicate("scorpion", sys, 2); err != nil {
+		return err
+	}
+
+	cons := core.Constraints{MaxAccuracyLoss: 0.02}
+	sql := "SELECT id, location FROM images WHERE location = 'basement' AND contains_object('scorpion')"
+
+	plan, err := db.Explain(sql, cons)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nplan (metadata predicate runs before the classifier UDF):")
+	fmt.Print(plan)
+
+	res, err := db.Query(sql, cons)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfirst run: %d matches, %d classifier calls (of %d archived images)\n",
+		res.Count, res.UDFCalls, len(images))
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(res.Rows)-5)
+			break
+		}
+		fmt.Printf("  id=%v location=%v\n", row[0], row[1])
+	}
+
+	// 4. Whole-corpus content query: results materialize, so running it
+	// twice pays inference only once.
+	sqlAll := "SELECT COUNT(*) FROM images WHERE contains_object('scorpion')"
+	res1, err := db.Query(sqlAll, cons)
+	if err != nil {
+		return err
+	}
+	res2, err := db.Query(sqlAll, cons)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncorpus-wide count: %d (first run: %d classifier calls; repeat: %d)\n",
+		res1.Rows[0][0].Int, res1.UDFCalls, res2.UDFCalls)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Quickstart: install a contains_object predicate, inspect its Pareto
+// frontier, pick a cascade under an accuracy budget, and classify images.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tahoma"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A labeled corpus for the predicate contains_object(fence).
+	// (Stands in for the paper's ImageNet categories; see DESIGN.md.)
+	splits, err := tahoma.GenerateCorpus("fence", tahoma.CorpusOptions{
+		BaseSize: 32, TrainN: 120, ConfigN: 60, EvalN: 120, Seed: 42, Augment: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. System initialization: train the design space (architectures ×
+	// input representations), calibrate thresholds, evaluate cascades under
+	// the CAMERA deployment scenario.
+	cfg := tahoma.DefaultConfig()
+	cfg.Sizes = []int{8, 16, 32} // the corpus is 32×32; keep rungs within it
+	cfg.DeepXform.Size = 32
+	params := tahoma.DefaultCostParams()
+	params.SourceW, params.SourceH = 32, 32
+
+	fmt.Println("initializing predicate contains_object(fence)...")
+	pred, err := tahoma.InstallPredicate("fence", splits, cfg, tahoma.Camera, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d models, evaluated %d cascades\n", pred.ModelCount(), pred.CascadeCount())
+
+	// 3. The Pareto frontier: every point is a cascade nothing else beats
+	// on both accuracy and throughput.
+	fmt.Println("\nPareto-optimal cascades (CAMERA):")
+	for _, p := range pred.Frontier() {
+		fmt.Printf("  %8.0f img/s  acc %.3f  %s\n", p.Throughput, p.Accuracy, pred.Describe(p))
+	}
+
+	// 4. Pick the fastest cascade within a 5% accuracy budget and run it.
+	clf, err := pred.Choose(tahoma.Constraints{MaxAccuracyLoss: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen cascade: %s\n  expected accuracy %.3f, expected throughput %.0f img/s\n",
+		clf, clf.Expected.Accuracy, clf.Expected.Throughput)
+
+	correct, total := 0, 0
+	for _, e := range splits.Eval.Examples {
+		got, err := clf.Classify(e.Image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got == e.Label {
+			correct++
+		}
+		total++
+	}
+	fmt.Printf("classified %d evaluation images: %.1f%% correct\n",
+		total, 100*float64(correct)/float64(total))
+}

@@ -1,0 +1,125 @@
+// Package arch implements the paper's model architecture specifications A:
+// the CNN-hyperparameter half of TAHOMA's model design space. A Spec
+// describes the Figure 3 template — alternating conv/max-pool blocks feeding
+// a fully connected ReLU layer and a single sigmoid output — parameterized by
+// the number of conv layers, conv width and dense width.
+package arch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tahoma/internal/nn"
+)
+
+// Spec is one element of A: the internal architecture of a basic model.
+type Spec struct {
+	ConvLayers int `json:"conv_layers"` // number of conv+pool blocks (≥0; 0 = logistic regression on raw pixels)
+	ConvWidth  int `json:"conv_width"`  // filters per conv layer
+	DenseWidth int `json:"dense_width"` // nodes in the fully connected layer
+	Kernel     int `json:"kernel"`      // conv kernel size (odd), typically 3
+}
+
+// ID returns a stable identifier such as "c2w16d32k3".
+func (s Spec) ID() string {
+	return fmt.Sprintf("c%dw%dd%dk%d", s.ConvLayers, s.ConvWidth, s.DenseWidth, s.Kernel)
+}
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error {
+	if s.ConvLayers < 0 {
+		return fmt.Errorf("arch: negative conv layers %d", s.ConvLayers)
+	}
+	if s.ConvLayers > 0 && s.ConvWidth <= 0 {
+		return fmt.Errorf("arch: conv width must be positive, got %d", s.ConvWidth)
+	}
+	if s.DenseWidth <= 0 {
+		return fmt.Errorf("arch: dense width must be positive, got %d", s.DenseWidth)
+	}
+	if s.Kernel <= 0 || s.Kernel%2 == 0 {
+		return fmt.Errorf("arch: kernel must be odd and positive, got %d", s.Kernel)
+	}
+	return nil
+}
+
+// MinInputSize returns the smallest square input the spec can accept: each
+// conv+pool block halves the spatial dims, which must stay ≥ 2.
+func (s Spec) MinInputSize() int {
+	size := 2
+	for i := 0; i < s.ConvLayers; i++ {
+		size *= 2
+	}
+	return size
+}
+
+// Build constructs an untrained network for a channels×size×size input
+// following the Figure 3 template: [conv → relu → maxpool]×N → flatten →
+// dense → relu → dense(1). The final sigmoid lives in the loss/Predict.
+func (s Spec) Build(channels, size int) (*nn.Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if size < s.MinInputSize() {
+		return nil, fmt.Errorf("arch: input size %d too small for %d conv/pool blocks (min %d)",
+			size, s.ConvLayers, s.MinInputSize())
+	}
+	var layers []nn.Layer
+	ch := channels
+	sp := size
+	for i := 0; i < s.ConvLayers; i++ {
+		layers = append(layers, nn.NewConv2D(ch, s.ConvWidth, s.Kernel), nn.NewReLU(), nn.NewMaxPool2())
+		ch = s.ConvWidth
+		sp /= 2
+	}
+	layers = append(layers, nn.NewFlatten())
+	flat := ch * sp * sp
+	layers = append(layers,
+		nn.NewDense(flat, s.DenseWidth),
+		nn.NewReLU(),
+		nn.NewDense(s.DenseWidth, 1),
+	)
+	return nn.NewNetwork([]int{channels, size, size}, layers...)
+}
+
+// BuildInit builds and initializes a network with the given seed, so that a
+// (spec, transform, seed) triple always yields the same starting weights.
+func (s Spec) BuildInit(channels, size int, seed int64) (*nn.Network, error) {
+	net, err := s.Build(channels, size)
+	if err != nil {
+		return nil, err
+	}
+	net.Init(rand.New(rand.NewSource(seed)))
+	return net, nil
+}
+
+// Grid returns the cross product of the hyperparameter options, mirroring
+// Section VII-A (conv layers × conv nodes × dense nodes), sorted by a rough
+// cost estimate then ID for determinism.
+func Grid(convLayers, convWidths, denseWidths []int, kernel int) []Spec {
+	var out []Spec
+	for _, cl := range convLayers {
+		if cl == 0 {
+			// Without conv layers the conv width is meaningless; emit one
+			// spec per dense width to avoid duplicates.
+			for _, dw := range denseWidths {
+				out = append(out, Spec{ConvLayers: 0, ConvWidth: 0, DenseWidth: dw, Kernel: kernel})
+			}
+			continue
+		}
+		for _, cw := range convWidths {
+			for _, dw := range denseWidths {
+				out = append(out, Spec{ConvLayers: cl, ConvWidth: cw, DenseWidth: dw, Kernel: kernel})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci := out[i].ConvLayers*1_000_000 + out[i].ConvWidth*1_000 + out[i].DenseWidth
+		cj := out[j].ConvLayers*1_000_000 + out[j].ConvWidth*1_000 + out[j].DenseWidth
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}

@@ -1,0 +1,209 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // spans three words
+	if s.Len() != 130 || s.Count() != 0 || s.Any() {
+		t.Fatal("fresh set not empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 || !s.Any() {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if !s.Get(64) || s.Get(63) {
+		t.Fatal("Get wrong")
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 2 {
+		t.Fatal("Clear wrong")
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.SetAll()
+		if s.Count() != n {
+			t.Fatalf("SetAll(len=%d) count=%d", n, s.Count())
+		}
+	}
+}
+
+func TestNotKeepsTailZero(t *testing.T) {
+	s := New(70)
+	s.Not()
+	if s.Count() != 70 {
+		t.Fatalf("Not produced count %d, want 70", s.Count())
+	}
+	s.Not()
+	if s.Count() != 0 {
+		t.Fatal("double Not not identity")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){func() { s.Set(10) }, func() { s.Get(-1) }, func() { s.Clear(11) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a.And(b)
+}
+
+// refSet is a naive reference implementation used for property testing.
+type refSet map[int]bool
+
+func randomPair(rng *rand.Rand, n int) (*Set, refSet) {
+	s := New(n)
+	r := make(refSet)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+			r[i] = true
+		}
+	}
+	return s, r
+}
+
+// TestAgainstReference drives the bitset and a map-based model with the same
+// operations and compares every observable.
+func TestAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, ra := randomPair(rng, n)
+		b, rb := randomPair(rng, n)
+
+		count := func(r refSet) int { return len(r) }
+		eq := func(s *Set, r refSet) bool {
+			if s.Count() != count(r) {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if s.Get(i) != r[i] {
+					return false
+				}
+			}
+			return true
+		}
+
+		// AndCount / AndNotCount / And3Count / AndAndNotCount.
+		inter, diff := 0, 0
+		for i := 0; i < n; i++ {
+			if ra[i] && rb[i] {
+				inter++
+			}
+			if ra[i] && !rb[i] {
+				diff++
+			}
+		}
+		if a.AndCount(b) != inter || a.AndNotCount(b) != diff {
+			return false
+		}
+		c, rc := randomPair(rng, n)
+		and3, aAndNot := 0, 0
+		for i := 0; i < n; i++ {
+			if ra[i] && rb[i] && rc[i] {
+				and3++
+			}
+			if ra[i] && rb[i] && !rc[i] {
+				aAndNot++
+			}
+		}
+		if a.And3Count(b, c) != and3 || a.AndAndNotCount(b, c) != aAndNot {
+			return false
+		}
+
+		// Mutating ops on clones.
+		x := a.Clone()
+		for i := 0; i < n; i++ {
+			if x.Get(i) != ra[i] {
+				return false
+			}
+		}
+		x.And(b)
+		rx := make(refSet)
+		for i := range ra {
+			if rb[i] {
+				rx[i] = true
+			}
+		}
+		if !eq(x, rx) {
+			return false
+		}
+		y := a.Clone()
+		y.Or(b)
+		ry := make(refSet)
+		for i := range ra {
+			ry[i] = true
+		}
+		for i := range rb {
+			ry[i] = true
+		}
+		if !eq(y, ry) {
+			return false
+		}
+		z := a.Clone()
+		z.AndNot(b)
+		rz := make(refSet)
+		for i := range ra {
+			if !rb[i] {
+				rz[i] = true
+			}
+		}
+		if !eq(z, rz) {
+			return false
+		}
+		w := a.Clone()
+		w.Not()
+		if w.Count() != n-len(ra) {
+			return false
+		}
+		v := New(n)
+		v.Copy(a)
+		return eq(v, ra)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	s := New(4)
+	s.Set(1)
+	s.Set(3)
+	if s.String() != "0101" {
+		t.Fatalf("String = %q", s.String())
+	}
+	big := New(1000)
+	big.Set(5)
+	if got := big.String(); got != "bitset(len=1000, count=1)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,396 @@
+package cascade
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/scenario"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+// fixture builds a small evaluator with synthetic scores: nModels models
+// (every pair of distinct transforms among a few), nThresh threshold sets,
+// nEval images.
+type fixture struct {
+	models []*model.Model
+	scores [][]float32
+	ths    [][]thresh.Thresholds
+	truth  []bool
+	ev     *Evaluator
+}
+
+func newFixture(t *testing.T, seed int64, nModels, nThresh, nEval int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xfs := []xform.Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 8, Color: img.RGB},
+		{Size: 16, Color: img.Gray},
+		{Size: 16, Color: img.RGB},
+	}
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+	f := &fixture{}
+	for i := 0; i < nModels; i++ {
+		m, err := model.New(spec, xfs[i%len(xfs)], model.Basic, seed+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.models = append(f.models, m)
+	}
+	f.truth = make([]bool, nEval)
+	for i := range f.truth {
+		f.truth[i] = rng.Intn(2) == 0
+	}
+	f.scores = make([][]float32, nModels)
+	f.ths = make([][]thresh.Thresholds, nModels)
+	for m := 0; m < nModels; m++ {
+		f.scores[m] = make([]float32, nEval)
+		for i := range f.scores[m] {
+			// Scores loosely correlated with truth so cascades are
+			// non-trivial.
+			base := 0.3
+			if f.truth[i] {
+				base = 0.7
+			}
+			f.scores[m][i] = float32(base) + 0.5*(rng.Float32()-0.5)
+		}
+		for j := 0; j < nThresh; j++ {
+			lo := 0.15 + 0.1*rng.Float32()
+			hi := 0.65 + 0.2*rng.Float32()
+			f.ths[m] = append(f.ths[m], thresh.Thresholds{Low: lo, High: hi})
+		}
+	}
+	ev, err := NewEvaluator(f.models, f.scores, f.ths, f.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ev = ev
+	return f
+}
+
+// naiveEvaluate re-implements cascade semantics per image with explicit
+// loops and maps — the reference the bitset simulator must match.
+func naiveEvaluate(f *fixture, s Spec, ct *CostTable) (accuracy, avgCost float64) {
+	n := len(f.truth)
+	correct := 0
+	var cost float64
+	for i := 0; i < n; i++ {
+		cost += ct.Source
+		seen := make(map[int32]bool)
+		for k := int32(0); k < s.Depth; k++ {
+			ref := s.L[k]
+			cost += ct.Infer[ref.Model]
+			rid := ct.RepIdx[ref.Model]
+			if !seen[rid] {
+				seen[rid] = true
+				cost += ct.Rep[ref.Model]
+			}
+			score := f.scores[ref.Model][i]
+			if ref.Thresh == Final {
+				if (score >= 0.5) == f.truth[i] {
+					correct++
+				}
+				break
+			}
+			decided, positive := f.ths[ref.Model][ref.Thresh].Decide(score)
+			if decided {
+				if positive == f.truth[i] {
+					correct++
+				}
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(n), cost / float64(n)
+}
+
+func randSpec(rng *rand.Rand, nModels, nThresh int) Spec {
+	depth := 1 + rng.Intn(3)
+	var s Spec
+	s.Depth = int32(depth)
+	for k := 0; k < depth; k++ {
+		s.L[k] = LevelRef{Model: int32(rng.Intn(nModels)), Thresh: int32(rng.Intn(nThresh))}
+	}
+	s.L[depth-1].Thresh = Final
+	return s
+}
+
+// TestEvaluatorMatchesNaive is the core correctness test: the bitset
+// simulator must agree exactly with the per-image reference on accuracy and
+// cost, for random cascades under random cost tables.
+func TestEvaluatorMatchesNaive(t *testing.T) {
+	f := newFixture(t, 42, 6, 3, 257) // non-multiple of 64 to stress tail bits
+	cm, err := scenario.NewAnalytic(scenario.Archive, scenario.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := f.ev.CompileCosts(cm)
+	rng := rand.New(rand.NewSource(7))
+	scratch := f.ev.NewScratch()
+	for trial := 0; trial < 300; trial++ {
+		s := randSpec(rng, len(f.models), 3)
+		got := f.ev.Evaluate(s, ct, scratch)
+		wantAcc, wantCost := naiveEvaluate(f, s, ct)
+		if math.Abs(got.Accuracy-wantAcc) > 1e-12 {
+			t.Fatalf("trial %d (%s): accuracy %v, want %v", trial, s.ID(), got.Accuracy, wantAcc)
+		}
+		if math.Abs(got.AvgCost-wantCost) > 1e-9*math.Max(1, wantCost) {
+			t.Fatalf("trial %d (%s): cost %v, want %v", trial, s.ID(), got.AvgCost, wantCost)
+		}
+	}
+}
+
+// TestEvaluatorMatchesNaiveQuick repeats the comparison across random
+// fixtures via testing/quick.
+func TestEvaluatorMatchesNaiveQuick(t *testing.T) {
+	q := func(seed int64) bool {
+		u := seed
+		if u < 0 {
+			u = -u
+		}
+		f := newFixture(t, seed, 3+int(u%4), 2, 50+int(u%97))
+		cm, err := scenario.NewAnalytic(scenario.Ongoing, scenario.DefaultParams())
+		if err != nil {
+			return false
+		}
+		ct := f.ev.CompileCosts(cm)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		scratch := f.ev.NewScratch()
+		for trial := 0; trial < 20; trial++ {
+			s := randSpec(rng, len(f.models), 2)
+			got := f.ev.Evaluate(s, ct, scratch)
+			wantAcc, wantCost := naiveEvaluate(f, s, ct)
+			if math.Abs(got.Accuracy-wantAcc) > 1e-12 ||
+				math.Abs(got.AvgCost-wantCost) > 1e-9*math.Max(1, wantCost) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(q, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepCostDedup: two levels sharing a transform must charge its creation
+// once; distinct transforms charge twice.
+func TestRepCostDedup(t *testing.T) {
+	f := newFixture(t, 1, 4, 1, 64)
+	// Models 0 and 4%len share transform... use models 0 and 0: same model
+	// twice shares trivially; models 0 (8/gray) and 2 (16/gray) differ.
+	cm, err := scenario.NewAnalytic(scenario.Camera, scenario.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := f.ev.CompileCosts(cm)
+	scratch := f.ev.NewScratch()
+
+	// Force "never decide" thresholds so level 1 always falls through.
+	f.ths[0][0] = thresh.Thresholds{Low: -1, High: 2}
+	ev2, err := NewEvaluator(f.models, f.scores, f.ths, f.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2 := ev2.CompileCosts(cm)
+
+	sameRep := Spec{Depth: 2, L: [MaxLevels]LevelRef{
+		{Model: 0, Thresh: 0}, {Model: 0, Thresh: Final}}}
+	diffRep := Spec{Depth: 2, L: [MaxLevels]LevelRef{
+		{Model: 0, Thresh: 0}, {Model: 2, Thresh: Final}}}
+
+	same := ev2.Evaluate(sameRep, ct2, scratch)
+	diff := ev2.Evaluate(diffRep, ct2, scratch)
+	// Same model at both levels: rep cost once, infer twice.
+	wantSame := 2*ct.Infer[0] + ct.Rep[0]
+	if math.Abs(same.AvgCost-wantSame) > 1e-12 {
+		t.Fatalf("shared-rep cost %v, want %v", same.AvgCost, wantSame)
+	}
+	wantDiff := ct.Infer[0] + ct.Infer[2] + ct.Rep[0] + ct.Rep[2]
+	if math.Abs(diff.AvgCost-wantDiff) > 1e-12 {
+		t.Fatalf("distinct-rep cost %v, want %v", diff.AvgCost, wantDiff)
+	}
+}
+
+// TestCascadeOfOneEqualsModel: a single-level cascade's accuracy equals the
+// model's plain 0.5-cutoff accuracy.
+func TestCascadeOfOneEqualsModel(t *testing.T) {
+	f := newFixture(t, 3, 3, 2, 129)
+	cm, _ := scenario.NewAnalytic(scenario.InferOnly, scenario.DefaultParams())
+	ct := f.ev.CompileCosts(cm)
+	scratch := f.ev.NewScratch()
+	for m := range f.models {
+		s := Spec{Depth: 1, L: [MaxLevels]LevelRef{{Model: int32(m), Thresh: Final}}}
+		got := f.ev.Evaluate(s, ct, scratch)
+		correct := 0
+		for i, sc := range f.scores[m] {
+			if (sc >= 0.5) == f.truth[i] {
+				correct++
+			}
+		}
+		want := float64(correct) / float64(len(f.truth))
+		if got.Accuracy != want {
+			t.Fatalf("model %d: cascade acc %v != model acc %v", m, got.Accuracy, want)
+		}
+	}
+}
+
+func TestBuilderCountMatchesEnumeration(t *testing.T) {
+	opts := BuildOptions{
+		LevelModels: []int{0, 1, 2},
+		FinalModels: []int{0, 1, 2, 3},
+		NumThresh:   2,
+		MaxDepth:    2,
+		AppendDeep:  true,
+		DeepModel:   3,
+	}
+	want, err := Count(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// depth1: 4; depth2: 3*2*4=24. The deep model (3) is already a final
+	// candidate, so AppendDeep only adds the otherwise-unreachable
+	// depth-2-prefix variants: (3*2)^2=36 → 4+24+36 = 64.
+	if want != 64 {
+		t.Fatalf("Count = %d, want 64", want)
+	}
+	var got []Spec
+	if err := ForEach(opts, func(s Spec) { got = append(got, s) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("enumerated %d, counted %d", len(got), want)
+	}
+	seen := make(map[string]bool)
+	for _, s := range got {
+		if err := s.Validate(4, 2); err != nil {
+			t.Fatalf("invalid spec %s: %v", s.ID(), err)
+		}
+		id := s.ID()
+		if seen[id] {
+			t.Fatalf("duplicate spec %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBuilderLimit(t *testing.T) {
+	opts := BuildOptions{
+		LevelModels: []int{0, 1}, FinalModels: []int{0, 1},
+		NumThresh: 2, MaxDepth: 3, Limit: 5,
+	}
+	if _, err := Build(opts); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := Count(BuildOptions{MaxDepth: 1}); err == nil {
+		t.Fatal("no final models must error")
+	}
+	if _, err := Count(BuildOptions{FinalModels: []int{0}, MaxDepth: 9}); err == nil {
+		t.Fatal("excess depth must error")
+	}
+	if _, err := Count(BuildOptions{FinalModels: []int{0}, LevelModels: []int{0}, MaxDepth: 2}); err == nil {
+		t.Fatal("multi-level without thresholds must error")
+	}
+	if _, err := Count(BuildOptions{FinalModels: []int{0}, MaxDepth: 1, AppendDeep: true, DeepModel: -1}); err == nil {
+		t.Fatal("AppendDeep without DeepModel must error")
+	}
+}
+
+func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
+	f := newFixture(t, 11, 5, 2, 200)
+	cm, _ := scenario.NewAnalytic(scenario.Camera, scenario.DefaultParams())
+	ct := f.ev.CompileCosts(cm)
+	opts := BuildOptions{
+		LevelModels: []int{0, 1, 2, 3},
+		FinalModels: []int{0, 1, 2, 3, 4},
+		NumThresh:   2,
+		MaxDepth:    2,
+	}
+	specs, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := f.ev.EvaluateAll(specs, ct, 1)
+	parallel := f.ev.EvaluateAll(specs, ct, 4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("spec %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{Depth: 2, L: [MaxLevels]LevelRef{{Model: 0, Thresh: 0}, {Model: 1, Thresh: Final}}}
+	if err := ok.Validate(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Depth: 0},
+		{Depth: 1, L: [MaxLevels]LevelRef{{Model: 5, Thresh: Final}}},
+		{Depth: 1, L: [MaxLevels]LevelRef{{Model: 0, Thresh: 0}}},                             // last not Final
+		{Depth: 2, L: [MaxLevels]LevelRef{{Model: 0, Thresh: 3}, {Model: 0, Thresh: Final}}},  // thresh out of range
+		{Depth: 2, L: [MaxLevels]LevelRef{{Model: 0, Thresh: -1}, {Model: 0, Thresh: Final}}}, // Final mid-cascade
+	}
+	for i, s := range bad {
+		if err := s.Validate(2, 1); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestSpecID(t *testing.T) {
+	s := Spec{Depth: 2, L: [MaxLevels]LevelRef{{Model: 3, Thresh: 1}, {Model: 7, Thresh: Final}}}
+	if s.ID() != "m3.t1|m7.F" {
+		t.Fatalf("ID = %s", s.ID())
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	f := newFixture(t, 51, 4, 2, 128)
+	spec := Spec{Depth: 3, L: [MaxLevels]LevelRef{
+		{Model: 0, Thresh: 0}, {Model: 1, Thresh: 1}, {Model: 2, Thresh: Final}}}
+	stats, err := f.ev.Occupancy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d levels", len(stats))
+	}
+	if stats[0].Reached != 128 {
+		t.Fatalf("level 0 reached %d, want 128", stats[0].Reached)
+	}
+	// Reach counts are nested; each level's reached = previous undecided.
+	for k := 1; k < 3; k++ {
+		want := stats[k-1].Reached - stats[k-1].Decided
+		if stats[k].Reached != want {
+			t.Fatalf("level %d reached %d, want %d", k, stats[k].Reached, want)
+		}
+	}
+	// The final level decides everything that reaches it.
+	if stats[2].Decided != stats[2].Reached {
+		t.Fatal("final level must decide all")
+	}
+	// Total decided must cover the whole eval set.
+	total := 0
+	for _, s := range stats {
+		total += s.Decided
+	}
+	if total != 128 {
+		t.Fatalf("decided %d of 128", total)
+	}
+	if stats[0].String() == "" {
+		t.Fatal("empty stats string")
+	}
+	// Invalid specs are rejected.
+	if _, err := f.ev.Occupancy(Spec{Depth: 0}); err == nil {
+		t.Fatal("invalid spec must error")
+	}
+}

@@ -1,0 +1,101 @@
+package cascade
+
+import (
+	"fmt"
+
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+)
+
+// RuntimeLevel is one executable cascade stage.
+type RuntimeLevel struct {
+	Model      *model.Model
+	Thresholds thresh.Thresholds
+	Last       bool // accept at 0.5 instead of consulting thresholds
+}
+
+// Runtime is an executable cascade used by the query processor. It caches
+// materialized representations per input so that levels sharing a physical
+// representation pay its creation cost only once, matching the evaluator's
+// cost accounting.
+type Runtime struct {
+	Levels []RuntimeLevel
+}
+
+// NewRuntime binds a Spec to concrete models and thresholds. Models must be
+// the same slice (ordering) the Spec was enumerated against.
+func NewRuntime(s Spec, models []*model.Model, ths [][]thresh.Thresholds) (*Runtime, error) {
+	numThresh := 0
+	if len(ths) > 0 {
+		numThresh = len(ths[0])
+	}
+	if err := s.Validate(len(models), numThresh); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{}
+	for i := int32(0); i < s.Depth; i++ {
+		ref := s.L[i]
+		lv := RuntimeLevel{Model: models[ref.Model], Last: ref.Thresh == Final}
+		if !lv.Last {
+			lv.Thresholds = ths[ref.Model][ref.Thresh]
+		}
+		rt.Levels = append(rt.Levels, lv)
+	}
+	return rt, nil
+}
+
+// Trace records what one classification did, for cost verification and
+// debugging.
+type Trace struct {
+	LevelsRun   int
+	RepsCreated []string // transform IDs materialized, in order
+	Scores      []float32
+}
+
+// Classify runs the cascade on a full-size source image, returning the
+// binary label. The trace reports executed levels and materialized
+// representations.
+func (rt *Runtime) Classify(src *img.Image) (bool, Trace, error) {
+	if len(rt.Levels) == 0 {
+		return false, Trace{}, fmt.Errorf("cascade: empty runtime")
+	}
+	var tr Trace
+	reps := make(map[string]*img.Image, len(rt.Levels))
+	for _, lv := range rt.Levels {
+		id := lv.Model.Xform.ID()
+		rep, ok := reps[id]
+		if !ok {
+			rep = lv.Model.Xform.Apply(src)
+			reps[id] = rep
+			tr.RepsCreated = append(tr.RepsCreated, id)
+		}
+		score, err := lv.Model.Score(rep)
+		if err != nil {
+			return false, tr, err
+		}
+		tr.LevelsRun++
+		tr.Scores = append(tr.Scores, score)
+		if lv.Last {
+			return score >= 0.5, tr, nil
+		}
+		if decided, positive := lv.Thresholds.Decide(score); decided {
+			return positive, tr, nil
+		}
+	}
+	// Unreachable: the last level always decides. Guard anyway.
+	return false, tr, fmt.Errorf("cascade: no level decided (malformed runtime)")
+}
+
+// ClassifyAll labels a batch of source images.
+func (rt *Runtime) ClassifyAll(srcs []*img.Image) ([]bool, error) {
+	out := make([]bool, len(srcs))
+	for i, s := range srcs {
+		label, _, err := rt.Classify(s)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: image %d: %w", i, err)
+		}
+		out[i] = label
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package cascade
+
+import "fmt"
+
+// LevelStats describes one level's behaviour over the evaluation set.
+type LevelStats struct {
+	ModelID    string
+	Reached    int     // images that reached this level
+	Decided    int     // images this level decided confidently (or finally)
+	DecideFrac float64 // Decided / Reached
+}
+
+// Occupancy reports, level by level, how many evaluation images reach and
+// are decided at each stage of a cascade — the "initial levels eliminate
+// most cases" behaviour of Section II made inspectable. The numbers come
+// from the same bitset tables the evaluator uses, so they are exact.
+func (e *Evaluator) Occupancy(s Spec) ([]LevelStats, error) {
+	if err := s.Validate(len(e.models), e.NumThresh()); err != nil {
+		return nil, err
+	}
+	reached := e.NewScratch()
+	reached.SetAll()
+	out := make([]LevelStats, 0, s.Depth)
+	for k := int32(0); k < s.Depth; k++ {
+		ref := s.L[k]
+		nr := reached.Count()
+		st := LevelStats{ModelID: e.models[ref.Model].ID(), Reached: nr}
+		if ref.Thresh == Final {
+			st.Decided = nr
+		} else {
+			le := e.levels[ref.Model][ref.Thresh]
+			st.Decided = nr - reached.AndCount(le.uncertain)
+			reached.And(le.uncertain)
+		}
+		if st.Reached > 0 {
+			st.DecideFrac = float64(st.Decided) / float64(st.Reached)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// String renders one level's stats.
+func (l LevelStats) String() string {
+	return fmt.Sprintf("%s: reached %d, decided %d (%.1f%%)",
+		l.ModelID, l.Reached, l.Decided, l.DecideFrac*100)
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tahoma/internal/cascade"
+	"tahoma/internal/model"
+	"tahoma/internal/pareto"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+	"tahoma/internal/zoo"
+)
+
+// initTinySystem builds a full System on a tiny design space; shared across
+// tests via sync.Once-style caching in the test binary.
+var cachedSystem *System
+
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	if cachedSystem != nil {
+		return cachedSystem
+	}
+	cat, err := synth.CategoryByName("cloak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TinyConfig()
+	sys, err := Initialize("contains_object(cloak)", splits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSystem = sys
+	return sys
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TinyConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Sizes = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty sizes must fail")
+	}
+	bad = DefaultConfig()
+	bad.PrecisionTargets = []float64{1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad precision target must fail")
+	}
+	bad = DefaultConfig()
+	bad.DeepSpec.Kernel = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad deep spec must fail")
+	}
+}
+
+func TestBuildModelsGrid(t *testing.T) {
+	cfg := TinyConfig()
+	models, deepIdx, err := BuildModels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepIdx != len(models)-1 {
+		t.Fatal("deep model must be last")
+	}
+	if models[deepIdx].Kind != model.Deep {
+		t.Fatal("deep model kind wrong")
+	}
+	// 2 sizes × 2 colors × 2 archs = 8 basic (c0 fits everywhere, c1 needs
+	// ≥4px so both sizes qualify) + 1 deep.
+	if len(models) != 9 {
+		t.Fatalf("model count %d, want 9", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.ID()] {
+			t.Fatalf("duplicate model %s", m.ID())
+		}
+		seen[m.ID()] = true
+	}
+}
+
+func TestInitializePipeline(t *testing.T) {
+	sys := tinySystem(t)
+	if len(sys.Models) != 9 || sys.DeepIdx != 8 {
+		t.Fatalf("unexpected model census: %d models, deep=%d", len(sys.Models), sys.DeepIdx)
+	}
+	if len(sys.TrainReports) != len(sys.Models) {
+		t.Fatal("missing training reports")
+	}
+	if len(sys.Thresholds) != len(sys.Models) {
+		t.Fatal("missing thresholds")
+	}
+	for i, ths := range sys.Thresholds {
+		if len(ths) != len(sys.Config.PrecisionTargets) {
+			t.Fatalf("model %d has %d threshold sets", i, len(ths))
+		}
+	}
+	if len(sys.EvalScores) != len(sys.Models) || len(sys.EvalScores[0]) != 50 {
+		t.Fatal("eval scores wrong shape")
+	}
+	if sys.Evaluator == nil || sys.Evaluator.N() != 50 {
+		t.Fatal("evaluator not compiled")
+	}
+	// The deep model should be at least as accurate on eval as the median
+	// basic model (it is bigger and trained longer on an easy task).
+	accOf := func(i int) float64 {
+		correct := 0
+		for j, s := range sys.EvalScores[i] {
+			if (s >= 0.5) == sys.EvalTruth[j] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(sys.EvalTruth))
+	}
+	deepAcc := accOf(sys.DeepIdx)
+	if deepAcc < 0.6 {
+		t.Fatalf("deep model failed to learn: acc=%.3f", deepAcc)
+	}
+}
+
+func TestInitializeRejectsEmptySplits(t *testing.T) {
+	if _, err := Initialize("x", synth.Splits{}, TinyConfig()); err == nil {
+		t.Fatal("empty splits must error")
+	}
+}
+
+func TestEvaluateCascadesAndFrontier(t *testing.T) {
+	sys := tinySystem(t)
+	cm, err := scenario.NewAnalytic(scenario.Camera, scenario.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sys.BuildOptions(2)
+	n, err := cascade.Count(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 basic models ×2 thresh = 16 variants; depth1: 9 finals; depth2:
+	// 16×9=144; appendDeep depth2 prefix: 16²=256 → 409.
+	if n != 409 {
+		t.Fatalf("cascade count %d, want 409", n)
+	}
+	results, err := sys.EvaluateCascades(opts, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results", len(results))
+	}
+	pts := Points(results)
+	front := pareto.Frontier(pts)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(front) >= len(pts) {
+		t.Fatal("frontier did not prune anything — suspicious")
+	}
+	// Every result must have positive cost and sane accuracy.
+	for _, r := range results {
+		if r.AvgCost <= 0 || r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+}
+
+func TestSelectConstraints(t *testing.T) {
+	pts := []pareto.Point{
+		{Throughput: 1000, Accuracy: 0.7, Index: 0},
+		{Throughput: 300, Accuracy: 0.9, Index: 1},
+		{Throughput: 50, Accuracy: 0.99, Index: 2},
+	}
+	p, err := Select(pts, Constraints{MaxAccuracyLoss: 0.12})
+	if err != nil || p.Index != 1 {
+		t.Fatalf("select: %+v %v", p, err)
+	}
+	// Throughput floor excludes the accurate-but-slow point.
+	p, err = Select(pts, Constraints{MaxAccuracyLoss: 0.0, MinThroughput: 100})
+	if err != nil || p.Index != 1 {
+		t.Fatalf("select with floor: %+v %v", p, err)
+	}
+	if _, err := Select(pts, Constraints{MinThroughput: 5000}); err == nil {
+		t.Fatal("unreachable floor must error")
+	}
+}
+
+// TestRuntimeAgreesWithSimulation is the paper's implicit soundness claim:
+// simulated cascade execution over precomputed scores must agree with real
+// cascade execution image by image.
+func TestRuntimeAgreesWithSimulation(t *testing.T) {
+	sys := tinySystem(t)
+	cat, _ := synth.CategoryByName("cloak")
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := cascade.Spec{Depth: 2, L: [cascade.MaxLevels]cascade.LevelRef{
+		{Model: 0, Thresh: 1},
+		{Model: int32(sys.DeepIdx), Thresh: cascade.Final},
+	}}
+	rt, err := sys.Runtime(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range splits.Eval.Examples {
+		got, _, err := rt.Classify(e.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulate the same cascade from precomputed scores.
+		var want bool
+		s0 := sys.EvalScores[0][i]
+		if decided, positive := sys.Thresholds[0][1].Decide(s0); decided {
+			want = positive
+		} else {
+			want = sys.EvalScores[sys.DeepIdx][i] >= 0.5
+		}
+		if got != want {
+			t.Fatalf("image %d: runtime %v, simulation %v", i, got, want)
+		}
+	}
+}
+
+func TestRepoRoundTrip(t *testing.T) {
+	sys := tinySystem(t)
+	dir := t.TempDir()
+	if err := zoo.Save(dir, sys.Repo()); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := zoo.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := FromRepo(repo, sys.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.DeepIdx != sys.DeepIdx || len(sys2.Models) != len(sys.Models) {
+		t.Fatal("reloaded system census wrong")
+	}
+	// The reloaded evaluator must produce identical results.
+	cm, _ := scenario.NewAnalytic(scenario.Ongoing, scenario.DefaultParams())
+	opts := sys.BuildOptions(2)
+	a, err := sys.EvaluateCascades(opts, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys2.EvaluateCascades(opts, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs after reload: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFromRepoErrors(t *testing.T) {
+	if _, err := FromRepo(&zoo.Repo{}, TinyConfig()); err == nil {
+		t.Fatal("empty repo must error")
+	}
+	sys := tinySystem(t)
+	r := sys.Repo()
+	// Strip the deep model.
+	var entries []zoo.Entry
+	for _, e := range r.Entries {
+		if e.Model.Kind != model.Deep {
+			entries = append(entries, e)
+		}
+	}
+	r2 := &zoo.Repo{Predicate: r.Predicate, Entries: entries, EvalTruth: r.EvalTruth}
+	if _, err := FromRepo(r2, sys.Config); err == nil || !strings.Contains(err.Error(), "deep") {
+		t.Fatalf("repo without deep model must error, got %v", err)
+	}
+}

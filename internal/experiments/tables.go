@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tahoma/internal/img"
+	"tahoma/internal/pareto"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+)
+
+var catsCache []synth.Category
+
+func categoriesCache() []synth.Category {
+	if catsCache == nil {
+		catsCache = synth.Categories()
+	}
+	return catsCache
+}
+
+// Tab3Cell is one (scenario, loss) cell of Table III.
+type Tab3Cell struct {
+	Scenario  scenario.Kind
+	Loss      float64
+	Oblivious float64 // avg throughput when cascades were chosen under INFER_ONLY
+	Aware     float64 // avg throughput when chosen under the real scenario
+	GainPct   float64
+}
+
+// TableIII reproduces the scenario-awareness table: for each deployment
+// scenario and each permissible accuracy loss, the throughput obtained when
+// the cascade is chosen obliviously (priced by inference alone) versus
+// scenario-aware, averaged over predicates.
+func (s *Suite) TableIII(w io.Writer) ([]Tab3Cell, error) {
+	losses := []float64{0, 0.02, 0.05, 0.10}
+	scenarios := []scenario.Kind{scenario.Archive, scenario.Camera, scenario.Ongoing}
+
+	var cells []Tab3Cell
+	for _, kind := range scenarios {
+		for _, loss := range losses {
+			var sumObliv, sumAware float64
+			n := 0
+			for i := range s.Systems {
+				inScenario, err := s.evaluate(i, kind)
+				if err != nil {
+					return nil, err
+				}
+				inferOnly, err := s.evaluate(i, scenario.InferOnly)
+				if err != nil {
+					return nil, err
+				}
+				// Oblivious: choose on the INFER_ONLY frontier, then pay the
+				// real scenario's costs for that same cascade.
+				chosen, err := pareto.SelectByAccuracyLoss(inferOnly.frontier, loss)
+				if err != nil {
+					return nil, err
+				}
+				obliv := inScenario.results[chosen.Index]
+
+				// Aware: choose directly on the scenario's frontier.
+				aware, err := pareto.SelectByAccuracyLoss(inScenario.frontier, loss)
+				if err != nil {
+					return nil, err
+				}
+				sumObliv += obliv.Throughput
+				sumAware += aware.Throughput
+				n++
+			}
+			cell := Tab3Cell{
+				Scenario:  kind,
+				Loss:      loss,
+				Oblivious: sumObliv / float64(n),
+				Aware:     sumAware / float64(n),
+			}
+			if cell.Oblivious > 0 {
+				cell.GainPct = (cell.Aware/cell.Oblivious - 1) * 100
+			}
+			cells = append(cells, cell)
+		}
+	}
+
+	fmt.Fprintf(w, "\n== Table III: oblivious vs aware cascade choice ==\n")
+	fmt.Fprintf(w, "%-10s %-12s %14s %14s %9s\n", "loss", "scenario", "oblivious", "aware", "gain")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-10s %-12s %12.1f/s %12.1f/s %+8.1f%%\n",
+			fmt.Sprintf("%.0f%%", c.Loss*100), c.Scenario, c.Oblivious, c.Aware, c.GainPct)
+	}
+	return cells, nil
+}
+
+// Fig10Row is one predicate's ablation row.
+type Fig10Row struct {
+	Predicate string
+	None      float64 // no input transformations (full-size RGB only)
+	Color     float64 // color variations only
+	Resize    float64 // resolution reductions only
+	Full      float64 // the complete transform set
+}
+
+// Figure10 ablates the input transformations: cascade sets restricted to
+// models whose transforms fall in each subset, compared by ALC-average
+// throughput over the Full set's accuracy range (CAMERA pricing).
+func (s *Suite) Figure10(w io.Writer) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for i, name := range s.Config.Predicates {
+		sys := s.Systems[i]
+		full, err := s.evaluate(i, scenario.Camera)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := pareto.AccuracyRange(full.points)
+
+		avgFor := func(keep func(size int, rgb bool) bool) (float64, error) {
+			var models []int
+			for idx, m := range sys.Models {
+				if idx == sys.DeepIdx {
+					continue
+				}
+				if keep(m.Xform.Size, m.Xform.Color == img.RGB) {
+					models = append(models, idx)
+				}
+			}
+			if len(models) == 0 {
+				return 0, fmt.Errorf("experiments: empty ablation subset for %s", name)
+			}
+			opts := sys.BuildOptions(s.Config.MaxDepth)
+			opts.LevelModels = models
+			opts.FinalModels = append(append([]int(nil), models...), sys.DeepIdx)
+			ev, err := s.evaluateOptions(i, opts, scenario.Camera)
+			if err != nil {
+				return 0, err
+			}
+			return pareto.AvgThroughput(ev.frontier, lo, hi), nil
+		}
+
+		base := s.Config.BaseSize
+		row := Fig10Row{Predicate: name}
+		if row.None, err = avgFor(func(size int, rgb bool) bool { return size == base && rgb }); err != nil {
+			return nil, err
+		}
+		if row.Color, err = avgFor(func(size int, rgb bool) bool { return size == base }); err != nil {
+			return nil, err
+		}
+		if row.Resize, err = avgFor(func(size int, rgb bool) bool { return rgb }); err != nil {
+			return nil, err
+		}
+		row.Full = pareto.AvgThroughput(full.frontier, lo, hi)
+		rows = append(rows, row)
+	}
+
+	fmt.Fprintf(w, "\n== Figure 10: input-transformation ablation (avg throughput, CAMERA) ==\n")
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "predicate", "none", "color", "resize", "full")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10.0f %10.0f %10.0f %10.0f\n", r.Predicate, r.None, r.Color, r.Resize, r.Full)
+	}
+	return rows, nil
+}

@@ -1,0 +1,134 @@
+package img
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TIMG is the raw on-disk image format used by the representation store:
+// a fixed header followed by one uint8 per sample (plane-major, the same
+// layout as Image.Pix quantized to 1/255 steps).
+//
+//	offset 0: magic "TIMG" (4 bytes)
+//	offset 4: version (1 byte, currently 1)
+//	offset 5: color mode (1 byte)
+//	offset 6: width  (uint16 little-endian)
+//	offset 8: height (uint16 little-endian)
+//	offset 10: samples (uint8 × C·H·W)
+
+const (
+	timgMagic      = "TIMG"
+	timgVersion    = 1
+	timgHeaderSize = 10
+)
+
+// ErrCorrupt is returned (wrapped) when decoding fails due to a bad header or
+// truncated pixel data.
+var ErrCorrupt = errors.New("img: corrupt TIMG data")
+
+// Encode writes im in TIMG format. Samples are clamped to [0,1] and quantized
+// to 8 bits.
+func Encode(w io.Writer, im *Image) error {
+	if im.W > 0xFFFF || im.H > 0xFFFF {
+		return fmt.Errorf("img: image %dx%d too large for TIMG", im.W, im.H)
+	}
+	var hdr [timgHeaderSize]byte
+	copy(hdr[:4], timgMagic)
+	hdr[4] = timgVersion
+	hdr[5] = byte(im.Mode)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(im.W))
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(im.H))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("img: writing TIMG header: %w", err)
+	}
+	buf := make([]byte, len(im.Pix))
+	for i, v := range im.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		buf[i] = byte(v*255 + 0.5)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("img: writing TIMG pixels: %w", err)
+	}
+	return nil
+}
+
+// EncodedSize returns the TIMG byte size for an image of the given geometry.
+func EncodedSize(w, h int, mode ColorMode) int {
+	return timgHeaderSize + mode.Channels()*w*h
+}
+
+// Decode reads one TIMG image from r.
+func Decode(r io.Reader) (*Image, error) {
+	var hdr [timgHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != timgMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != timgVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	mode := ColorMode(hdr[5])
+	if mode > Gray {
+		return nil, fmt.Errorf("%w: unknown color mode %d", ErrCorrupt, hdr[5])
+	}
+	w := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	h := int(binary.LittleEndian.Uint16(hdr[8:10]))
+	if w == 0 || h == 0 {
+		return nil, fmt.Errorf("%w: zero dimension %dx%d", ErrCorrupt, w, h)
+	}
+	im := New(w, h, mode)
+	buf := make([]byte, len(im.Pix))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short pixel data: %v", ErrCorrupt, err)
+	}
+	for i, b := range buf {
+		im.Pix[i] = float32(b) / 255
+	}
+	return im, nil
+}
+
+// WritePNM writes the image as a binary PGM (single channel) or PPM (RGB),
+// for eyeballing generated corpora with standard tools.
+func WritePNM(w io.Writer, im *Image) error {
+	if im.Mode == RGB {
+		if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+			return err
+		}
+		buf := make([]byte, 3*im.W*im.H)
+		r, g, b := im.Plane(0), im.Plane(1), im.Plane(2)
+		for i := 0; i < im.W*im.H; i++ {
+			buf[3*i] = quant(r[i])
+			buf[3*i+1] = quant(g[i])
+			buf[3*i+2] = quant(b[i])
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, im.W*im.H)
+	p := im.Plane(0)
+	for i := range buf {
+		buf[i] = quant(p[i])
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func quant(v float32) byte {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	return byte(v*255 + 0.5)
+}

@@ -1,0 +1,216 @@
+// Package img provides the image representation TAHOMA's models consume:
+// planar CHW float32 images with values in [0,1], together with the physical
+// representation operations the paper's input-transformation functions are
+// built on — bilinear resizing, color-channel extraction, grayscale
+// conversion and horizontal flipping — and a compact on-disk codec.
+package img
+
+import "fmt"
+
+// ColorMode identifies the channel layout of an image.
+type ColorMode uint8
+
+// Channel layouts. RGB is 3 planes; the single-channel modes record which
+// projection produced the plane so that data-handling costs can be accounted
+// per representation.
+const (
+	RGB ColorMode = iota
+	Red
+	Green
+	Blue
+	Gray
+)
+
+// String returns the short name used in transform IDs ("rgb", "r", ...).
+func (m ColorMode) String() string {
+	switch m {
+	case RGB:
+		return "rgb"
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	case Blue:
+		return "b"
+	case Gray:
+		return "gray"
+	default:
+		return fmt.Sprintf("ColorMode(%d)", uint8(m))
+	}
+}
+
+// Channels returns the number of planes for the mode.
+func (m ColorMode) Channels() int {
+	if m == RGB {
+		return 3
+	}
+	return 1
+}
+
+// Image is a planar (channel-major) float32 image with values nominally in
+// [0,1]. Pix holds C×H×W values: plane c starts at offset c*H*W.
+type Image struct {
+	W, H int
+	Mode ColorMode
+	Pix  []float32
+}
+
+// New returns a zero-filled image of the given size and mode.
+func New(w, h int, mode ColorMode) *Image {
+	return &Image{W: w, H: h, Mode: mode, Pix: make([]float32, mode.Channels()*w*h)}
+}
+
+// Channels returns the number of planes.
+func (im *Image) Channels() int { return im.Mode.Channels() }
+
+// At returns the value of channel c at (x, y). No bounds checking beyond the
+// slice's own.
+func (im *Image) At(c, x, y int) float32 {
+	return im.Pix[c*im.W*im.H+y*im.W+x]
+}
+
+// Set stores v into channel c at (x, y).
+func (im *Image) Set(c, x, y int, v float32) {
+	im.Pix[c*im.W*im.H+y*im.W+x] = v
+}
+
+// Plane returns the sub-slice for channel c.
+func (im *Image) Plane(c int) []float32 {
+	n := im.W * im.H
+	return im.Pix[c*n : (c+1)*n]
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Mode: im.Mode, Pix: make([]float32, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Bytes returns the in-memory footprint of the pixel data in bytes, used by
+// analytic cost models to account for loading costs.
+func (im *Image) Bytes() int { return len(im.Pix) * 4 }
+
+// StoredBytes returns the size of the image when stored in the TIMG uint8
+// format (header + one byte per sample), used to model disk load costs.
+func (im *Image) StoredBytes() int { return timgHeaderSize + len(im.Pix) }
+
+// Clamp clips all samples into [0,1] in place and returns the image.
+func (im *Image) Clamp() *Image {
+	for i, v := range im.Pix {
+		if v < 0 {
+			im.Pix[i] = 0
+		} else if v > 1 {
+			im.Pix[i] = 1
+		}
+	}
+	return im
+}
+
+// Resize returns a new image of size w×h using bilinear interpolation
+// (nearest-sample at the borders). Shrinking large factors uses simple
+// bilinear sampling, which is what lightweight ingest pipelines typically do.
+func Resize(src *Image, w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid resize target %dx%d", w, h))
+	}
+	dst := New(w, h, src.Mode)
+	if src.W == w && src.H == h {
+		copy(dst.Pix, src.Pix)
+		return dst
+	}
+	xScale := float32(src.W) / float32(w)
+	yScale := float32(src.H) / float32(h)
+	for c := 0; c < src.Channels(); c++ {
+		sp := src.Plane(c)
+		dp := dst.Plane(c)
+		for y := 0; y < h; y++ {
+			sy := (float32(y)+0.5)*yScale - 0.5
+			if sy < 0 {
+				sy = 0
+			}
+			y0 := int(sy)
+			y1 := y0 + 1
+			if y1 >= src.H {
+				y1 = src.H - 1
+			}
+			fy := sy - float32(y0)
+			for x := 0; x < w; x++ {
+				sx := (float32(x)+0.5)*xScale - 0.5
+				if sx < 0 {
+					sx = 0
+				}
+				x0 := int(sx)
+				x1 := x0 + 1
+				if x1 >= src.W {
+					x1 = src.W - 1
+				}
+				fx := sx - float32(x0)
+				v00 := sp[y0*src.W+x0]
+				v01 := sp[y0*src.W+x1]
+				v10 := sp[y1*src.W+x0]
+				v11 := sp[y1*src.W+x1]
+				top := v00 + (v01-v00)*fx
+				bot := v10 + (v11-v10)*fx
+				dp[y*w+x] = top + (bot-top)*fy
+			}
+		}
+	}
+	return dst
+}
+
+// ExtractChannel returns the single-channel image for one of Red, Green,
+// Blue. For a source that is already single-channel it returns a copy with
+// the requested mode label. Requesting a channel from a Gray image is allowed
+// (the plane is reused) because a grayscale camera feed has only one plane.
+func ExtractChannel(src *Image, mode ColorMode) *Image {
+	var idx int
+	switch mode {
+	case Red:
+		idx = 0
+	case Green:
+		idx = 1
+	case Blue:
+		idx = 2
+	default:
+		panic(fmt.Sprintf("img: ExtractChannel mode must be Red/Green/Blue, got %v", mode))
+	}
+	out := New(src.W, src.H, mode)
+	if src.Mode != RGB {
+		copy(out.Pix, src.Plane(0))
+		return out
+	}
+	copy(out.Pix, src.Plane(idx))
+	return out
+}
+
+// ToGray converts to single-channel grayscale using the Rec.601 luma weights.
+// Single-channel inputs are copied with the Gray label.
+func ToGray(src *Image) *Image {
+	out := New(src.W, src.H, Gray)
+	if src.Mode != RGB {
+		copy(out.Pix, src.Plane(0))
+		return out
+	}
+	r, g, b := src.Plane(0), src.Plane(1), src.Plane(2)
+	for i := range out.Pix {
+		out.Pix[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+	}
+	return out
+}
+
+// FlipH returns the image mirrored left-to-right (the paper's data
+// augmentation).
+func FlipH(src *Image) *Image {
+	out := New(src.W, src.H, src.Mode)
+	for c := 0; c < src.Channels(); c++ {
+		sp, dp := src.Plane(c), out.Plane(c)
+		for y := 0; y < src.H; y++ {
+			row := y * src.W
+			for x := 0; x < src.W; x++ {
+				dp[row+x] = sp[row+src.W-1-x]
+			}
+		}
+	}
+	return out
+}

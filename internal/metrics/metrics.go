@@ -1,0 +1,86 @@
+// Package metrics provides the classification-quality and throughput
+// arithmetic shared by the threshold calibrator, the cascade evaluator and
+// the experiment harness.
+package metrics
+
+import "fmt"
+
+// Confusion is a binary-classification confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one prediction.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 1 when no positive predictions were made
+// (the vacuous case: no positive prediction was wrong).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// NPV returns the negative predictive value TN/(TN+FN), the precision of the
+// negative side, or 1 when no negative predictions were made.
+func (c Confusion) NPV() float64 {
+	if c.TN+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TN) / float64(c.TN+c.FN)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no actual positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d acc=%.3f", c.TP, c.FP, c.TN, c.FN, c.Accuracy())
+}
+
+// Throughput converts an average per-item cost in seconds into items/sec.
+// A non-positive cost yields +Inf-free 0 to keep downstream math sane.
+func Throughput(avgSeconds float64) float64 {
+	if avgSeconds <= 0 {
+		return 0
+	}
+	return 1 / avgSeconds
+}

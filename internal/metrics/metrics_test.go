@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, false) // TN
+	c.Add(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 2 || c.FN != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := c.NPV(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("NPV = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v", got)
+	}
+}
+
+func TestEmptyAndVacuousCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if c.Precision() != 1 || c.NPV() != 1 {
+		t.Fatal("vacuous precision/NPV should be 1")
+	}
+	if c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty recall/F1 should be 0")
+	}
+}
+
+// TestMetricBounds: all derived metrics stay within [0,1] for any counts.
+func TestMetricBounds(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		for _, v := range []float64{c.Accuracy(), c.Precision(), c.NPV(), c.Recall(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(0.25); got != 4 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(0) != 0 || Throughput(-1) != 0 {
+		t.Fatal("non-positive cost should yield 0 throughput")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Confusion{TP: 1, TN: 1}
+	if c.String() != "tp=1 fp=0 tn=1 fn=0 acc=1.000" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,418 @@
+// Package nn implements the small convolutional networks TAHOMA uses as
+// basic classification models: Conv2D/MaxPool/ReLU/Dense/Sigmoid layers with
+// full backpropagation, binary cross-entropy loss and SGD/Adam optimizers.
+//
+// Networks operate on a single CHW sample at a time and keep per-layer
+// scratch buffers, so a Network is NOT safe for concurrent use. For parallel
+// inference over a corpus, give each goroutine its own network via Clone
+// (weights are shared, scratch is not).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tahoma/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(shape ...int) *Param {
+	return &Param{Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one stage of a feed-forward network.
+//
+// Forward consumes the previous layer's output and returns this layer's
+// output; the returned tensor is owned by the layer and is overwritten on the
+// next call. Backward consumes the gradient of the loss with respect to the
+// layer's output and returns the gradient with respect to its input,
+// accumulating parameter gradients along the way.
+type Layer interface {
+	Name() string
+	OutShape(in []int) ([]int, error)
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	// clone returns a copy sharing parameter values (but not scratch)
+	// suitable for concurrent read-only inference.
+	clone() Layer
+}
+
+// Conv2D is a 2-D convolution over a CHW input with ReLU-friendly "same"
+// padding (pad = kernel/2) and stride 1, followed by nothing: activation is a
+// separate layer. Weights are stored as [outC, inC*KH*KW].
+type Conv2D struct {
+	InC, OutC int
+	K         int // kernel size (square)
+
+	W *Param
+	B *Param
+
+	geom tensor.ConvGeom
+	col  *tensor.Tensor // im2col scratch, set on first Forward
+	x    *tensor.Tensor // retained input reference for backward
+	out  *tensor.Tensor
+	dxT  *tensor.Tensor
+	dcol *tensor.Tensor
+}
+
+// NewConv2D creates a conv layer with inC input channels, outC filters and a
+// square k×k kernel (k must be odd so that "same" padding is well-defined).
+func NewConv2D(inC, outC, k int) *Conv2D {
+	if k%2 == 0 || k <= 0 {
+		panic(fmt.Sprintf("nn: conv kernel size must be odd and positive, got %d", k))
+	}
+	c := &Conv2D{
+		InC:  inC,
+		OutC: outC,
+		K:    k,
+		W:    newParam(outC, inC*k*k),
+		B:    newParam(outC),
+	}
+	return c
+}
+
+// Init initializes weights with He-uniform scaling using rng.
+func (c *Conv2D) Init(rng *rand.Rand) {
+	fanIn := float64(c.InC * c.K * c.K)
+	limit := math.Sqrt(6.0 / fanIn)
+	c.W.Value.RandomizeUniform(rng, limit)
+	c.B.Value.Zero()
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv%dx%d(%d->%d)", c.K, c.K, c.InC, c.OutC) }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: conv input must be CHW, got %v", in)
+	}
+	if in[0] != c.InC {
+		return nil, fmt.Errorf("nn: conv expects %d input channels, got %d", c.InC, in[0])
+	}
+	return []int{c.OutC, in[1], in[2]}, nil
+}
+
+func (c *Conv2D) ensureScratch(h, w int) {
+	if c.col != nil && c.geom.InH == h && c.geom.InW == w {
+		return
+	}
+	c.geom = tensor.ConvGeom{
+		InC: c.InC, InH: h, InW: w,
+		KH: c.K, KW: c.K,
+		StrideH: 1, StrideW: 1,
+		PadH: c.K / 2, PadW: c.K / 2,
+	}
+	c.col = tensor.New(c.geom.ColRows(), c.geom.ColCols())
+	c.out = tensor.New(c.OutC, c.geom.OutH(), c.geom.OutW())
+	c.dxT = tensor.New(c.InC, h, w)
+	c.dcol = tensor.New(c.geom.ColRows(), c.geom.ColCols())
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.ensureScratch(x.Shape[1], x.Shape[2])
+	c.x = x
+	tensor.Im2Col(c.col, x, c.geom)
+	cols := c.geom.ColCols()
+	out2d := c.out.Reshape(c.OutC, cols)
+	tensor.MatMul(out2d, c.W.Value, c.col)
+	// Add per-filter bias.
+	for f := 0; f < c.OutC; f++ {
+		b := c.B.Value.Data[f]
+		row := c.out.Data[f*cols : (f+1)*cols]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return c.out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	cols := c.geom.ColCols()
+	dy2d := dy.Reshape(c.OutC, cols)
+	// dW += dY · colᵀ
+	tensor.MatMulAddTransB(c.W.Grad, dy2d, c.col)
+	// dB += row sums of dY
+	for f := 0; f < c.OutC; f++ {
+		row := dy.Data[f*cols : (f+1)*cols]
+		var s float32
+		for _, v := range row {
+			s += v
+		}
+		c.B.Grad.Data[f] += s
+	}
+	// dcol = Wᵀ · dY ; dx = col2im(dcol)
+	tensor.MatMulTransA(c.dcol, c.W.Value, dy2d)
+	tensor.Col2Im(c.dxT, c.dcol, c.geom)
+	return c.dxT
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+func (c *Conv2D) clone() Layer {
+	return &Conv2D{InC: c.InC, OutC: c.OutC, K: c.K, W: c.W, B: c.B}
+}
+
+// MaxPool2 is a 2×2 max pooling layer with stride 2 over a CHW input. Odd
+// trailing rows/columns are dropped (floor semantics), matching common
+// framework defaults.
+type MaxPool2 struct {
+	argmax []int32
+	out    *tensor.Tensor
+	dx     *tensor.Tensor
+	inShp  [3]int
+}
+
+// NewMaxPool2 creates a 2×2/stride-2 max pooling layer.
+func NewMaxPool2() *MaxPool2 { return &MaxPool2{} }
+
+// Name implements Layer.
+func (p *MaxPool2) Name() string { return "maxpool2" }
+
+// OutShape implements Layer.
+func (p *MaxPool2) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool input must be CHW, got %v", in)
+	}
+	if in[1] < 2 || in[2] < 2 {
+		return nil, fmt.Errorf("nn: maxpool input %v too small", in)
+	}
+	return []int{in[0], in[1] / 2, in[2] / 2}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	if p.out == nil || p.inShp != [3]int{ch, h, w} {
+		p.out = tensor.New(ch, oh, ow)
+		p.dx = tensor.New(ch, h, w)
+		p.argmax = make([]int32, ch*oh*ow)
+		p.inShp = [3]int{ch, h, w}
+	}
+	xd, od := x.Data, p.out.Data
+	idx := 0
+	for c := 0; c < ch; c++ {
+		base := c * h * w
+		for oy := 0; oy < oh; oy++ {
+			r0 := base + (2*oy)*w
+			r1 := r0 + w
+			for ox := 0; ox < ow; ox++ {
+				i0 := r0 + 2*ox
+				best, bestIdx := xd[i0], int32(i0)
+				if v := xd[i0+1]; v > best {
+					best, bestIdx = v, int32(i0+1)
+				}
+				i1 := r1 + 2*ox
+				if v := xd[i1]; v > best {
+					best, bestIdx = v, int32(i1)
+				}
+				if v := xd[i1+1]; v > best {
+					best, bestIdx = v, int32(i1+1)
+				}
+				od[idx] = best
+				p.argmax[idx] = bestIdx
+				idx++
+			}
+		}
+	}
+	return p.out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	p.dx.Zero()
+	dxd := p.dx.Data
+	for i, v := range dy.Data {
+		dxd[p.argmax[i]] += v
+	}
+	return p.dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []*Param { return nil }
+
+func (p *MaxPool2) clone() Layer { return &MaxPool2{} }
+
+// ReLU is an elementwise max(0,x) activation.
+type ReLU struct {
+	out *tensor.Tensor
+	dx  *tensor.Tensor
+	x   *tensor.Tensor
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if r.out == nil || !r.out.SameShape(x) {
+		r.out = tensor.New(x.Shape...)
+		r.dx = tensor.New(x.Shape...)
+	}
+	r.x = x
+	od := r.out.Data
+	for i, v := range x.Data {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+	return r.out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dxd := r.dx.Data
+	xd := r.x.Data
+	for i, v := range dy.Data {
+		if xd[i] > 0 {
+			dxd[i] = v
+		} else {
+			dxd[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+func (r *ReLU) clone() Layer { return &ReLU{} }
+
+// Flatten reshapes a CHW tensor into a vector. It shares data with its input
+// on the forward pass and with the incoming gradient on the backward pass.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}, nil
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = x.Shape
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+func (f *Flatten) clone() Layer { return &Flatten{} }
+
+// Dense is a fully connected layer: y = W·x + b with W stored as [out, in].
+type Dense struct {
+	In, Out int
+	W       *Param
+	B       *Param
+
+	x   *tensor.Tensor
+	out *tensor.Tensor
+	dx  *tensor.Tensor
+}
+
+// NewDense creates a fully connected layer mapping in features to out.
+func NewDense(in, out int) *Dense {
+	return &Dense{In: in, Out: out, W: newParam(out, in), B: newParam(out)}
+}
+
+// Init initializes weights with Glorot-uniform scaling using rng.
+func (d *Dense) Init(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(d.In+d.Out))
+	d.W.Value.RandomizeUniform(rng, limit)
+	d.B.Value.Zero()
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	n := 1
+	for _, dim := range in {
+		n *= dim
+	}
+	if n != d.In {
+		return nil, fmt.Errorf("nn: dense expects %d inputs, got %v (=%d)", d.In, in, n)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if d.out == nil {
+		d.out = tensor.New(d.Out)
+		d.dx = tensor.New(d.In)
+	}
+	d.x = x
+	wd, xd, od := d.W.Value.Data, x.Data, d.out.Data
+	for o := 0; o < d.Out; o++ {
+		row := wd[o*d.In : (o+1)*d.In]
+		s := d.B.Value.Data[o]
+		for i, v := range row {
+			s += v * xd[i]
+		}
+		od[o] = s
+	}
+	return d.out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	wd, gd := d.W.Value.Data, d.W.Grad.Data
+	xd, dxd := d.x.Data, d.dx.Data
+	for i := range dxd {
+		dxd[i] = 0
+	}
+	for o, g := range dy.Data {
+		d.B.Grad.Data[o] += g
+		row := gd[o*d.In : (o+1)*d.In]
+		wrow := wd[o*d.In : (o+1)*d.In]
+		for i := range row {
+			row[i] += g * xd[i]
+			dxd[i] += g * wrow[i]
+		}
+	}
+	return d.dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+func (d *Dense) clone() Layer {
+	return &Dense{In: d.In, Out: d.Out, W: d.W, B: d.B}
+}

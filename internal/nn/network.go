@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tahoma/internal/tensor"
+)
+
+// Network is a feed-forward stack of layers ending in a single logit. The
+// final sigmoid is folded into the loss for numerical stability; Predict
+// applies it explicitly.
+type Network struct {
+	Layers  []Layer
+	inShape []int
+}
+
+// NewNetwork builds a network from layers and validates that the shapes chain
+// together from the given CHW input shape to a single output logit.
+func NewNetwork(inShape []int, layers ...Layer) (*Network, error) {
+	shape := inShape
+	for _, l := range layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %s: %w", l.Name(), err)
+		}
+		shape = out
+	}
+	if len(shape) != 1 || shape[0] != 1 {
+		return nil, fmt.Errorf("nn: network must end in a single logit, ends in %v", shape)
+	}
+	in := make([]int, len(inShape))
+	copy(in, inShape)
+	return &Network{Layers: layers, inShape: in}, nil
+}
+
+// InShape returns the expected CHW input shape.
+func (n *Network) InShape() []int { return n.inShape }
+
+// Init initializes all parameterized layers from rng.
+func (n *Network) Init(rng *rand.Rand) {
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			v.Init(rng)
+		case *Dense:
+			v.Init(rng)
+		}
+	}
+}
+
+// Forward runs the network and returns the raw output logit.
+func (n *Network) Forward(x *tensor.Tensor) float32 {
+	t := x
+	for _, l := range n.Layers {
+		t = l.Forward(t)
+	}
+	return t.Data[0]
+}
+
+// Predict returns the sigmoid probability that the input is a positive
+// example of the model's binary predicate.
+func (n *Network) Predict(x *tensor.Tensor) float32 {
+	return tensor.Sigmoid(n.Forward(x))
+}
+
+// Backward propagates the scalar logit gradient through the network,
+// accumulating parameter gradients.
+func (n *Network) Backward(dlogit float32) {
+	grad := tensor.NewFrom([]float32{dlogit}, 1)
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// MACs estimates the multiply-accumulate operations of one forward pass.
+// This is the analytic inference-cost proxy used by the deterministic cost
+// model (the profiler measures real wall time separately).
+func (n *Network) MACs() int64 {
+	var total int64
+	shape := n.inShape
+	for _, l := range n.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return total
+		}
+		switch v := l.(type) {
+		case *Conv2D:
+			// out pixels × filters × (inC·K·K)
+			total += int64(out[1]) * int64(out[2]) * int64(v.OutC) * int64(v.InC*v.K*v.K)
+		case *Dense:
+			total += int64(v.In) * int64(v.Out)
+		}
+		shape = out
+	}
+	return total
+}
+
+// Clone returns a network sharing parameter values with n but with
+// independent scratch buffers, suitable for concurrent inference while n (or
+// other clones) are also doing inference. Cloned networks must not be
+// trained: gradient accumulators are shared.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.clone()
+	}
+	return &Network{Layers: layers, inShape: n.inShape}
+}
+
+// Weights serializes all parameter values into a flat slice in layer order.
+func (n *Network) Weights() []float32 {
+	var out []float32
+	for _, p := range n.Params() {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// SetWeights loads a flat slice previously produced by Weights. It returns an
+// error if the length does not match the network's parameter count.
+func (n *Network) SetWeights(w []float32) error {
+	if len(w) != n.ParamCount() {
+		return fmt.Errorf("nn: weight blob has %d values, network needs %d", len(w), n.ParamCount())
+	}
+	off := 0
+	for _, p := range n.Params() {
+		m := p.Value.Len()
+		copy(p.Value.Data, w[off:off+m])
+		off += m
+	}
+	return nil
+}
+
+// BCELossWithLogits returns the binary cross-entropy loss between a logit z
+// and a target y in {0,1}, computed stably, along with dLoss/dz.
+func BCELossWithLogits(z float32, y float32) (loss, dz float32) {
+	zf := float64(z)
+	yf := float64(y)
+	// loss = max(z,0) - z*y + log(1+exp(-|z|))
+	l := math.Max(zf, 0) - zf*yf + math.Log1p(math.Exp(-math.Abs(zf)))
+	p := 1.0 / (1.0 + math.Exp(-zf))
+	return float32(l), float32(p - yf)
+}

@@ -1,0 +1,81 @@
+package noscope
+
+import (
+	"fmt"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/synth"
+	"tahoma/internal/thresh"
+	"tahoma/internal/train"
+	"tahoma/internal/xform"
+)
+
+// Train fits a NoScope system on the head of a frame sequence: a single
+// specialized CNN on full-color input (NoScope does not transform its
+// inputs) with thresholds calibrated to the target precision. The head
+// frames used here must not overlap the frames later passed to Run.
+func Train(headFrames []synth.Frame, cfg Config) (*System, error) {
+	if len(headFrames) == 0 {
+		return nil, fmt.Errorf("noscope: empty head segment")
+	}
+	if cfg.TargetPrecision <= 0 || cfg.TargetPrecision > 1 {
+		return nil, fmt.Errorf("noscope: target precision %v out of (0,1]", cfg.TargetPrecision)
+	}
+	frameSize := headFrames[0].Image.W
+
+	// NoScope's specialized models consume full-resolution color frames —
+	// its design space has no input transformations (the paper's key
+	// contrast with TAHOMA).
+	spec := arch.Spec{ConvLayers: 2, ConvWidth: 8, DenseWidth: 16, Kernel: 3}
+	if frameSize < spec.MinInputSize() {
+		spec = arch.Spec{ConvLayers: 1, ConvWidth: 8, DenseWidth: 16, Kernel: 3}
+	}
+	m, err := model.New(spec, xform.Transform{Size: frameSize, Color: img.RGB}, model.Basic, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	trainSet, err := BalancedDataset(headFrames, cfg.TrainN, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	configSet, err := BalancedDataset(headFrames, cfg.ConfigN, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := train.Model(m, trainSet, train.Options{Epochs: 5, BatchSize: 16, LR: 0.006, Seed: cfg.Seed}); err != nil {
+		return nil, err
+	}
+
+	scores := train.Scores(m, configSet)
+	th, err := thresh.Calibrate(scores, train.Labels(configSet), cfg.TargetPrecision, 100)
+	if err != nil {
+		return nil, err
+	}
+	dd, err := NewDiffDetector(cfg.DDDownSize, cfg.DDThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Model: m, Thresholds: th, DD: dd, Costs: cfg.Costs}, nil
+}
+
+// SplitsFromFrames converts the head of a labeled frame sequence into the
+// three balanced splits TAHOMA initialization needs, so a full TAHOMA system
+// can be trained on the same footage NoScope trains on.
+func SplitsFromFrames(headFrames []synth.Frame, trainN, configN, evalN int, seed int64) (synth.Splits, error) {
+	tr, err := BalancedDataset(headFrames, trainN, seed)
+	if err != nil {
+		return synth.Splits{}, err
+	}
+	cf, err := BalancedDataset(headFrames, configN, seed+1)
+	if err != nil {
+		return synth.Splits{}, err
+	}
+	ev, err := BalancedDataset(headFrames, evalN, seed+2)
+	if err != nil {
+		return synth.Splits{}, err
+	}
+	return synth.Splits{Train: tr, Config: cf, Eval: ev}, nil
+}

@@ -1,0 +1,207 @@
+// Package profile implements TAHOMA's cost profiler (Figure 2): it measures
+// the real t_load, t_transform and t_infer of every model and representation
+// on the system the query will actually run on, producing the inputs for
+// scenario.Profiled cost models. Measurements use real file I/O in a caller
+// supplied directory and real CNN inference, averaged over a sample of
+// corpus images.
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/scenario"
+	"tahoma/internal/xform"
+)
+
+// Measurements holds per-component average costs in seconds.
+type Measurements struct {
+	SourceLoad   float64            // load+decode one full-size image from disk
+	RepLoad      map[string]float64 // transform ID → load pre-transformed representation
+	RepTransform map[string]float64 // transform ID → materialize representation from an in-memory source
+	Infer        map[string]float64 // model ID → one inference
+}
+
+// Options controls profiling effort.
+type Options struct {
+	// Dir is where probe files are written; empty uses a temp directory
+	// that is removed afterwards.
+	Dir string
+	// SampleImages caps how many of the provided images are exercised
+	// (default 8).
+	SampleImages int
+	// MinIters is the minimum timing loop count per measurement (default 3).
+	MinIters int
+}
+
+func (o *Options) setDefaults() {
+	if o.SampleImages == 0 {
+		o.SampleImages = 8
+	}
+	if o.MinIters == 0 {
+		o.MinIters = 3
+	}
+}
+
+// Measure profiles every distinct transform among the models plus the
+// inference cost of each model, using sources as representative inputs.
+func Measure(models []*model.Model, sources []*img.Image, opts Options) (Measurements, error) {
+	opts.setDefaults()
+	if len(models) == 0 {
+		return Measurements{}, fmt.Errorf("profile: no models to measure")
+	}
+	if len(sources) == 0 {
+		return Measurements{}, fmt.Errorf("profile: no sample images")
+	}
+	if len(sources) > opts.SampleImages {
+		sources = sources[:opts.SampleImages]
+	}
+	dir := opts.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "tahoma-profile-*")
+		if err != nil {
+			return Measurements{}, fmt.Errorf("profile: creating probe dir: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	m := Measurements{
+		RepLoad:      make(map[string]float64),
+		RepTransform: make(map[string]float64),
+		Infer:        make(map[string]float64),
+	}
+
+	// Distinct transforms among the models.
+	xforms := make(map[string]xform.Transform)
+	for _, mod := range models {
+		xforms[mod.Xform.ID()] = mod.Xform
+	}
+
+	// --- t_load: full-size source ---
+	srcPath := filepath.Join(dir, "source.timg")
+	if err := writeTIMG(srcPath, sources[0]); err != nil {
+		return Measurements{}, err
+	}
+	src, err := timeLoad(srcPath, opts.MinIters)
+	if err != nil {
+		return Measurements{}, err
+	}
+	m.SourceLoad = src
+
+	// --- t_load per representation (ONGOING) ---
+	for id, t := range xforms {
+		rep := t.Apply(sources[0])
+		p := filepath.Join(dir, "rep-"+sanitize(id)+".timg")
+		if err := writeTIMG(p, rep); err != nil {
+			return Measurements{}, err
+		}
+		sec, err := timeLoad(p, opts.MinIters)
+		if err != nil {
+			return Measurements{}, err
+		}
+		m.RepLoad[id] = sec
+	}
+
+	// --- t_transform per representation (ARCHIVE/CAMERA) ---
+	for id, t := range xforms {
+		iters := opts.MinIters
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			for _, s := range sources {
+				_ = t.Apply(s)
+			}
+		}
+		m.RepTransform[id] = time.Since(start).Seconds() / float64(iters*len(sources))
+	}
+
+	// --- t_infer per model ---
+	for _, mod := range models {
+		reps := make([]*img.Image, len(sources))
+		for i, s := range sources {
+			reps[i] = mod.Xform.Apply(s)
+		}
+		// Warm the scratch buffers outside the timed region.
+		if _, err := mod.Score(reps[0]); err != nil {
+			return Measurements{}, fmt.Errorf("profile: %w", err)
+		}
+		iters := opts.MinIters
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			for _, r := range reps {
+				if _, err := mod.Score(r); err != nil {
+					return Measurements{}, fmt.Errorf("profile: %w", err)
+				}
+			}
+		}
+		m.Infer[mod.ID()] = time.Since(start).Seconds() / float64(iters*len(reps))
+	}
+	return m, nil
+}
+
+// CostModel assembles a scenario.Profiled cost model for the given scenario
+// from the measurements.
+func (m Measurements) CostModel(kind scenario.Kind) *scenario.Profiled {
+	return &scenario.Profiled{
+		Scenario:  kind,
+		Source:    m.SourceLoad,
+		Loads:     m.RepLoad,
+		Transform: m.RepTransform,
+		Infer:     m.Infer,
+	}
+}
+
+func writeTIMG(path string, im *img.Image) error {
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, im); err != nil {
+		return fmt.Errorf("profile: encoding probe image: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("profile: writing probe image: %w", err)
+	}
+	return nil
+}
+
+// timeLoad measures reading and decoding one TIMG file. It measures through
+// the OS page cache, which matches steady-state query behavior on a box
+// whose working set is warm; cold-cache costs are the analytic model's job.
+func timeLoad(path string, iters int) (float64, error) {
+	// Warm up once and validate.
+	if err := loadOnce(path); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := loadOnce(path); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / float64(iters), nil
+}
+
+func loadOnce(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("profile: opening probe: %w", err)
+	}
+	defer f.Close()
+	if _, err := img.Decode(f); err != nil {
+		return fmt.Errorf("profile: decoding probe %s: %w", path, err)
+	}
+	return nil
+}
+
+func sanitize(id string) string {
+	out := []byte(id)
+	for i, c := range out {
+		if c == '/' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/scenario"
+	"tahoma/internal/xform"
+)
+
+func testInputs(t *testing.T) ([]*model.Model, []*img.Image) {
+	t.Helper()
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+	m1, err := model.New(spec, xform.Transform{Size: 8, Color: img.Gray}, model.Basic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := model.New(spec, xform.Transform{Size: 16, Color: img.RGB}, model.Basic, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var srcs []*img.Image
+	for i := 0; i < 3; i++ {
+		im := img.New(32, 32, img.RGB)
+		for j := range im.Pix {
+			im.Pix[j] = rng.Float32()
+		}
+		srcs = append(srcs, im)
+	}
+	return []*model.Model{m1, m2}, srcs
+}
+
+func TestMeasureProducesPositiveCosts(t *testing.T) {
+	models, srcs := testInputs(t)
+	m, err := Measure(models, srcs, Options{Dir: t.TempDir(), MinIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceLoad <= 0 {
+		t.Fatal("source load must take time")
+	}
+	for _, mod := range models {
+		id := mod.Xform.ID()
+		if m.RepLoad[id] <= 0 || m.RepTransform[id] <= 0 {
+			t.Fatalf("rep costs missing for %s: %+v", id, m)
+		}
+		if m.Infer[mod.ID()] <= 0 {
+			t.Fatalf("infer cost missing for %s", mod.ID())
+		}
+	}
+	// The 16x16 RGB model must cost more to infer than the 8x8 gray model.
+	if m.Infer[models[1].ID()] <= m.Infer[models[0].ID()] {
+		t.Logf("warning: bigger model measured cheaper (%v vs %v) — timer jitter",
+			m.Infer[models[1].ID()], m.Infer[models[0].ID()])
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	models, srcs := testInputs(t)
+	if _, err := Measure(nil, srcs, Options{}); err == nil {
+		t.Fatal("no models must error")
+	}
+	if _, err := Measure(models, nil, Options{}); err == nil {
+		t.Fatal("no samples must error")
+	}
+}
+
+func TestCostModelAssembly(t *testing.T) {
+	models, srcs := testInputs(t)
+	meas, err := Measure(models, srcs, Options{Dir: t.TempDir(), MinIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range scenario.AllKinds {
+		cm := meas.CostModel(kind)
+		if cm.Kind() != kind {
+			t.Fatalf("kind %v mispacked", kind)
+		}
+		if cm.InferCost(models[0]) != meas.Infer[models[0].ID()] {
+			t.Fatal("infer cost mismatch")
+		}
+	}
+	// ARCHIVE pays source; ONGOING pays rep loads; CAMERA pays transforms.
+	if meas.CostModel(scenario.Archive).SourceCost() != meas.SourceLoad {
+		t.Fatal("archive source cost mismatch")
+	}
+	if meas.CostModel(scenario.Ongoing).RepCost(models[0].Xform) != meas.RepLoad[models[0].Xform.ID()] {
+		t.Fatal("ongoing rep cost mismatch")
+	}
+	if meas.CostModel(scenario.Camera).RepCost(models[0].Xform) != meas.RepTransform[models[0].Xform.ID()] {
+		t.Fatal("camera rep cost mismatch")
+	}
+}

@@ -1,0 +1,118 @@
+package repstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"tahoma/internal/img"
+	"tahoma/internal/xform"
+)
+
+// Cache is a bounded LRU over decoded records of a Store, keyed by
+// (representation, index). Query execution in the ONGOING and ARCHIVE
+// scenarios re-reads the same representations across predicates and repeat
+// queries; the cache turns those re-reads into memory hits while bounding
+// resident pixel bytes. Safe for concurrent use.
+type Cache struct {
+	store    *Store
+	capacity int64 // pixel-byte budget
+
+	mu    sync.Mutex
+	bytes int64
+	lru   *list.List // front = most recent; values are *cacheEntry
+	items map[cacheKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	rep string // transform ID; "" = full-size source
+	idx int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	im  *img.Image
+}
+
+// NewCache wraps store with a cache holding up to capacityBytes of decoded
+// pixel data (float32 samples; a 64×64 RGB image is 48 KiB).
+func NewCache(store *Store, capacityBytes int64) (*Cache, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("repstore: cache capacity must be positive, got %d", capacityBytes)
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacityBytes,
+		lru:      list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}, nil
+}
+
+// Source returns full-size image i, from cache when possible.
+func (c *Cache) Source(i int) (*img.Image, error) {
+	return c.get(cacheKey{rep: "", idx: i}, func() (*img.Image, error) {
+		return c.store.LoadSource(i)
+	})
+}
+
+// Rep returns representation i of transform t, from cache when possible.
+func (c *Cache) Rep(i int, t xform.Transform) (*img.Image, error) {
+	return c.get(cacheKey{rep: t.ID(), idx: i}, func() (*img.Image, error) {
+		return c.store.LoadRep(i, t)
+	})
+}
+
+func (c *Cache) get(key cacheKey, load func() (*img.Image, error)) (*img.Image, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		im := el.Value.(*cacheEntry).im
+		c.hits++
+		c.mu.Unlock()
+		return im, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Load outside the lock; concurrent misses on the same key may load
+	// twice, which is wasteful but correct (records are immutable).
+	im, err := load()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Another goroutine beat us; keep its copy.
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).im, nil
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, im: im})
+	c.bytes += int64(im.Bytes())
+	for c.bytes > c.capacity && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		entry := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.items, entry.key)
+		c.bytes -= int64(entry.im.Bytes())
+	}
+	return im, nil
+}
+
+// Stats reports cache effectiveness.
+func (c *Cache) Stats() (hits, misses int64, residentBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.bytes
+}
+
+// Len returns the number of cached records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,183 @@
+package repstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tahoma/internal/img"
+)
+
+func cacheFixture(t *testing.T, n int) (*Store, []*img.Image) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	rng := rand.New(rand.NewSource(31))
+	ims := make([]*img.Image, n)
+	for i := range ims {
+		ims[i] = randRGB(rng, 16)
+	}
+	if err := s.IngestAll(ims); err != nil {
+		t.Fatal(err)
+	}
+	return s, ims
+}
+
+func TestCacheHitsAndCorrectness(t *testing.T) {
+	s, _ := cacheFixture(t, 4)
+	c, err := NewCache(s, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read misses, second hits; contents identical both times.
+	a, err := c.Source(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Source(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second read should return the cached object")
+	}
+	direct, err := s.LoadSource(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Pix {
+		if a.Pix[i] != direct.Pix[i] {
+			t.Fatal("cached content differs from direct read")
+		}
+	}
+	hits, misses, resident := c.Stats()
+	if hits != 1 || misses != 1 || resident <= 0 {
+		t.Fatalf("stats: hits=%d misses=%d resident=%d", hits, misses, resident)
+	}
+
+	// Representation reads cache under a distinct key.
+	r1, err := c.Rep(2, testTransforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Rep(2, testTransforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("rep read not cached")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s, _ := cacheFixture(t, 8)
+	// Capacity for roughly two 16×16 RGB images (3·256·4 = 3072 bytes each).
+	c, err := NewCache(s, 7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Source(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache holds %d entries over budget", c.Len())
+	}
+	_, _, resident := c.Stats()
+	if resident > 7000 {
+		t.Fatalf("resident %d exceeds capacity", resident)
+	}
+	// Most recent entry must still hit.
+	before, _, _ := c.Stats()
+	if _, err := c.Source(7); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := c.Stats()
+	if after != before+1 {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	s, _ := cacheFixture(t, 3)
+	c, err := NewCache(s, 2*3072+100) // room for two sources
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet := func(i int) {
+		t.Helper()
+		if _, err := c.Source(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0)
+	mustGet(1)
+	mustGet(0) // refresh 0 so 1 is the LRU victim
+	mustGet(2) // evicts 1
+	h0, _, _ := c.Stats()
+	mustGet(0) // must still hit
+	h1, _, _ := c.Stats()
+	if h1 != h0+1 {
+		t.Fatal("entry 0 was evicted despite being refreshed")
+	}
+	_, m0, _ := c.Stats()
+	mustGet(1) // must miss (was evicted)
+	_, m1, _ := c.Stats()
+	if m1 != m0+1 {
+		t.Fatal("entry 1 should have been evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	s, _ := cacheFixture(t, 6)
+	c, err := NewCache(s, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				idx := rng.Intn(6)
+				if rng.Intn(2) == 0 {
+					if _, err := c.Source(idx); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := c.Rep(idx, testTransforms[0]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	hits, misses, _ := c.Stats()
+	if hits+misses != 800 {
+		t.Fatalf("accounting lost requests: %d + %d != 800", hits, misses)
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	s, _ := cacheFixture(t, 1)
+	if _, err := NewCache(s, 0); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	c, _ := NewCache(s, 1000)
+	if _, err := c.Source(99); err == nil {
+		t.Fatal("out-of-range index must propagate the store error")
+	}
+}

@@ -1,0 +1,337 @@
+// Package repstore is the physical representation store: the on-disk
+// substrate behind the ARCHIVE and ONGOING deployment scenarios. A store
+// holds the full-size source images plus any number of pre-materialized
+// representations (one fixed-record-size data file per transform), so that a
+// query can load exactly the physical representation its chosen cascade
+// wants, without touching the full-size source.
+//
+// Layout of a store directory:
+//
+//	manifest.json      — geometry, transform list, record counts
+//	source.dat         — fixed-size TIMG records of full-size images
+//	rep-<id>.dat       — fixed-size TIMG records per transform
+//
+// Fixed record sizes make random access an offset multiplication and make
+// truncation detectable on open (file size must be count × record size).
+package repstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tahoma/internal/img"
+	"tahoma/internal/xform"
+)
+
+// ErrCorrupt is returned (wrapped) when a store fails validation.
+var ErrCorrupt = errors.New("repstore: corrupt store")
+
+// Manifest describes a store directory.
+type Manifest struct {
+	Version    int      `json:"version"`
+	BaseW      int      `json:"base_w"`
+	BaseH      int      `json:"base_h"`
+	Transforms []string `json:"transforms"` // transform IDs with materialized reps
+	Count      int      `json:"count"`      // ingested images
+}
+
+const manifestName = "manifest.json"
+
+// Store is an open representation store. Concurrent readers are safe once
+// ingestion is finished; Ingest must not race with reads.
+type Store struct {
+	dir      string
+	manifest Manifest
+	xforms   []xform.Transform
+	source   *os.File
+	reps     map[string]*os.File
+}
+
+// Create initializes a new store in dir (which must be empty or absent) that
+// will materialize the given transforms for every ingested image.
+func Create(dir string, baseW, baseH int, transforms []xform.Transform) (*Store, error) {
+	if baseW <= 0 || baseH <= 0 {
+		return nil, fmt.Errorf("repstore: invalid base geometry %dx%d", baseW, baseH)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repstore: creating %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("repstore: %s already contains a store", dir)
+	}
+	ids := make([]string, len(transforms))
+	for i, t := range transforms {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		ids[i] = t.ID()
+	}
+	s := &Store{
+		dir: dir,
+		manifest: Manifest{
+			Version:    1,
+			BaseW:      baseW,
+			BaseH:      baseH,
+			Transforms: ids,
+		},
+		xforms: append([]xform.Transform(nil), transforms...),
+		reps:   make(map[string]*os.File),
+	}
+	var err error
+	s.source, err = os.OpenFile(filepath.Join(dir, "source.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repstore: opening source.dat: %w", err)
+	}
+	for _, t := range transforms {
+		f, err := os.OpenFile(filepath.Join(dir, repFileName(t.ID())), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("repstore: opening rep file for %s: %w", t.ID(), err)
+		}
+		s.reps[t.ID()] = f
+	}
+	if err := s.writeManifest(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing store and validates record counts against file
+// sizes, detecting truncation.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("repstore: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: bad manifest: %v", ErrCorrupt, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, m.Version)
+	}
+	s := &Store{dir: dir, manifest: m, reps: make(map[string]*os.File)}
+	for _, id := range m.Transforms {
+		t, err := xform.Parse(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest transform %q: %v", ErrCorrupt, id, err)
+		}
+		s.xforms = append(s.xforms, t)
+	}
+	s.source, err = os.Open(filepath.Join(dir, "source.dat"))
+	if err != nil {
+		return nil, fmt.Errorf("repstore: opening source.dat: %w", err)
+	}
+	if err := s.checkSize(s.source, s.sourceRecordSize(), "source.dat"); err != nil {
+		s.Close()
+		return nil, err
+	}
+	for _, t := range s.xforms {
+		f, err := os.Open(filepath.Join(dir, repFileName(t.ID())))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("repstore: opening rep file for %s: %w", t.ID(), err)
+		}
+		if err := s.checkSize(f, t.StoredBytes(), repFileName(t.ID())); err != nil {
+			f.Close()
+			s.Close()
+			return nil, err
+		}
+		s.reps[t.ID()] = f
+	}
+	return s, nil
+}
+
+func (s *Store) checkSize(f *os.File, record int, name string) error {
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("repstore: stat %s: %w", name, err)
+	}
+	want := int64(record) * int64(s.manifest.Count)
+	if info.Size() != want {
+		return fmt.Errorf("%w: %s is %d bytes, manifest implies %d (count=%d, record=%d)",
+			ErrCorrupt, name, info.Size(), want, s.manifest.Count, record)
+	}
+	return nil
+}
+
+func repFileName(id string) string {
+	return "rep-" + strings.ReplaceAll(id, "/", "_") + ".dat"
+}
+
+func (s *Store) sourceRecordSize() int {
+	return img.EncodedSize(s.manifest.BaseW, s.manifest.BaseH, img.RGB)
+}
+
+func (s *Store) writeManifest() error {
+	raw, err := json.MarshalIndent(s.manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("repstore: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("repstore: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("repstore: replacing manifest: %w", err)
+	}
+	return nil
+}
+
+// Count returns the number of ingested images.
+func (s *Store) Count() int { return s.manifest.Count }
+
+// Transforms returns the transforms materialized by this store.
+func (s *Store) Transforms() []xform.Transform {
+	return append([]xform.Transform(nil), s.xforms...)
+}
+
+// BaseSize returns the full-resolution geometry.
+func (s *Store) BaseSize() (w, h int) { return s.manifest.BaseW, s.manifest.BaseH }
+
+// Ingest appends one full-size image, materializing every configured
+// representation (the ONGOING pipeline: transform on ingest, load-only at
+// query time). It returns the image's index.
+func (s *Store) Ingest(im *img.Image) (int, error) {
+	if im.W != s.manifest.BaseW || im.H != s.manifest.BaseH || im.Mode != img.RGB {
+		return 0, fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
+			im.W, im.H, im.Mode, s.manifest.BaseW, s.manifest.BaseH)
+	}
+	if err := s.appendRecord(s.source, im, s.sourceRecordSize(), "source.dat"); err != nil {
+		return 0, err
+	}
+	for _, t := range s.xforms {
+		rep := t.Apply(im)
+		if err := s.appendRecord(s.reps[t.ID()], rep, t.StoredBytes(), repFileName(t.ID())); err != nil {
+			return 0, err
+		}
+	}
+	idx := s.manifest.Count
+	s.manifest.Count++
+	if err := s.writeManifest(); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// IngestAll appends a batch of images, deferring the manifest write to the
+// end (one fsync-visible update per batch rather than per image).
+func (s *Store) IngestAll(ims []*img.Image) error {
+	for _, im := range ims {
+		if im.W != s.manifest.BaseW || im.H != s.manifest.BaseH || im.Mode != img.RGB {
+			return fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
+				im.W, im.H, im.Mode, s.manifest.BaseW, s.manifest.BaseH)
+		}
+		if err := s.appendRecord(s.source, im, s.sourceRecordSize(), "source.dat"); err != nil {
+			return err
+		}
+		for _, t := range s.xforms {
+			rep := t.Apply(im)
+			if err := s.appendRecord(s.reps[t.ID()], rep, t.StoredBytes(), repFileName(t.ID())); err != nil {
+				return err
+			}
+		}
+		s.manifest.Count++
+	}
+	return s.writeManifest()
+}
+
+func (s *Store) appendRecord(f *os.File, im *img.Image, record int, name string) error {
+	var buf bytes.Buffer
+	buf.Grow(record)
+	if err := img.Encode(&buf, im); err != nil {
+		return fmt.Errorf("repstore: encoding record for %s: %w", name, err)
+	}
+	if buf.Len() != record {
+		return fmt.Errorf("repstore: record for %s is %d bytes, want %d", name, buf.Len(), record)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("repstore: appending to %s: %w", name, err)
+	}
+	return nil
+}
+
+// LoadSource reads full-size image i.
+func (s *Store) LoadSource(i int) (*img.Image, error) {
+	return s.loadRecord(s.source, i, s.sourceRecordSize(), "source.dat")
+}
+
+// LoadRep reads representation i for transform t. The transform must be one
+// the store materializes.
+func (s *Store) LoadRep(i int, t xform.Transform) (*img.Image, error) {
+	f, ok := s.reps[t.ID()]
+	if !ok {
+		return nil, fmt.Errorf("repstore: transform %s not materialized in this store", t.ID())
+	}
+	return s.loadRecord(f, i, t.StoredBytes(), repFileName(t.ID()))
+}
+
+func (s *Store) loadRecord(f *os.File, i, record int, name string) (*img.Image, error) {
+	if i < 0 || i >= s.manifest.Count {
+		return nil, fmt.Errorf("repstore: index %d out of range [0,%d)", i, s.manifest.Count)
+	}
+	buf := make([]byte, record)
+	if _, err := f.ReadAt(buf, int64(i)*int64(record)); err != nil {
+		return nil, fmt.Errorf("repstore: reading %s record %d: %w", name, i, err)
+	}
+	im, err := img.Decode(bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s record %d: %v", ErrCorrupt, name, i, err)
+	}
+	return im, nil
+}
+
+// ScanSource streams every full-size image in order.
+func (s *Store) ScanSource(fn func(i int, im *img.Image) error) error {
+	for i := 0; i < s.manifest.Count; i++ {
+		im, err := s.LoadSource(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, im); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRep streams every representation of transform t in order.
+func (s *Store) ScanRep(t xform.Transform, fn func(i int, im *img.Image) error) error {
+	if _, ok := s.reps[t.ID()]; !ok {
+		return fmt.Errorf("repstore: transform %s not materialized in this store", t.ID())
+	}
+	for i := 0; i < s.manifest.Count; i++ {
+		im, err := s.LoadRep(i, t)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, im); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases file handles. Safe to call more than once.
+func (s *Store) Close() error {
+	var first error
+	if s.source != nil {
+		if err := s.source.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.source = nil
+	}
+	for id, f := range s.reps {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.reps, id)
+	}
+	return first
+}

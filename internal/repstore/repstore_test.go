@@ -1,0 +1,274 @@
+package repstore
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tahoma/internal/img"
+	"tahoma/internal/xform"
+)
+
+func randRGB(rng *rand.Rand, size int) *img.Image {
+	im := img.New(size, size, img.RGB)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	return im
+}
+
+var testTransforms = []xform.Transform{
+	{Size: 8, Color: img.Gray},
+	{Size: 16, Color: img.RGB},
+}
+
+func TestCreateIngestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 32, 32, testTransforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	var originals []*img.Image
+	for i := 0; i < 5; i++ {
+		im := randRGB(rng, 32)
+		originals = append(originals, im)
+		idx, err := s.Ingest(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("ingest index %d, want %d", idx, i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+
+	// Sources round-trip within quantization error.
+	for i, want := range originals {
+		got, err := s.LoadSource(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Pix {
+			d := got.Pix[j] - want.Pix[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1.0/255+1e-6 {
+				t.Fatalf("source %d pixel %d: %v vs %v", i, j, got.Pix[j], want.Pix[j])
+			}
+		}
+	}
+
+	// Representations match recomputing the transform on the decoded source
+	// (both sides quantized, so compare against transform-of-quantized).
+	for _, tr := range testTransforms {
+		for i := range originals {
+			got, err := s.LoadRep(i, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.W != tr.Size || got.Channels() != tr.Channels() {
+				t.Fatalf("rep geometry %dx%d/%d", got.W, got.H, got.Channels())
+			}
+			want := tr.Apply(originals[i])
+			for j := range want.Pix {
+				d := got.Pix[j] - want.Pix[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > 2.0/255 {
+					t.Fatalf("rep %s image %d sample %d: %v vs %v", tr.ID(), i, j, got.Pix[j], want.Pix[j])
+				}
+			}
+		}
+	}
+}
+
+func TestOpenAfterCloseReadsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ims := []*img.Image{randRGB(rng, 16), randRGB(rng, 16)}
+	if err := s.IngestAll(ims); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 2 {
+		t.Fatalf("reopened count %d", s2.Count())
+	}
+	if w, h := s2.BaseSize(); w != 16 || h != 16 {
+		t.Fatalf("base size %dx%d", w, h)
+	}
+	if got := s2.Transforms(); len(got) != 1 || got[0] != testTransforms[0] {
+		t.Fatalf("transforms %v", got)
+	}
+	if _, err := s2.LoadSource(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadRep(0, testTransforms[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	if err := s.IngestAll([]*img.Image{randRGB(rng, 16), randRGB(rng, 16), randRGB(rng, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := s.ScanSource(func(i int, im *img.Image) error {
+		if i != n {
+			t.Fatalf("scan order broken: %d vs %d", i, n)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("scanned %d sources", n)
+	}
+	n = 0
+	if err := s.ScanRep(testTransforms[0], func(i int, im *img.Image) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("scanned %d reps", n)
+	}
+	// Early-exit via callback error.
+	sentinel := errors.New("stop")
+	if err := s.ScanSource(func(i int, im *img.Image) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatal("scan did not propagate callback error")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, 0, 16, nil); err == nil {
+		t.Fatal("invalid geometry must error")
+	}
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Double-create in same dir.
+	if _, err := Create(dir, 16, 16, nil); err == nil {
+		t.Fatal("double create must error")
+	}
+	// Wrong ingest geometry.
+	if _, err := s.Ingest(img.New(8, 8, img.RGB)); err == nil {
+		t.Fatal("wrong geometry ingest must error")
+	}
+	if _, err := s.Ingest(img.New(16, 16, img.Gray)); err == nil {
+		t.Fatal("non-RGB ingest must error")
+	}
+	// Unknown transform.
+	if _, err := s.LoadRep(0, xform.Transform{Size: 4, Color: img.Red}); err == nil {
+		t.Fatal("unmaterialized transform must error")
+	}
+	if err := s.ScanRep(xform.Transform{Size: 4, Color: img.Red}, nil); err == nil {
+		t.Fatal("unmaterialized transform scan must error")
+	}
+	// Out-of-range index.
+	if _, err := s.LoadSource(0); err == nil {
+		t.Fatal("empty store load must error")
+	}
+}
+
+func TestOpenDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.IngestAll([]*img.Image{randRGB(rng, 16), randRGB(rng, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Truncate the source file by a few bytes.
+	path := filepath.Join(dir, "source.dat")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated store opened: err=%v", err)
+	}
+}
+
+func TestOpenDetectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad manifest accepted: %v", err)
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("missing manifest must error")
+	}
+}
+
+func TestOpenDetectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if err := s.IngestAll([]*img.Image{randRGB(rng, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Smash the record's magic bytes (size unchanged, so Open succeeds but
+	// the record read reports corruption).
+	path := filepath.Join(dir, "source.dat")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.LoadSource(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt record read succeeded: %v", err)
+	}
+}

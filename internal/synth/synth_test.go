@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"testing"
+
+	"tahoma/internal/img"
+)
+
+func TestCategories(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 10 {
+		t.Fatalf("got %d categories, want 10 (Table II)", len(cats))
+	}
+	wantNames := []string{"acorn", "amphibian", "cloak", "coho", "fence",
+		"ferret", "komondor", "pinwheel", "scorpion", "wallet"}
+	for i, c := range cats {
+		if c.Name != wantNames[i] {
+			t.Fatalf("category %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if c.Kind != "hue" && c.Kind != "texture" && c.Kind != "shape" {
+			t.Fatalf("category %s has unknown kind %q", c.Name, c.Kind)
+		}
+	}
+	kinds := map[string]int{}
+	for _, c := range cats {
+		kinds[c.Kind]++
+	}
+	if kinds["hue"] == 0 || kinds["texture"] == 0 || kinds["shape"] == 0 {
+		t.Fatalf("need all three representation-sensitivity kinds, got %v", kinds)
+	}
+}
+
+func TestCategoryByName(t *testing.T) {
+	c, err := CategoryByName("fence")
+	if err != nil || c.Name != "fence" {
+		t.Fatalf("CategoryByName: %v %v", c, err)
+	}
+	if _, err := CategoryByName("zebra"); err == nil {
+		t.Fatal("unknown category must error")
+	}
+	if len(CategoryNames()) != 10 {
+		t.Fatal("CategoryNames wrong length")
+	}
+}
+
+func TestGenerateBinaryShape(t *testing.T) {
+	cat, _ := CategoryByName("coho")
+	sp, err := GenerateBinary(cat, Options{BaseSize: 32, TrainN: 20, ConfigN: 10, EvalN: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.Len() != 20 || sp.Config.Len() != 10 || sp.Eval.Len() != 16 {
+		t.Fatalf("split sizes: %d/%d/%d", sp.Train.Len(), sp.Config.Len(), sp.Eval.Len())
+	}
+	// Balanced labels.
+	if sp.Train.Positives() != 10 || sp.Eval.Positives() != 8 {
+		t.Fatalf("positives: train=%d eval=%d", sp.Train.Positives(), sp.Eval.Positives())
+	}
+	for _, e := range sp.Train.Examples {
+		if e.Image.W != 32 || e.Image.H != 32 || e.Image.Mode != img.RGB {
+			t.Fatalf("image geometry %dx%d/%v", e.Image.W, e.Image.H, e.Image.Mode)
+		}
+		for _, p := range e.Image.Pix {
+			if p < 0 || p > 1 {
+				t.Fatal("pixel out of range")
+			}
+		}
+	}
+}
+
+func TestGenerateBinaryDeterministic(t *testing.T) {
+	cat, _ := CategoryByName("acorn")
+	opts := Options{BaseSize: 24, TrainN: 6, ConfigN: 4, EvalN: 4, Seed: 99}
+	a, err := GenerateBinary(cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBinary(cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train.Examples {
+		ia, ib := a.Train.Examples[i].Image, b.Train.Examples[i].Image
+		for j := range ia.Pix {
+			if ia.Pix[j] != ib.Pix[j] {
+				t.Fatalf("same seed produced different images at example %d pixel %d", i, j)
+			}
+		}
+	}
+	c, err := GenerateBinary(cat, Options{BaseSize: 24, TrainN: 6, ConfigN: 4, EvalN: 4, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j, p := range c.Train.Examples[0].Image.Pix {
+		if p != a.Train.Examples[0].Image.Pix[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first image")
+	}
+}
+
+func TestGenerateBinaryAugment(t *testing.T) {
+	cat, _ := CategoryByName("wallet")
+	sp, err := GenerateBinary(cat, Options{BaseSize: 16, TrainN: 8, ConfigN: 4, EvalN: 4, Seed: 5, Augment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.Len() != 16 {
+		t.Fatalf("augmented train size %d, want 16", sp.Train.Len())
+	}
+	// The second half must be flips of the first half with the same labels.
+	for i := 0; i < 8; i++ {
+		orig := sp.Train.Examples[i]
+		flip := sp.Train.Examples[8+i]
+		if orig.Label != flip.Label {
+			t.Fatal("augmented label mismatch")
+		}
+		back := img.FlipH(flip.Image)
+		for j := range orig.Image.Pix {
+			if back.Pix[j] != orig.Image.Pix[j] {
+				t.Fatal("augmented image is not a horizontal flip")
+			}
+		}
+	}
+}
+
+func TestGenerateBinaryErrors(t *testing.T) {
+	cat, _ := CategoryByName("fence")
+	if _, err := GenerateBinary(cat, Options{TrainN: 0, ConfigN: 4, EvalN: 4}); err == nil {
+		t.Fatal("zero split must error")
+	}
+}
+
+// TestPositiveNegativeDiffer: images with the target present should differ
+// substantially from the background-only pixels — a sanity check that the
+// renderer actually paints objects.
+func TestPositiveNegativeDiffer(t *testing.T) {
+	cat, _ := CategoryByName("pinwheel")
+	sp, err := GenerateBinary(cat, Options{BaseSize: 32, TrainN: 40, ConfigN: 4, EvalN: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean absolute difference between a positive and the most similar
+	// negative must exceed noise floor for at least some pairs.
+	var maxDiff float64
+	for _, p := range sp.Train.Examples {
+		if !p.Label {
+			continue
+		}
+		for _, n := range sp.Train.Examples {
+			if n.Label {
+				continue
+			}
+			var d float64
+			for j := range p.Image.Pix {
+				diff := float64(p.Image.Pix[j] - n.Image.Pix[j])
+				if diff < 0 {
+					diff = -diff
+				}
+				d += diff
+			}
+			d /= float64(len(p.Image.Pix))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff < 0.02 {
+		t.Fatalf("positives indistinguishable from negatives (max mean diff %v)", maxDiff)
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	opts := ReefStream(32, 60, 7)
+	frames, err := GenerateStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 60 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.Image.W != 32 || f.Image.Mode != img.RGB {
+			t.Fatal("frame geometry wrong")
+		}
+	}
+}
+
+func TestStreamTemporalCoherence(t *testing.T) {
+	// Reef frames must be much more self-similar than junction frames.
+	meanDiff := func(opts StreamOptions) float64 {
+		frames, err := GenerateStream(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 1; i < len(frames); i++ {
+			var d float64
+			a, b := frames[i-1].Image, frames[i].Image
+			for j := range a.Pix {
+				diff := float64(a.Pix[j] - b.Pix[j])
+				d += diff * diff
+			}
+			total += d / float64(len(a.Pix))
+		}
+		return total / float64(len(frames)-1)
+	}
+	reef := meanDiff(ReefStream(32, 40, 11))
+	junction := meanDiff(JunctionStream(32, 40, 11))
+	if reef >= junction {
+		t.Fatalf("reef (%v) must be calmer than junction (%v)", reef, junction)
+	}
+}
+
+func TestStreamLabels(t *testing.T) {
+	// With a high enter probability the target must appear at least once,
+	// and labels must change over a long stream.
+	opts := JunctionStream(24, 300, 13)
+	frames, err := GenerateStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, f := range frames {
+		if f.Label {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(frames) {
+		t.Fatalf("degenerate label distribution: %d/%d positive", pos, len(frames))
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := GenerateStream(StreamOptions{Size: 4, Frames: 10}); err == nil {
+		t.Fatal("tiny size must error")
+	}
+	if _, err := GenerateStream(StreamOptions{Size: 32, Frames: 0}); err == nil {
+		t.Fatal("zero frames must error")
+	}
+}

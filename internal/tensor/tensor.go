@@ -1,0 +1,353 @@
+// Package tensor provides dense float32 tensors and the small set of
+// numeric kernels (GEMM, im2col, elementwise maps) that the CNN engine in
+// internal/nn is built on. Everything is deterministic: no global state, no
+// hidden parallelism, and random initialization takes an explicit source.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is an empty
+// tensor; use New or NewFrom to create a usable one.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative; a zero dimension yields an empty tensor.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float32, n)}
+}
+
+// NewFrom wraps data in a tensor with the given shape. The data is used
+// directly (not copied). It panics if len(data) does not match the shape.
+func NewFrom(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape. The element count must be
+// preserved; the underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: t.Data}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != u.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandomizeUniform fills t with uniform values in [-limit, limit] drawn from
+// rng. Used for Glorot/He style initialization by the nn package.
+func (t *Tensor) RandomizeUniform(rng *rand.Rand, limit float64) {
+	for i := range t.Data {
+		t.Data[i] = float32((rng.Float64()*2 - 1) * limit)
+	}
+}
+
+// AddScaled computes t += alpha*u elementwise. Shapes must match in length.
+func (t *Tensor) AddScaled(u *Tensor, alpha float32) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddScaled length mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty tensors.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// String renders a short description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("tensor%v", t.Shape)
+}
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), storing into C (m×n).
+// C must not alias A or B. The inner loops are ordered i,k,j so that both B
+// and C are walked sequentially, which matters for the conv GEMMs.
+func MatMul(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := ad[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := bd[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAddTransB computes C += A·Bᵀ for A (m×k) and B (n×k), with C (m×n).
+// Used for weight gradients (dW += dY·colᵀ).
+func MatMulAddTransB(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAddTransB inner dims %d != %d", k, k2))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAddTransB output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n), with C (m×n).
+// Used for input gradients (dcol = Wᵀ·dY).
+func MatMulTransA(c, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", k, k2))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := range cd {
+		cd[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : (p+1)*m]
+		bp := bd[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window over
+// a CHW input.
+type ConvGeom struct {
+	InC, InH, InW    int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// ColRows returns the number of rows of the im2col matrix (C*KH*KW).
+func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
+
+// ColCols returns the number of columns of the im2col matrix (OutH*OutW).
+func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
+
+// Im2Col unrolls a CHW input x into col with shape [C*KH*KW, OutH*OutW],
+// zero-padding out-of-bounds reads. col must be pre-allocated.
+func Im2Col(col, x *Tensor, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if col.Shape[0] != g.ColRows() || col.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2Col col shape %v, want [%d %d]", col.Shape, g.ColRows(), cols))
+	}
+	xd, cd := x.Data, col.Data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				out := cd[row*cols : (row+1)*cols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							out[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= g.InW {
+							out[idx] = 0
+						} else {
+							out[idx] = xd[rowBase+ix]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix back into a CHW gradient, accumulating
+// overlapping contributions. dx must be pre-allocated and is zeroed first.
+func Col2Im(dx, col *Tensor, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if col.Shape[0] != g.ColRows() || col.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Col2Im col shape %v, want [%d %d]", col.Shape, g.ColRows(), cols))
+	}
+	dx.Zero()
+	xd, cd := dx.Data, col.Data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				in := cd[row*cols : (row+1)*cols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.InH {
+						idx += ow
+						continue
+					}
+					rowBase := chanBase + iy*g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix >= 0 && ix < g.InW {
+							xd[rowBase+ix] += in[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in float64 for stability.
+func Sigmoid(x float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(x))))
+}

@@ -1,0 +1,171 @@
+// Package thresh calibrates per-model decision thresholds (Section V-C).
+// For each model and each target precision, a grid search over candidate
+// (plow, phigh) pairs finds thresholds whose confident decisions meet the
+// precision target on the configuration set while maximizing coverage — the
+// fraction of inputs the model decides confidently instead of passing down
+// the cascade.
+//
+// Thresholds are calibrated independently per model, never in the context of
+// a specific cascade; that independence is what lets TAHOMA evaluate
+// millions of cascades from a few hundred model evaluations (Section V-D).
+package thresh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Thresholds is a calibrated (plow, phigh) pair for one model at one target
+// precision. A score s is a confident positive when s >= High, a confident
+// negative when s <= Low, and uncertain otherwise.
+type Thresholds struct {
+	Low    float32 `json:"low"`
+	High   float32 `json:"high"`
+	Target float64 `json:"target"` // the precision target this pair was calibrated for
+}
+
+// Decide classifies a score: decided reports confidence, positive the label.
+func (t Thresholds) Decide(score float32) (decided, positive bool) {
+	if score >= t.High {
+		return true, true
+	}
+	if score <= t.Low {
+		return true, false
+	}
+	return false, false
+}
+
+// Calibrate runs the paper's grid search jointly over (plow, phigh)
+// candidates. scores and labels are the model's outputs and the true labels
+// on the configuration set.
+//
+// A candidate pair is feasible when its confident positives (score >= High)
+// have precision >= target and its confident negatives (score <= Low) have
+// negative predictive value >= target; a side with no predictions is
+// vacuously feasible. Among feasible pairs the search maximizes coverage
+// (the recall of confident decisions); ties prefer a wider uncertain band
+// (larger High, then smaller Low), which defers borderline inputs to later
+// cascade levels. Each side also admits a sentinel past the score range,
+// letting a model confidently decide only one side (or neither) when the
+// other cannot meet the target.
+func Calibrate(scores []float32, labels []bool, target float64, gridSteps int) (Thresholds, error) {
+	if len(scores) != len(labels) {
+		return Thresholds{}, fmt.Errorf("thresh: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return Thresholds{}, fmt.Errorf("thresh: empty configuration set")
+	}
+	if target <= 0 || target > 1 {
+		return Thresholds{}, fmt.Errorf("thresh: target precision %v out of (0,1]", target)
+	}
+	if gridSteps < 2 {
+		gridSteps = 100
+	}
+
+	// Sort scores ascending with labels alongside; prefix sums of positives
+	// let each candidate threshold be evaluated in O(log n).
+	type sl struct {
+		s float32
+		l bool
+	}
+	pairs := make([]sl, len(scores))
+	for i := range scores {
+		pairs[i] = sl{scores[i], labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	n := len(pairs)
+	posPrefix := make([]int, n+1) // positives among pairs[0:i]
+	for i, p := range pairs {
+		posPrefix[i+1] = posPrefix[i]
+		if p.l {
+			posPrefix[i+1]++
+		}
+	}
+	totalPos := posPrefix[n]
+
+	const (
+		sentinelHigh = float32(1.0000001)  // never confidently positive
+		sentinelLow  = float32(-0.0000001) // never confidently negative
+	)
+
+	// Feasible high candidates with their positive-prediction counts,
+	// cheapest-coverage first is not needed; we collect (value, predPos).
+	type side struct {
+		value float32
+		count int
+	}
+	highs := []side{{sentinelHigh, 0}}
+	for step := 0; step <= gridSteps; step++ {
+		cand := float32(step) / float32(gridSteps)
+		idx := sort.Search(n, func(i int) bool { return pairs[i].s >= cand })
+		predPos := n - idx
+		if predPos == 0 {
+			continue // equivalent to the sentinel
+		}
+		tp := totalPos - posPrefix[idx]
+		if float64(tp)/float64(predPos) >= target {
+			highs = append(highs, side{cand, predPos})
+		}
+	}
+	lows := []side{{sentinelLow, 0}}
+	for step := 0; step <= gridSteps; step++ {
+		cand := float32(step) / float32(gridSteps)
+		idx := sort.Search(n, func(i int) bool { return pairs[i].s > cand })
+		predNeg := idx
+		if predNeg == 0 {
+			continue
+		}
+		tn := idx - posPrefix[idx]
+		if float64(tn)/float64(predNeg) >= target {
+			lows = append(lows, side{cand, predNeg})
+		}
+	}
+
+	// Joint maximization over feasible (low, high) pairs with low < high:
+	// disjoint decision regions make total coverage the sum of the sides.
+	best := Thresholds{Low: sentinelLow, High: sentinelHigh, Target: target}
+	bestCover := -1
+	for _, h := range highs {
+		for _, l := range lows {
+			if l.value >= h.value {
+				continue
+			}
+			cover := h.count + l.count
+			better := cover > bestCover ||
+				(cover == bestCover && (h.value > best.High ||
+					(h.value == best.High && l.value < best.Low)))
+			if better {
+				bestCover = cover
+				best.Low, best.High = l.value, h.value
+			}
+		}
+	}
+	return best, nil
+}
+
+// CalibrateAll calibrates one Thresholds per target precision.
+func CalibrateAll(scores []float32, labels []bool, targets []float64, gridSteps int) ([]Thresholds, error) {
+	out := make([]Thresholds, 0, len(targets))
+	for _, target := range targets {
+		th, err := Calibrate(scores, labels, target, gridSteps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, th)
+	}
+	return out, nil
+}
+
+// Coverage returns the fraction of scores the thresholds decide confidently.
+func (t Thresholds) Coverage(scores []float32) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	decided := 0
+	for _, s := range scores {
+		if d, _ := t.Decide(s); d {
+			decided++
+		}
+	}
+	return float64(decided) / float64(len(scores))
+}

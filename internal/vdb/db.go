@@ -1,0 +1,261 @@
+package vdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tahoma/internal/cascade"
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+	"tahoma/internal/pareto"
+	"tahoma/internal/repstore"
+	"tahoma/internal/scenario"
+)
+
+// Metadata is the relational half of one image row.
+type Metadata struct {
+	ID       int64
+	Location string
+	Camera   string
+	TS       int64 // capture time, seconds since stream start
+}
+
+// Predicate is an installed contains_object operator: the TAHOMA system for
+// one category plus its evaluated cascade set under the DB's deployment
+// scenario. Installation corresponds to the paper's per-predicate system
+// initialization; the frontier is reused by every query.
+type Predicate struct {
+	Category string
+	System   *core.System
+	Results  []cascade.Result
+	Frontier []pareto.Point
+	// materialized caches the virtual column per selected-cascade identity,
+	// so repeated queries pay zero inference.
+	materialized map[string][]bool
+}
+
+// Corpus supplies image pixels by row index. The in-memory implementation
+// is what LoadCorpus installs; LoadCorpusFromStore installs a lazy,
+// cache-backed view over a representation store, so classifying a row pays
+// a real load — the physical behaviour the ARCHIVE scenario prices.
+type Corpus interface {
+	Len() int
+	Image(i int) (*img.Image, error)
+}
+
+// appender is implemented by corpora that accept new rows (Append).
+type appender interface {
+	appendImages(ims []*img.Image) error
+}
+
+type memoryCorpus struct {
+	images []*img.Image
+}
+
+func (m *memoryCorpus) Len() int { return len(m.images) }
+
+func (m *memoryCorpus) Image(i int) (*img.Image, error) {
+	if i < 0 || i >= len(m.images) {
+		return nil, fmt.Errorf("vdb: row %d out of range [0,%d)", i, len(m.images))
+	}
+	return m.images[i], nil
+}
+
+func (m *memoryCorpus) appendImages(ims []*img.Image) error {
+	m.images = append(m.images, ims...)
+	return nil
+}
+
+type storeCorpus struct {
+	store *repstore.Store
+	cache *repstore.Cache
+}
+
+func (s *storeCorpus) Len() int { return s.store.Count() }
+
+func (s *storeCorpus) Image(i int) (*img.Image, error) {
+	if s.cache != nil {
+		return s.cache.Source(i)
+	}
+	return s.store.LoadSource(i)
+}
+
+func (s *storeCorpus) appendImages(ims []*img.Image) error {
+	return s.store.IngestAll(ims)
+}
+
+// DB is a visual analytics database over one images table.
+type DB struct {
+	corpus     Corpus
+	meta       []Metadata
+	costModel  scenario.CostModel
+	predicates map[string]*Predicate
+	trigger    TriggerPolicy
+}
+
+// New creates an empty database priced under the given deployment scenario.
+func New(cm scenario.CostModel) *DB {
+	return &DB{costModel: cm, predicates: make(map[string]*Predicate), corpus: &memoryCorpus{}}
+}
+
+func (db *DB) resetMaterialized() {
+	for _, p := range db.predicates {
+		p.materialized = make(map[string][]bool)
+	}
+}
+
+// LoadCorpus installs an in-memory image corpus and its metadata (parallel
+// slices).
+func (db *DB) LoadCorpus(images []*img.Image, meta []Metadata) error {
+	if len(images) != len(meta) {
+		return fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
+	}
+	db.corpus = &memoryCorpus{images: images}
+	db.meta = meta
+	db.resetMaterialized()
+	return nil
+}
+
+// LoadCorpusFromStore installs a representation store as the corpus. Rows
+// load lazily through an LRU cache of cacheBytes (0 disables caching); meta
+// must have one row per stored image.
+func (db *DB) LoadCorpusFromStore(store *repstore.Store, cacheBytes int64, meta []Metadata) error {
+	if store.Count() != len(meta) {
+		return fmt.Errorf("vdb: store has %d images but %d metadata rows", store.Count(), len(meta))
+	}
+	sc := &storeCorpus{store: store}
+	if cacheBytes > 0 {
+		cache, err := repstore.NewCache(store, cacheBytes)
+		if err != nil {
+			return err
+		}
+		sc.cache = cache
+	}
+	db.corpus = sc
+	db.meta = meta
+	db.resetMaterialized()
+	return nil
+}
+
+// Count returns the number of rows.
+func (db *DB) Count() int { return len(db.meta) }
+
+// InstallPredicate evaluates the system's cascade set under the DB's cost
+// model and registers the category for use in queries.
+func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) error {
+	category = strings.ToLower(category)
+	if _, ok := db.predicates[category]; ok {
+		return fmt.Errorf("vdb: predicate %q already installed", category)
+	}
+	results, err := sys.EvaluateCascades(sys.BuildOptions(maxDepth), db.costModel)
+	if err != nil {
+		return fmt.Errorf("vdb: installing %q: %w", category, err)
+	}
+	frontier := pareto.Frontier(core.Points(results))
+	db.predicates[category] = &Predicate{
+		Category:     category,
+		System:       sys,
+		Results:      results,
+		Frontier:     frontier,
+		materialized: make(map[string][]bool),
+	}
+	return nil
+}
+
+// Predicates lists installed categories.
+func (db *DB) Predicates() []string {
+	var out []string
+	for c := range db.predicates {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is a query result: either a count or a set of rows over the
+// selected columns.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	Count   int
+	// UDFCalls reports how many cascade classifications ran (0 when every
+	// content predicate was served from the materialized cache).
+	UDFCalls int
+}
+
+// Query parses, plans and executes sql under the user's constraints.
+func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := db.plan(q, constraints)
+	if err != nil {
+		return nil, err
+	}
+	return db.execute(plan)
+}
+
+// Explain returns the plan description without executing it.
+func (db *DB) Explain(sql string, constraints core.Constraints) (string, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.plan(q, constraints)
+	if err != nil {
+		return "", err
+	}
+	return plan.describe(db), nil
+}
+
+var metaColumns = []string{"id", "location", "camera", "ts"}
+
+func metaValue(m Metadata, col string) (Value, error) {
+	switch col {
+	case "id":
+		return Value{Int: m.ID}, nil
+	case "location":
+		return Value{IsString: true, Str: m.Location}, nil
+	case "camera":
+		return Value{IsString: true, Str: m.Camera}, nil
+	case "ts":
+		return Value{Int: m.TS}, nil
+	default:
+		return Value{}, fmt.Errorf("vdb: unknown column %q (have %s)", col, strings.Join(metaColumns, ", "))
+	}
+}
+
+func compare(a Value, op CompareOp, b Value) (bool, error) {
+	if a.IsString != b.IsString {
+		return false, fmt.Errorf("vdb: type mismatch comparing %s %s %s", a, op, b)
+	}
+	var c int
+	if a.IsString {
+		c = strings.Compare(a.Str, b.Str)
+	} else {
+		switch {
+		case a.Int < b.Int:
+			c = -1
+		case a.Int > b.Int:
+			c = 1
+		}
+	}
+	switch op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("vdb: unknown operator %q", op)
+	}
+}

@@ -1,0 +1,103 @@
+package vdb
+
+import (
+	"fmt"
+
+	"tahoma/internal/cascade"
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+)
+
+// TriggerPolicy controls how content predicates are pre-materialized for
+// newly ingested rows — the paper's suggestion that "database triggers could
+// be used to execute the TAHOMA UDFs over newly ingested data ... In such
+// situations, slower processing may be tolerated for more accurate results".
+type TriggerPolicy struct {
+	// Enabled activates ingest-time classification for installed
+	// predicates.
+	Enabled bool
+	// Constraints select the cascade used at ingest time. Ingest typically
+	// tolerates slower, more accurate cascades than interactive queries
+	// (e.g. MaxAccuracyLoss 0).
+	Constraints core.Constraints
+}
+
+// SetTriggerPolicy installs the ingest-time materialization policy.
+func (db *DB) SetTriggerPolicy(p TriggerPolicy) { db.trigger = p }
+
+// Append adds rows to the corpus. Under an enabled trigger policy, every
+// installed predicate classifies the new rows immediately with its
+// ingest-time cascade, extending the materialized virtual columns so that
+// later queries pay no inference for these rows.
+func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err error) {
+	if len(images) != len(meta) {
+		return 0, fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
+	}
+	app, ok := db.corpus.(appender)
+	if !ok {
+		return 0, fmt.Errorf("vdb: corpus does not accept new rows")
+	}
+	offset := db.corpus.Len()
+	if err := app.appendImages(images); err != nil {
+		return 0, err
+	}
+	db.meta = append(db.meta, meta...)
+
+	if !db.trigger.Enabled {
+		// Without triggers, existing materialized columns no longer cover
+		// the corpus; drop them so queries recompute.
+		db.resetMaterialized()
+		return 0, nil
+	}
+
+	for _, pred := range db.predicates {
+		point, err := core.Select(pred.Frontier, db.trigger.Constraints)
+		if err != nil {
+			return udfCalls, fmt.Errorf("vdb: trigger cascade for %q: %w", pred.Category, err)
+		}
+		res := pred.Results[point.Index]
+		key := res.Spec.ID()
+		col, ok := pred.materialized[key]
+		if !ok {
+			// First materialization: classify the whole corpus (old rows
+			// included) so the column is complete.
+			col = make([]bool, 0, db.corpus.Len())
+		}
+		if len(col) > offset {
+			return udfCalls, fmt.Errorf("vdb: materialized column for %q longer than pre-append corpus", pred.Category)
+		}
+		rt, err := cascade.NewRuntime(res.Spec, pred.System.Models, pred.System.Thresholds)
+		if err != nil {
+			return udfCalls, err
+		}
+		for i := len(col); i < db.corpus.Len(); i++ {
+			im, err := db.corpus.Image(i)
+			if err != nil {
+				return udfCalls, fmt.Errorf("vdb: trigger load row %d: %w", i, err)
+			}
+			label, _, err := rt.Classify(im)
+			if err != nil {
+				return udfCalls, fmt.Errorf("vdb: trigger classify row %d: %w", i, err)
+			}
+			col = append(col, label)
+			udfCalls++
+		}
+		pred.materialized[key] = col
+	}
+	return udfCalls, nil
+}
+
+// TriggerCascade reports the cascade the trigger policy would select for a
+// category, for EXPLAIN-style introspection.
+func (db *DB) TriggerCascade(category string) (string, error) {
+	pred, ok := db.predicates[category]
+	if !ok {
+		return "", fmt.Errorf("vdb: no classifier installed for %q", category)
+	}
+	point, err := core.Select(pred.Frontier, db.trigger.Constraints)
+	if err != nil {
+		return "", err
+	}
+	res := pred.Results[point.Index]
+	return res.Spec.Describe(pred.System.Models), nil
+}

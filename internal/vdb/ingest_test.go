@@ -1,0 +1,108 @@
+package vdb
+
+import (
+	"strings"
+	"testing"
+
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+)
+
+func TestAppendWithoutTrigger(t *testing.T) {
+	db, _ := buildTestDB(t)
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+
+	// Materialize the predicate column.
+	if _, err := db.Query("SELECT id FROM images WHERE contains_object('cloak')", cons); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UDFCalls != 0 {
+		t.Fatal("expected materialized column")
+	}
+
+	// Append without triggers: the cache must be invalidated, counts grow.
+	newRows := []*img.Image{img.New(16, 16, img.RGB), img.New(16, 16, img.RGB)}
+	meta := []Metadata{{ID: 100, Location: "annex", TS: 1000}, {ID: 101, Location: "annex", TS: 1001}}
+	calls, err := db.Append(newRows, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("no-trigger append ran %d classifications", calls)
+	}
+	if db.Count() != 42 {
+		t.Fatalf("count after append: %d", db.Count())
+	}
+	res, err = db.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UDFCalls != 42 {
+		t.Fatalf("expected full re-classification after invalidation, got %d calls", res.UDFCalls)
+	}
+}
+
+func TestAppendWithTrigger(t *testing.T) {
+	db, _ := buildTestDB(t)
+	cons := core.Constraints{MaxAccuracyLoss: 0.0}
+	db.SetTriggerPolicy(TriggerPolicy{Enabled: true, Constraints: cons})
+
+	desc, err := db.TriggerCascade("cloak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "@") {
+		t.Fatalf("trigger cascade description %q", desc)
+	}
+	if _, err := db.TriggerCascade("zebra"); err == nil {
+		t.Fatal("unknown category must error")
+	}
+
+	// First append: the trigger materializes the whole corpus (40 old rows
+	// + 2 new).
+	newRows := []*img.Image{img.New(16, 16, img.RGB), img.New(16, 16, img.RGB)}
+	meta := []Metadata{{ID: 100, Location: "annex", TS: 1000}, {ID: 101, Location: "annex", TS: 1001}}
+	calls, err := db.Append(newRows, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 42 {
+		t.Fatalf("first trigger append classified %d rows, want 42", calls)
+	}
+
+	// The query with the trigger's constraints is served from the column.
+	res, err := db.Query("SELECT COUNT(*) FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UDFCalls != 0 {
+		t.Fatalf("query after trigger append ran %d classifications", res.UDFCalls)
+	}
+
+	// Second append classifies only the new rows.
+	calls, err = db.Append([]*img.Image{img.New(16, 16, img.RGB)}, []Metadata{{ID: 102, TS: 1002}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("incremental trigger append classified %d rows, want 1", calls)
+	}
+	res, err = db.Query("SELECT COUNT(*) FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UDFCalls != 0 {
+		t.Fatal("query after incremental append should stay materialized")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	db, _ := buildTestDB(t)
+	if _, err := db.Append([]*img.Image{img.New(16, 16, img.RGB)}, nil); err == nil {
+		t.Fatal("mismatched append must error")
+	}
+}

@@ -1,0 +1,194 @@
+package vdb
+
+import (
+	"fmt"
+	"strings"
+
+	"tahoma/internal/cascade"
+	"tahoma/internal/core"
+)
+
+// contentStep is one planned content-predicate evaluation.
+type contentStep struct {
+	cond     ContentCond
+	pred     *Predicate
+	spec     cascade.Spec
+	expected cascade.Result // evaluator's estimate for the chosen cascade
+}
+
+// queryPlan is the executable form of a query: metadata filters first (in
+// selectivity-free textual order — the corpus is in memory, so ordering
+// within the metadata set is immaterial), then content predicates, cheapest
+// expected cascade first, each only over surviving rows.
+type queryPlan struct {
+	query   *Query
+	content []contentStep
+}
+
+func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
+	if q.Table != "images" {
+		return nil, fmt.Errorf("vdb: unknown table %q (only 'images')", q.Table)
+	}
+	for _, c := range q.Columns {
+		if _, err := metaValue(Metadata{}, c); err != nil {
+			return nil, err
+		}
+	}
+	for _, mc := range q.Meta {
+		if _, err := metaValue(Metadata{}, mc.Column); err != nil {
+			return nil, err
+		}
+	}
+	plan := &queryPlan{query: q}
+	for _, cc := range q.Content {
+		pred, ok := db.predicates[cc.Category]
+		if !ok {
+			return nil, fmt.Errorf("vdb: no classifier installed for category %q (installed: %s)",
+				cc.Category, strings.Join(db.Predicates(), ", "))
+		}
+		point, err := core.Select(pred.Frontier, constraints)
+		if err != nil {
+			return nil, fmt.Errorf("vdb: selecting cascade for %q: %w", cc.Category, err)
+		}
+		res := pred.Results[point.Index]
+		plan.content = append(plan.content, contentStep{cond: cc, pred: pred, spec: res.Spec, expected: res})
+	}
+	// Cheapest content predicate first: fewer expensive calls downstream.
+	for i := 0; i < len(plan.content); i++ {
+		for j := i + 1; j < len(plan.content); j++ {
+			if plan.content[j].expected.AvgCost < plan.content[i].expected.AvgCost {
+				plan.content[i], plan.content[j] = plan.content[j], plan.content[i]
+			}
+		}
+	}
+	return plan, nil
+}
+
+func (p *queryPlan) describe(db *DB) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scan images (%d rows)\n", db.Count())
+	for _, mc := range p.query.Meta {
+		fmt.Fprintf(&b, "  Filter: %s %s %s\n", mc.Column, mc.Op, mc.Val)
+	}
+	for _, cs := range p.content {
+		neg := ""
+		if cs.cond.Negated {
+			neg = "NOT "
+		}
+		fmt.Fprintf(&b, "  UDF: %scontains_object(%s) via cascade [%s]\n", neg, cs.cond.Category,
+			cs.spec.Describe(cs.pred.System.Models))
+		fmt.Fprintf(&b, "       est. accuracy %.3f, est. throughput %.0f imgs/sec (%s)\n",
+			cs.expected.Accuracy, cs.expected.Throughput, db.costModel.Name())
+		if _, ok := cs.pred.materialized[cs.spec.ID()]; ok {
+			b.WriteString("       (materialized: no inference needed)\n")
+		}
+	}
+	if p.query.Limit > 0 {
+		fmt.Fprintf(&b, "  Limit %d\n", p.query.Limit)
+	}
+	switch {
+	case p.query.CountStar:
+		b.WriteString("  Project COUNT(*)\n")
+	case p.query.Star:
+		fmt.Fprintf(&b, "  Project %s\n", strings.Join(metaColumns, ", "))
+	default:
+		fmt.Fprintf(&b, "  Project %s\n", strings.Join(p.query.Columns, ", "))
+	}
+	return b.String()
+}
+
+func (db *DB) execute(plan *queryPlan) (*Result, error) {
+	q := plan.query
+	// 1. Metadata filters over all rows.
+	var live []int
+	for i, m := range db.meta {
+		keep := true
+		for _, mc := range q.Meta {
+			v, err := metaValue(m, mc.Column)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := compare(v, mc.Op, mc.Val)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			live = append(live, i)
+		}
+	}
+
+	// 2. Content predicates on survivors, with per-cascade materialization:
+	// the first query for (category, cascade) classifies the whole corpus
+	// column and caches it, as the paper's partially-materialized UDF
+	// output suggests.
+	udfCalls := 0
+	for _, cs := range plan.content {
+		key := cs.spec.ID()
+		col, ok := cs.pred.materialized[key]
+		if !ok {
+			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
+			if err != nil {
+				return nil, err
+			}
+			col = make([]bool, db.corpus.Len())
+			for _, idx := range live {
+				im, err := db.corpus.Image(idx)
+				if err != nil {
+					return nil, fmt.Errorf("vdb: loading row %d: %w", idx, err)
+				}
+				label, _, err := rt.Classify(im)
+				if err != nil {
+					return nil, fmt.Errorf("vdb: classifying row %d: %w", idx, err)
+				}
+				col[idx] = label
+				udfCalls++
+			}
+			// Cache only fully-populated columns; partial runs (due to
+			// metadata filters) are re-evaluated next time for the missing
+			// rows, so only cache when the filter passed everything.
+			if len(live) == db.corpus.Len() {
+				cs.pred.materialized[key] = col
+			}
+		}
+		var next []int
+		for _, idx := range live {
+			if col[idx] != cs.cond.Negated {
+				next = append(next, idx)
+			}
+		}
+		live = next
+	}
+
+	// 3. Limit + projection.
+	if q.Limit > 0 && len(live) > q.Limit {
+		live = live[:q.Limit]
+	}
+	res := &Result{Count: len(live), UDFCalls: udfCalls}
+	cols := q.Columns
+	if q.Star {
+		cols = metaColumns
+	}
+	if q.CountStar {
+		res.Columns = []string{"count"}
+		res.Rows = [][]Value{{{Int: int64(len(live))}}}
+		return res, nil
+	}
+	res.Columns = cols
+	for _, idx := range live {
+		row := make([]Value, len(cols))
+		for c, col := range cols {
+			v, err := metaValue(db.meta[idx], col)
+			if err != nil {
+				return nil, err
+			}
+			row[c] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+// Package xform implements the paper's input transformation functions F: the
+// physical-representation half of TAHOMA's model design space. A Transform
+// maps a full-resolution RGB image to the representation a specific model
+// consumes — a resolution rung combined with a color variant (full RGB, a
+// single R/G/B channel, or grayscale).
+//
+// Transforms are identified by a stable ID ("32x32/gray") so that cascade
+// cost accounting can charge the creation of each distinct representation
+// only once per input image, exactly as in Section VI of the paper.
+package xform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tahoma/internal/img"
+)
+
+// Transform is one element of F: resize to Size×Size and project to Color.
+// The color projection is applied before resizing (the two commute for
+// linear resampling, and projecting first touches fewer samples).
+type Transform struct {
+	Size  int
+	Color img.ColorMode
+}
+
+// ID returns the canonical identifier, e.g. "64x64/rgb" or "16x16/r".
+func (t Transform) ID() string {
+	return fmt.Sprintf("%dx%d/%s", t.Size, t.Size, t.Color)
+}
+
+// Channels returns the number of channels of the output representation.
+func (t Transform) Channels() int { return t.Color.Channels() }
+
+// Samples returns the number of scalar samples in the output representation
+// (the "input values" count the paper uses, e.g. 150,528 for 224x224 RGB).
+func (t Transform) Samples() int { return t.Channels() * t.Size * t.Size }
+
+// StoredBytes returns the on-disk TIMG size of the output representation,
+// used by load-cost models for the ONGOING scenario.
+func (t Transform) StoredBytes() int {
+	return img.EncodedSize(t.Size, t.Size, t.Color)
+}
+
+// Apply materializes the representation from a source image. The source may
+// be any resolution; it is typically the full-size corpus image.
+func (t Transform) Apply(src *img.Image) *img.Image {
+	var projected *img.Image
+	switch t.Color {
+	case img.RGB:
+		projected = src
+	case img.Gray:
+		projected = img.ToGray(src)
+	default:
+		projected = img.ExtractChannel(src, t.Color)
+	}
+	out := img.Resize(projected, t.Size, t.Size)
+	return out
+}
+
+// Validate reports whether the transform is well-formed.
+func (t Transform) Validate() error {
+	if t.Size < 2 {
+		return fmt.Errorf("xform: size %d too small (min 2)", t.Size)
+	}
+	if t.Color > img.Gray {
+		return fmt.Errorf("xform: unknown color mode %d", t.Color)
+	}
+	return nil
+}
+
+// Parse parses an ID previously produced by Transform.ID.
+func Parse(id string) (Transform, error) {
+	parts := strings.Split(id, "/")
+	if len(parts) != 2 {
+		return Transform{}, fmt.Errorf("xform: malformed transform id %q", id)
+	}
+	dims := strings.Split(parts[0], "x")
+	if len(dims) != 2 || dims[0] != dims[1] {
+		return Transform{}, fmt.Errorf("xform: malformed size in id %q", id)
+	}
+	size, err := strconv.Atoi(dims[0])
+	if err != nil {
+		return Transform{}, fmt.Errorf("xform: malformed size in id %q: %w", id, err)
+	}
+	var color img.ColorMode
+	switch parts[1] {
+	case "rgb":
+		color = img.RGB
+	case "r":
+		color = img.Red
+	case "g":
+		color = img.Green
+	case "b":
+		color = img.Blue
+	case "gray":
+		color = img.Gray
+	default:
+		return Transform{}, fmt.Errorf("xform: unknown color %q in id %q", parts[1], id)
+	}
+	t := Transform{Size: size, Color: color}
+	if err := t.Validate(); err != nil {
+		return Transform{}, err
+	}
+	return t, nil
+}
+
+// AllColors is the paper's five color variants.
+var AllColors = []img.ColorMode{img.RGB, img.Red, img.Green, img.Blue, img.Gray}
+
+// Grid returns the cross product sizes × colors, sorted by ascending sample
+// count then ID for determinism. This is the set F of Definition 6.
+func Grid(sizes []int, colors []img.ColorMode) []Transform {
+	out := make([]Transform, 0, len(sizes)*len(colors))
+	for _, s := range sizes {
+		for _, c := range colors {
+			out = append(out, Transform{Size: s, Color: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples() != out[j].Samples() {
+			return out[i].Samples() < out[j].Samples()
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+// TransformWork returns an analytic operation count for materializing the
+// representation from a full-size W×H RGB source: the color projection
+// touches every source pixel (for non-RGB outputs), and bilinear resampling
+// costs a constant number of operations per output sample.
+func (t Transform) TransformWork(srcW, srcH int) int64 {
+	var work int64
+	if t.Color != img.RGB {
+		work += int64(srcW) * int64(srcH) // projection pass over the source
+	}
+	const resampleOps = 8 // 4 taps, 3 lerps, 1 store
+	work += int64(t.Samples()) * resampleOps
+	return work
+}

@@ -1,0 +1,140 @@
+package zoo
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+func buildRepo(t *testing.T) *Repo {
+	t.Helper()
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 4, Kernel: 3}
+	m1, err := model.New(spec, xform.Transform{Size: 8, Color: img.Gray}, model.Basic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := model.New(arch.Spec{ConvLayers: 2, ConvWidth: 4, DenseWidth: 4, Kernel: 3},
+		xform.Transform{Size: 16, Color: img.RGB}, model.Deep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Repo{
+		Predicate: "fence",
+		EvalTruth: []bool{true, false, true},
+		Entries: []Entry{
+			{
+				Model:      m1,
+				Thresholds: []thresh.Thresholds{{Low: 0.2, High: 0.8, Target: 0.95}},
+				EvalScores: []float32{0.9, 0.1, 0.7},
+			},
+			{
+				Model:      m2,
+				Thresholds: []thresh.Thresholds{{Low: 0.3, High: 0.7, Target: 0.95}},
+			},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := buildRepo(t)
+	if err := Save(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predicate != "fence" || len(got.Entries) != 2 {
+		t.Fatalf("basic fields wrong: %+v", got)
+	}
+	if len(got.EvalTruth) != 3 || !got.EvalTruth[0] || got.EvalTruth[1] {
+		t.Fatal("truth labels wrong")
+	}
+
+	// Model identity, kind and thresholds survive.
+	for i := range r.Entries {
+		if got.Entries[i].Model.ID() != r.Entries[i].Model.ID() {
+			t.Fatalf("entry %d id %s vs %s", i, got.Entries[i].Model.ID(), r.Entries[i].Model.ID())
+		}
+		if got.Entries[i].Model.Kind != r.Entries[i].Model.Kind {
+			t.Fatal("kind not preserved")
+		}
+		if len(got.Entries[i].Thresholds) != 1 ||
+			got.Entries[i].Thresholds[0] != r.Entries[i].Thresholds[0] {
+			t.Fatal("thresholds not preserved")
+		}
+	}
+	// Scores preserved (and absence preserved).
+	if len(got.Entries[0].EvalScores) != 3 || got.Entries[0].EvalScores[2] != 0.7 {
+		t.Fatal("scores not preserved")
+	}
+	if got.Entries[1].EvalScores != nil {
+		t.Fatal("missing scores should stay nil")
+	}
+
+	// The reloaded network must produce identical outputs.
+	rng := rand.New(rand.NewSource(3))
+	rep := img.New(8, 8, img.Gray)
+	for i := range rep.Pix {
+		rep.Pix[i] = rng.Float32()
+	}
+	want, err := r.Entries[0].Model.Score(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotScore, err := got.Entries[0].Model.Score(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != gotScore {
+		t.Fatalf("reloaded model scores %v, want %v", gotScore, want)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("missing manifest must error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("bad manifest must error")
+	}
+}
+
+func TestLoadDetectsTruncatedWeights(t *testing.T) {
+	dir := t.TempDir()
+	r := buildRepo(t)
+	if err := Save(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate a weights blob to a non-multiple-of-4 size.
+	path := filepath.Join(dir, "weights-0.bin")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("truncated weights must error")
+	}
+	// Truncate to a multiple of 4 — wrong count, still an error.
+	if err := os.Truncate(path, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("short weights must error")
+	}
+}
