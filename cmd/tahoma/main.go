@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"tahoma/internal/core"
+	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
 	"tahoma/internal/profile"
@@ -244,6 +245,8 @@ func cmdQuery(mode string, args []string) error {
 	sql := fs.String("sql", "", "SQL query (required)")
 	scen := fs.String("scenario", "camera", "deployment scenario")
 	loss := fs.Float64("accuracy-loss", 0.05, "permissible accuracy loss (Uacc)")
+	workers := fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "frames per execution-engine batch (0 = engine default)")
 	fs.Parse(args)
 	if *zooDir == "" || *corpusDir == "" || *sql == "" {
 		return fmt.Errorf("%s: -zoo, -corpus and -sql are required", mode)
@@ -277,6 +280,7 @@ func cmdQuery(mode string, args []string) error {
 		return err
 	}
 	db := vdb.New(cm)
+	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch})
 	if err := db.LoadCorpus(images, meta); err != nil {
 		return err
 	}

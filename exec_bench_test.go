@@ -1,0 +1,90 @@
+package tahoma
+
+// BenchmarkExecEngine measures the batched execution engine against the
+// sequential per-image classify path on a synthetic corpus. On multi-core
+// hardware the worker-parallel sub-benchmarks scale with GOMAXPROCS (the
+// per-frame cascade work is embarrassingly parallel); every sizing returns
+// bit-identical labels, so the comparison is pure throughput.
+//
+//	go test -run=NONE -bench=BenchmarkExecEngine -benchtime=1x
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/cascade"
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+func benchRuntime(b *testing.B) *cascade.Runtime {
+	b.Helper()
+	xfs := []xform.Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 16, Color: img.Gray},
+		{Size: 32, Color: img.RGB},
+	}
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 4, DenseWidth: 8, Kernel: 3}
+	var models []*model.Model
+	ths := make([][]thresh.Thresholds, len(xfs))
+	for i, t := range xfs {
+		m, err := model.New(spec, t, model.Basic, int64(40+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, m)
+		// Wide uncertain bands: most frames descend several levels, so the
+		// benchmark exercises representation sharing, not just level 1.
+		ths[i] = []thresh.Thresholds{{Low: 0.4, High: 0.6}}
+	}
+	cs := cascade.Spec{Depth: 3, L: [cascade.MaxLevels]cascade.LevelRef{
+		{Model: 0, Thresh: 0}, {Model: 1, Thresh: 0}, {Model: 2, Thresh: cascade.Final}}}
+	rt, err := cascade.NewRuntime(cs, models, ths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+func BenchmarkExecEngine(b *testing.B) {
+	rt := benchRuntime(b)
+	rng := rand.New(rand.NewSource(41))
+	frames := make([]*img.Image, 256)
+	for i := range frames {
+		im := img.New(32, 32, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+
+	reportThroughput := func(b *testing.B) {
+		b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "frames/sec")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range frames {
+				if _, _, err := rt.Classify(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportThroughput(b)
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.ClassifyBatch(frames, exec.Options{Workers: workers, Batch: 32}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportThroughput(b)
+		})
+	}
+}

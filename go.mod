@@ -1,0 +1,3 @@
+module tahoma
+
+go 1.24

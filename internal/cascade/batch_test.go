@@ -1,0 +1,146 @@
+package cascade
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/thresh"
+)
+
+// batchFixtureRuntime builds a 3-level runtime whose thresholds leave a
+// wide uncertain band, so cascades actually descend levels.
+func batchFixtureRuntime(t *testing.T, seed int64) *Runtime {
+	t.Helper()
+	f := newFixture(t, seed, 4, 2, 8)
+	for m := range f.ths {
+		f.ths[m][0] = thresh.Thresholds{Low: 0.45, High: 0.55}
+		f.ths[m][1] = thresh.Thresholds{Low: 0.3, High: 0.7}
+	}
+	spec := Spec{Depth: 3, L: [MaxLevels]LevelRef{
+		{Model: 0, Thresh: 0}, {Model: 1, Thresh: 1}, {Model: 2, Thresh: Final}}}
+	rt, err := NewRuntime(spec, f.models, f.ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestClassifyBatchParity: property-style check of the satellite
+// requirement — for all worker counts 1..N and a spread of batch sizes,
+// ClassifyBatch returns bit-identical labels and identical RepsCreated /
+// LevelsRun accounting to per-image Runtime.Classify on the same corpus.
+func TestClassifyBatchParity(t *testing.T) {
+	rt := batchFixtureRuntime(t, 91)
+	rng := rand.New(rand.NewSource(92))
+	srcs := make([]*img.Image, 37)
+	for i := range srcs {
+		srcs[i] = randSource(rng, 32)
+	}
+
+	wantLabels := make([]bool, len(srcs))
+	wantReps, wantLevels := 0, 0
+	for i, src := range srcs {
+		label, tr, err := rt.Classify(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLabels[i] = label
+		wantReps += len(tr.RepsCreated)
+		wantLevels += tr.LevelsRun
+	}
+
+	for workers := 1; workers <= 4; workers++ {
+		for _, batch := range []int{1, 2, 5, 16, 37, 100} {
+			t.Run(fmt.Sprintf("w=%d/b=%d", workers, batch), func(t *testing.T) {
+				rep, err := rt.ClassifyBatch(srcs, exec.Options{Workers: workers, Batch: batch})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range srcs {
+					if rep.Labels[i] != wantLabels[i] {
+						t.Fatalf("image %d: batch label %v != sequential %v", i, rep.Labels[i], wantLabels[i])
+					}
+				}
+				if rep.RepsMaterialized != wantReps {
+					t.Fatalf("batch created %d reps, sequential created %d", rep.RepsMaterialized, wantReps)
+				}
+				if rep.LevelsRun != wantLevels {
+					t.Fatalf("batch ran %d levels, sequential ran %d", rep.LevelsRun, wantLevels)
+				}
+			})
+		}
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	rt := batchFixtureRuntime(t, 93)
+	rng := rand.New(rand.NewSource(94))
+	srcs := make([]*img.Image, 23)
+	for i := range srcs {
+		srcs[i] = randSource(rng, 32)
+	}
+	want, err := rt.ClassifyAll(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{1, 4, 23, 64} {
+		got := make([]bool, 0, len(srcs))
+		order := make([]int, 0, len(srcs))
+		st, err := NewStream(rt, exec.Options{Batch: batch}, func(i int, label bool) {
+			order = append(order, i)
+			got = append(got, label)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Push in uneven chunks to exercise buffering.
+		for lo := 0; lo < len(srcs); lo += 5 {
+			hi := lo + 5
+			if hi > len(srcs) {
+				hi = len(srcs)
+			}
+			if err := st.Push(srcs[lo:hi]...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := st.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Frames != len(srcs) {
+			t.Fatalf("batch %d: stream stats report %d frames, want %d", batch, stats.Frames, len(srcs))
+		}
+		if len(got) != len(srcs) {
+			t.Fatalf("batch %d: emitted %d labels, want %d", batch, len(got), len(srcs))
+		}
+		for i := range srcs {
+			if order[i] != i {
+				t.Fatalf("batch %d: emit order %v not sequential", batch, order[:i+1])
+			}
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: stream label %d = %v, want %v", batch, i, got[i], want[i])
+			}
+		}
+		// The stream remains usable after Close.
+		if err := st.Push(srcs[0]); err != nil {
+			t.Fatal(err)
+		}
+		stats2, err := st.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats2.Frames != len(srcs)+1 {
+			t.Fatalf("batch %d: post-Close push not counted (%d frames)", batch, stats2.Frames)
+		}
+	}
+}
+
+func TestStreamEmptyRuntime(t *testing.T) {
+	if _, err := NewStream(&Runtime{}, exec.Options{}, nil); err == nil {
+		t.Fatal("stream over an empty runtime must error")
+	}
+}

@@ -2,7 +2,9 @@ package cascade
 
 import (
 	"fmt"
+	"sync"
 
+	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/model"
 	"tahoma/internal/thresh"
@@ -15,12 +17,17 @@ type RuntimeLevel struct {
 	Last       bool // accept at 0.5 instead of consulting thresholds
 }
 
-// Runtime is an executable cascade used by the query processor. It caches
-// materialized representations per input so that levels sharing a physical
-// representation pay its creation cost only once, matching the evaluator's
-// cost accounting.
+// Runtime is an executable cascade used by the query processor. It is a
+// thin adapter over the exec engine, which plans the physical-
+// representation transform sharing once per cascade and executes frames in
+// worker-parallel batches; levels sharing a representation pay its creation
+// cost only once per frame, matching the evaluator's cost accounting.
 type Runtime struct {
 	Levels []RuntimeLevel
+
+	engOnce sync.Once
+	engine  *exec.Engine
+	engErr  error
 }
 
 // NewRuntime binds a Spec to concrete models and thresholds. Models must be
@@ -42,7 +49,27 @@ func NewRuntime(s Spec, models []*model.Model, ths [][]thresh.Thresholds) (*Runt
 		}
 		rt.Levels = append(rt.Levels, lv)
 	}
+	if _, err := rt.Engine(); err != nil {
+		return nil, err
+	}
 	return rt, nil
+}
+
+// Engine returns the runtime's execution engine, building it on first use
+// for manually-assembled runtimes (goroutine-safe).
+func (rt *Runtime) Engine() (*exec.Engine, error) {
+	rt.engOnce.Do(func() {
+		if len(rt.Levels) == 0 {
+			rt.engErr = fmt.Errorf("cascade: empty runtime")
+			return
+		}
+		levels := make([]exec.Level, len(rt.Levels))
+		for i, lv := range rt.Levels {
+			levels[i] = exec.Level{Model: lv.Model, Thresholds: lv.Thresholds, Last: lv.Last}
+		}
+		rt.engine, rt.engErr = exec.New(levels)
+	})
+	return rt.engine, rt.engErr
 }
 
 // Trace records what one classification did, for cost verification and
@@ -57,45 +84,32 @@ type Trace struct {
 // binary label. The trace reports executed levels and materialized
 // representations.
 func (rt *Runtime) Classify(src *img.Image) (bool, Trace, error) {
-	if len(rt.Levels) == 0 {
-		return false, Trace{}, fmt.Errorf("cascade: empty runtime")
+	eng, err := rt.Engine()
+	if err != nil {
+		return false, Trace{}, err
 	}
-	var tr Trace
-	reps := make(map[string]*img.Image, len(rt.Levels))
-	for _, lv := range rt.Levels {
-		id := lv.Model.Xform.ID()
-		rep, ok := reps[id]
-		if !ok {
-			rep = lv.Model.Xform.Apply(src)
-			reps[id] = rep
-			tr.RepsCreated = append(tr.RepsCreated, id)
-		}
-		score, err := lv.Model.Score(rep)
-		if err != nil {
-			return false, tr, err
-		}
-		tr.LevelsRun++
-		tr.Scores = append(tr.Scores, score)
-		if lv.Last {
-			return score >= 0.5, tr, nil
-		}
-		if decided, positive := lv.Thresholds.Decide(score); decided {
-			return positive, tr, nil
-		}
-	}
-	// Unreachable: the last level always decides. Guard anyway.
-	return false, tr, fmt.Errorf("cascade: no level decided (malformed runtime)")
+	label, tr, err := eng.ClassifyOne(src)
+	return label, Trace{LevelsRun: tr.LevelsRun, RepsCreated: tr.RepsCreated, Scores: tr.Scores}, err
 }
 
-// ClassifyAll labels a batch of source images.
+// ClassifyAll labels a batch of source images through the engine with
+// default options.
 func (rt *Runtime) ClassifyAll(srcs []*img.Image) ([]bool, error) {
-	out := make([]bool, len(srcs))
-	for i, s := range srcs {
-		label, _, err := rt.Classify(s)
-		if err != nil {
-			return nil, fmt.Errorf("cascade: image %d: %w", i, err)
-		}
-		out[i] = label
+	rep, err := rt.ClassifyBatch(srcs, exec.Options{})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return rep.Labels, nil
+}
+
+// ClassifyBatch labels a batch of source images across the engine's worker
+// pool, returning the full execution report (labels plus per-batch stats).
+// Labels are bit-identical to per-image Classify calls at every worker
+// count and batch size.
+func (rt *Runtime) ClassifyBatch(srcs []*img.Image, opts exec.Options) (*exec.Report, error) {
+	eng, err := rt.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunAll(exec.Frames(srcs), opts)
 }

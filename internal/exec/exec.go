@@ -1,0 +1,340 @@
+// Package exec is TAHOMA's batched, worker-parallel predicate execution
+// engine. Every inference consumer — the cascade runtime, the streaming
+// ingest path, the VDB query executor and the public Classifier — routes
+// frame classification through an Engine so that batching, physical-
+// representation sharing and multi-core parallelism live in one place.
+//
+// The engine plans the physical-representation transform work once per
+// cascade: levels sharing a transform (xform.Transform.ID identity) are
+// assigned the same representation slot, so each slot is materialized at
+// most once per frame, matching the evaluator's Section VI cost accounting
+// without the per-image map lookups the old per-consumer loops paid.
+// Frames execute in configurable batches across a worker pool; each frame
+// short-circuits at the earliest deciding level. Per-batch and per-run
+// stats (levels run, representations materialized, wall time, measured
+// throughput) let callers compare real throughput against the evaluator's
+// analytic estimate.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+)
+
+// Level is one executable cascade stage, resolved to a concrete model and
+// decision thresholds. The final level has Last set and accepts its model's
+// output at the 0.5 cutoff; every other level is thresholded.
+type Level struct {
+	Model      *model.Model
+	Thresholds thresh.Thresholds
+	Last       bool
+}
+
+// Source supplies source frames by row index. vdb's Corpus satisfies it
+// directly, so the query executor classifies straight out of the corpus
+// (in-memory or store-backed) without copying.
+type Source interface {
+	Len() int
+	Image(i int) (*img.Image, error)
+}
+
+// Frames adapts an in-memory slice to Source.
+type Frames []*img.Image
+
+// Len returns the frame count.
+func (f Frames) Len() int { return len(f) }
+
+// Image returns frame i.
+func (f Frames) Image(i int) (*img.Image, error) {
+	if i < 0 || i >= len(f) {
+		return nil, fmt.Errorf("exec: frame %d out of range [0,%d)", i, len(f))
+	}
+	return f[i], nil
+}
+
+// DefaultBatch is the batch size used when Options.Batch is zero.
+const DefaultBatch = 64
+
+// Options size a run. The zero value means GOMAXPROCS workers and
+// DefaultBatch frames per batch.
+type Options struct {
+	// Workers is the number of concurrent classification goroutines
+	// (0 = GOMAXPROCS). Results are bit-identical at every worker count.
+	Workers int
+	// Batch is the number of frames dispatched to a worker at a time
+	// (0 = DefaultBatch). Batching amortizes dispatch overhead and sets
+	// the granularity of the per-batch stats.
+	Batch int
+}
+
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Batch <= 0 {
+		o.Batch = DefaultBatch
+	}
+	return o
+}
+
+// Trace records what classifying one frame did, for cost verification and
+// debugging.
+type Trace struct {
+	LevelsRun   int
+	RepsCreated []string // transform IDs materialized, in order
+	Scores      []float32
+}
+
+// BatchStats reports one batch's work.
+type BatchStats struct {
+	Start            int // offset of the batch within the run's frame list
+	Frames           int
+	LevelsRun        int
+	RepsMaterialized int
+	Wall             time.Duration
+}
+
+// Report is one run's accounting.
+type Report struct {
+	// Labels holds the binary label per classified frame, parallel to the
+	// index list the run was given.
+	Labels []bool
+	// Frames, LevelsRun and RepsMaterialized aggregate the batch stats.
+	Frames           int
+	LevelsRun        int
+	RepsMaterialized int
+	// Batches reports per-batch work in frame order.
+	Batches []BatchStats
+	// Wall is the end-to-end run time; Throughput is Frames/Wall in
+	// frames/sec, directly comparable to the evaluator's analytic
+	// Result.Throughput estimate.
+	Wall       time.Duration
+	Throughput float64
+}
+
+// Engine executes one cascade. Build it once per cascade with New; Run is
+// safe for concurrent use (each worker clones the models' scratch state),
+// ClassifyOne is not.
+type Engine struct {
+	levels  []Level
+	repSlot []int    // per level: representation slot consumed
+	repIDs  []string // per slot: transform identity
+	scratch []*img.Image
+	// workers pools worker-local level clones so repeated small runs (the
+	// streaming path) amortize clone/scratch allocation across runs.
+	workers sync.Pool
+}
+
+// New plans an engine for the cascade described by levels: exactly the
+// final level must have Last set. Transform dedup across levels is planned
+// here, once, instead of per frame.
+func New(levels []Level) (*Engine, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("exec: empty cascade")
+	}
+	e := &Engine{
+		levels:  append([]Level(nil), levels...),
+		repSlot: make([]int, len(levels)),
+	}
+	slots := make(map[string]int, len(levels))
+	for i, lv := range levels {
+		if lv.Model == nil {
+			return nil, fmt.Errorf("exec: level %d has no model", i)
+		}
+		if last := i == len(levels)-1; lv.Last != last {
+			return nil, fmt.Errorf("exec: level %d/%d has Last=%v", i+1, len(levels), lv.Last)
+		}
+		id := lv.Model.Xform.ID()
+		slot, ok := slots[id]
+		if !ok {
+			slot = len(e.repIDs)
+			slots[id] = slot
+			e.repIDs = append(e.repIDs, id)
+		}
+		e.repSlot[i] = slot
+	}
+	e.workers.New = func() any { return e.cloneLevels() }
+	return e, nil
+}
+
+// Levels returns the engine's cascade stages.
+func (e *Engine) Levels() []Level { return e.levels }
+
+// Reps returns the planned representation slots: the distinct transform
+// identities the cascade can materialize per frame, in first-use order.
+func (e *Engine) Reps() []string { return append([]string(nil), e.repIDs...) }
+
+// classify runs the cascade on one frame. levels must be worker-local (or
+// otherwise exclusively held); slots must have len(e.repIDs) entries and is
+// clobbered. tr and st, when non-nil, receive per-frame and aggregate
+// accounting.
+func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, tr *Trace, st *BatchStats) (bool, error) {
+	for i := range slots {
+		slots[i] = nil
+	}
+	for li, lv := range levels {
+		slot := e.repSlot[li]
+		rep := slots[slot]
+		if rep == nil {
+			rep = lv.Model.Xform.Apply(src)
+			slots[slot] = rep
+			if tr != nil {
+				tr.RepsCreated = append(tr.RepsCreated, e.repIDs[slot])
+			}
+			if st != nil {
+				st.RepsMaterialized++
+			}
+		}
+		score, err := lv.Model.Score(rep)
+		if err != nil {
+			return false, err
+		}
+		if tr != nil {
+			tr.LevelsRun++
+			tr.Scores = append(tr.Scores, score)
+		}
+		if st != nil {
+			st.LevelsRun++
+		}
+		if lv.Last {
+			return score >= 0.5, nil
+		}
+		if decided, positive := lv.Thresholds.Decide(score); decided {
+			return positive, nil
+		}
+	}
+	// Unreachable: the last level always decides. Guard anyway.
+	return false, fmt.Errorf("exec: no level decided (malformed cascade)")
+}
+
+// ClassifyOne labels a single frame with a full trace. It reuses
+// engine-owned scratch state and is not safe for concurrent use; use Run
+// for parallel work.
+func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
+	if e.scratch == nil {
+		e.scratch = make([]*img.Image, len(e.repIDs))
+	}
+	var tr Trace
+	label, err := e.classify(e.levels, e.scratch, src, &tr, nil)
+	return label, tr, err
+}
+
+// cloneLevels builds a worker-local level set: models are cloned (weights
+// shared, inference scratch independent), deduplicated so a model appearing
+// at several levels is cloned once.
+func (e *Engine) cloneLevels() []Level {
+	clones := make(map[*model.Model]*model.Model, len(e.levels))
+	out := make([]Level, len(e.levels))
+	for i, lv := range e.levels {
+		c, ok := clones[lv.Model]
+		if !ok {
+			c = lv.Model.Clone()
+			clones[lv.Model] = c
+		}
+		out[i] = Level{Model: c, Thresholds: lv.Thresholds, Last: lv.Last}
+	}
+	return out
+}
+
+// RunAll classifies every frame of src.
+func (e *Engine) RunAll(src Source, opts Options) (*Report, error) {
+	return e.Run(src, nil, opts)
+}
+
+// Run classifies the frames of src named by indices (nil = all), in
+// batches across a worker pool. Labels are positional: Labels[j] is the
+// label of src frame indices[j]. Results are bit-identical regardless of
+// worker count and batch size; only the stats' batch boundaries and wall
+// times vary.
+func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
+	opts = opts.normalized()
+	if indices == nil {
+		indices = make([]int, src.Len())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	start := time.Now()
+	rep := &Report{Labels: make([]bool, len(indices))}
+	if len(indices) == 0 {
+		rep.Wall = time.Since(start)
+		return rep, nil
+	}
+
+	numBatches := (len(indices) + opts.Batch - 1) / opts.Batch
+	rep.Batches = make([]BatchStats, numBatches)
+	jobs := make(chan int, numBatches)
+	for b := 0; b < numBatches; b++ {
+		jobs <- b
+	}
+	close(jobs)
+
+	workers := opts.Workers
+	if workers > numBatches {
+		workers = numBatches
+	}
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			levels := e.workers.Get().([]Level)
+			defer e.workers.Put(levels)
+			slots := make([]*img.Image, len(e.repIDs))
+			for b := range jobs {
+				// A failed run is doomed: drain instead of classifying the
+				// remaining batches.
+				if failed.Load() {
+					continue
+				}
+				st := &rep.Batches[b]
+				t0 := time.Now()
+				lo := b * opts.Batch
+				hi := min(lo+opts.Batch, len(indices))
+				st.Start, st.Frames = lo, hi-lo
+				for j := lo; j < hi; j++ {
+					im, err := src.Image(indices[j])
+					if err != nil {
+						failed.Store(true)
+						errs <- fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
+						return
+					}
+					label, err := e.classify(levels, slots, im, nil, st)
+					if err != nil {
+						failed.Store(true)
+						errs <- fmt.Errorf("exec: frame %d: %w", indices[j], err)
+						return
+					}
+					rep.Labels[j] = label
+				}
+				st.Wall = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	for _, st := range rep.Batches {
+		rep.Frames += st.Frames
+		rep.LevelsRun += st.LevelsRun
+		rep.RepsMaterialized += st.RepsMaterialized
+	}
+	rep.Wall = time.Since(start)
+	if secs := rep.Wall.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Frames) / secs
+	}
+	return rep, nil
+}

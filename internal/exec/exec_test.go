@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+// buildLevels constructs a cascade over real (untrained, deterministically
+// initialized) models. Transforms repeat so representation sharing happens.
+func buildLevels(t *testing.T, seed int64, depth int) []Level {
+	t.Helper()
+	xfs := []xform.Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 16, Color: img.RGB},
+		{Size: 8, Color: img.Gray}, // shares a representation with level 0
+		{Size: 16, Color: img.Gray},
+	}
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+	levels := make([]Level, depth)
+	for i := 0; i < depth; i++ {
+		m, err := model.New(spec, xfs[i%len(xfs)], model.Basic, seed+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		levels[i] = Level{
+			Model: m,
+			// Wide uncertain band so multi-level execution actually happens.
+			Thresholds: thresh.Thresholds{Low: 0.45, High: 0.55},
+			Last:       i == depth-1,
+		}
+	}
+	return levels
+}
+
+func randFrames(seed int64, n, size int) []*img.Image {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*img.Image, n)
+	for i := range out {
+		im := img.New(size, size, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		out[i] = im
+	}
+	return out
+}
+
+// referenceClassify is an independent per-image walk with map-based
+// representation dedup — the semantics the seed runtime implemented — used
+// as the parity oracle for the engine.
+func referenceClassify(t *testing.T, levels []Level, src *img.Image) (label bool, levelsRun, reps int) {
+	t.Helper()
+	cache := make(map[string]*img.Image)
+	for _, lv := range levels {
+		id := lv.Model.Xform.ID()
+		rep, ok := cache[id]
+		if !ok {
+			rep = lv.Model.Xform.Apply(src)
+			cache[id] = rep
+			reps++
+		}
+		score, err := lv.Model.Score(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		levelsRun++
+		if lv.Last {
+			return score >= 0.5, levelsRun, reps
+		}
+		if decided, positive := lv.Thresholds.Decide(score); decided {
+			return positive, levelsRun, reps
+		}
+	}
+	t.Fatal("no level decided")
+	return false, 0, 0
+}
+
+// TestRunParity: for every worker count and batch size, Run must return
+// bit-identical labels and identical levels-run / reps-materialized
+// accounting to the sequential per-image reference walk.
+func TestRunParity(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		levels := buildLevels(t, 101+int64(depth), depth)
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := randFrames(202, 45, 32)
+
+		wantLabels := make([]bool, len(frames))
+		wantLevels, wantReps := 0, 0
+		for i, f := range frames {
+			label, lr, rc := referenceClassify(t, levels, f)
+			wantLabels[i] = label
+			wantLevels += lr
+			wantReps += rc
+		}
+
+		for _, workers := range []int{1, 2, 3, 4} {
+			for _, batch := range []int{1, 3, 7, 64, 1000} {
+				t.Run(fmt.Sprintf("depth=%d/w=%d/b=%d", depth, workers, batch), func(t *testing.T) {
+					rep, err := eng.RunAll(Frames(frames), Options{Workers: workers, Batch: batch})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Frames != len(frames) {
+						t.Fatalf("processed %d frames, want %d", rep.Frames, len(frames))
+					}
+					for i := range frames {
+						if rep.Labels[i] != wantLabels[i] {
+							t.Fatalf("label %d = %v, reference = %v", i, rep.Labels[i], wantLabels[i])
+						}
+					}
+					if rep.LevelsRun != wantLevels {
+						t.Fatalf("LevelsRun = %d, reference = %d", rep.LevelsRun, wantLevels)
+					}
+					if rep.RepsMaterialized != wantReps {
+						t.Fatalf("RepsMaterialized = %d, reference = %d", rep.RepsMaterialized, wantReps)
+					}
+					wantBatches := (len(frames) + batch - 1) / batch
+					if len(rep.Batches) != wantBatches {
+						t.Fatalf("%d batches, want %d", len(rep.Batches), wantBatches)
+					}
+					gotFrames := 0
+					for _, st := range rep.Batches {
+						gotFrames += st.Frames
+					}
+					if gotFrames != len(frames) {
+						t.Fatalf("batch stats cover %d frames, want %d", gotFrames, len(frames))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestClassifyOneMatchesRun: the single-frame traced path and the batched
+// path agree frame by frame, and traces carry the planned rep identities.
+func TestClassifyOneMatchesRun(t *testing.T) {
+	levels := buildLevels(t, 303, 3)
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(404, 20, 32)
+	rep, err := eng.RunAll(Frames(frames), Options{Workers: 2, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalLevels, totalReps := 0, 0
+	for i, f := range frames {
+		label, tr, err := eng.ClassifyOne(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != rep.Labels[i] {
+			t.Fatalf("frame %d: ClassifyOne = %v, Run = %v", i, label, rep.Labels[i])
+		}
+		if len(tr.Scores) != tr.LevelsRun {
+			t.Fatalf("frame %d: %d scores for %d levels", i, len(tr.Scores), tr.LevelsRun)
+		}
+		totalLevels += tr.LevelsRun
+		totalReps += len(tr.RepsCreated)
+	}
+	if totalLevels != rep.LevelsRun || totalReps != rep.RepsMaterialized {
+		t.Fatalf("trace totals (%d levels, %d reps) != run totals (%d, %d)",
+			totalLevels, totalReps, rep.LevelsRun, rep.RepsMaterialized)
+	}
+}
+
+func TestRepPlanning(t *testing.T) {
+	// Levels 0 and 2 share 8x8/gray: 3 distinct slots for 4 levels.
+	levels := buildLevels(t, 505, 4)
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := eng.Reps()
+	if len(reps) != 3 {
+		t.Fatalf("planned %d representation slots (%v), want 3", len(reps), reps)
+	}
+	if reps[0] != levels[0].Model.Xform.ID() {
+		t.Fatalf("slot 0 = %q, want first level's transform", reps[0])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty cascade must be rejected")
+	}
+	levels := buildLevels(t, 606, 2)
+	levels[0].Last = true // two Last levels
+	if _, err := New(levels); err == nil {
+		t.Fatal("non-final Last level must be rejected")
+	}
+	levels = buildLevels(t, 607, 2)
+	levels[1].Last = false // no Last level
+	if _, err := New(levels); err == nil {
+		t.Fatal("missing final level must be rejected")
+	}
+	levels = buildLevels(t, 608, 2)
+	levels[1].Model = nil
+	if _, err := New(levels); err == nil {
+		t.Fatal("nil model must be rejected")
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	eng, err := New(buildLevels(t, 707, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty run.
+	rep, err := eng.RunAll(Frames(nil), Options{})
+	if err != nil || rep.Frames != 0 || len(rep.Labels) != 0 {
+		t.Fatalf("empty run: %+v, %v", rep, err)
+	}
+	// Index subsets are positional.
+	frames := randFrames(808, 10, 32)
+	full, err := eng.RunAll(Frames(frames), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eng.Run(Frames(frames), []int{7, 2, 9}, Options{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, idx := range []int{7, 2, 9} {
+		if sub.Labels[j] != full.Labels[idx] {
+			t.Fatalf("subset label %d (row %d) disagrees with full run", j, idx)
+		}
+	}
+	// Source errors surface.
+	if _, err := eng.Run(Frames(frames), []int{99}, Options{}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
+	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
 	"tahoma/internal/repstore"
@@ -31,8 +32,64 @@ type Predicate struct {
 	Results  []cascade.Result
 	Frontier []pareto.Point
 	// materialized caches the virtual column per selected-cascade identity,
-	// so repeated queries pay zero inference.
-	materialized map[string][]bool
+	// so repeated queries pay zero inference. Columns carry per-row
+	// validity: a query that only classifies the survivors of a metadata
+	// filter still contributes those rows to the cache.
+	materialized map[string]*column
+}
+
+// column is a partially-materialized virtual predicate column: labels with
+// per-row validity, extended lazily as rows are classified or appended.
+type column struct {
+	labels []bool
+	valid  []bool
+	prefix int // rows [0,prefix) are all valid (ingest watermark)
+}
+
+// grow extends the column with invalid rows up to n.
+func (c *column) grow(n int) {
+	for len(c.labels) < n {
+		c.labels = append(c.labels, false)
+		c.valid = append(c.valid, false)
+	}
+}
+
+// invalid returns every row with no cached label, advancing the all-valid
+// prefix watermark first so steady-state ingest scans only the new tail
+// instead of the whole corpus.
+func (c *column) invalid() []int {
+	for c.prefix < len(c.valid) && c.valid[c.prefix] {
+		c.prefix++
+	}
+	var out []int
+	for i := c.prefix; i < len(c.valid); i++ {
+		if !c.valid[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// missing returns the subset of rows with no cached label.
+func (c *column) missing(rows []int) []int {
+	var out []int
+	for _, idx := range rows {
+		if !c.valid[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// coverage counts the valid rows.
+func (c *column) coverage() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
 }
 
 // Corpus supplies image pixels by row index. The in-memory implementation
@@ -92,7 +149,13 @@ type DB struct {
 	costModel  scenario.CostModel
 	predicates map[string]*Predicate
 	trigger    TriggerPolicy
+	execOpts   exec.Options
 }
+
+// SetExecOptions sizes the batched execution engine used for content
+// predicates (query-time and trigger-time classification). The zero value
+// means GOMAXPROCS workers and the engine's default batch size.
+func (db *DB) SetExecOptions(o exec.Options) { db.execOpts = o }
 
 // New creates an empty database priced under the given deployment scenario.
 func New(cm scenario.CostModel) *DB {
@@ -101,7 +164,7 @@ func New(cm scenario.CostModel) *DB {
 
 func (db *DB) resetMaterialized() {
 	for _, p := range db.predicates {
-		p.materialized = make(map[string][]bool)
+		p.materialized = make(map[string]*column)
 	}
 }
 
@@ -158,7 +221,7 @@ func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) 
 		System:       sys,
 		Results:      results,
 		Frontier:     frontier,
-		materialized: make(map[string][]bool),
+		materialized: make(map[string]*column),
 	}
 	return nil
 }

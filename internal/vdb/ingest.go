@@ -37,7 +37,6 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 	if !ok {
 		return 0, fmt.Errorf("vdb: corpus does not accept new rows")
 	}
-	offset := db.corpus.Len()
 	if err := app.appendImages(images); err != nil {
 		return 0, err
 	}
@@ -57,32 +56,47 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 		}
 		res := pred.Results[point.Index]
 		key := res.Spec.ID()
-		col, ok := pred.materialized[key]
-		if !ok {
-			// First materialization: classify the whole corpus (old rows
-			// included) so the column is complete.
-			col = make([]bool, 0, db.corpus.Len())
+		col := pred.materialized[key]
+		if col == nil {
+			// First materialization: the stream below backfills the whole
+			// corpus (old rows included) so the column is complete.
+			col = &column{}
+			pred.materialized[key] = col
 		}
-		if len(col) > offset {
-			return udfCalls, fmt.Errorf("vdb: materialized column for %q longer than pre-append corpus", pred.Category)
+		col.grow(db.corpus.Len())
+		missing := col.invalid()
+		if len(missing) == 0 {
+			continue
 		}
 		rt, err := cascade.NewRuntime(res.Spec, pred.System.Models, pred.System.Thresholds)
 		if err != nil {
 			return udfCalls, err
 		}
-		for i := len(col); i < db.corpus.Len(); i++ {
-			im, err := db.corpus.Image(i)
-			if err != nil {
-				return udfCalls, fmt.Errorf("vdb: trigger load row %d: %w", i, err)
-			}
-			label, _, err := rt.Classify(im)
-			if err != nil {
-				return udfCalls, fmt.Errorf("vdb: trigger classify row %d: %w", i, err)
-			}
-			col = append(col, label)
+		// Newly ingested rows flow through the streaming classification
+		// path: frames are batched through the execution engine as they
+		// accumulate, the ONGOING/CAMERA ingest shape. udfCalls counts
+		// emitted labels so work done before a mid-stream failure is still
+		// reported.
+		stream, err := cascade.NewStream(rt, db.execOpts, func(j int, label bool) {
+			col.labels[missing[j]] = label
+			col.valid[missing[j]] = true
 			udfCalls++
+		})
+		if err != nil {
+			return udfCalls, err
 		}
-		pred.materialized[key] = col
+		for _, idx := range missing {
+			im, err := db.corpus.Image(idx)
+			if err != nil {
+				return udfCalls, fmt.Errorf("vdb: trigger load row %d: %w", idx, err)
+			}
+			if err := stream.Push(im); err != nil {
+				return udfCalls, fmt.Errorf("vdb: trigger classify row %d: %w", idx, err)
+			}
+		}
+		if _, err := stream.Close(); err != nil {
+			return udfCalls, fmt.Errorf("vdb: trigger classify for %q: %w", pred.Category, err)
+		}
 	}
 	return udfCalls, nil
 }

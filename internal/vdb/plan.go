@@ -2,6 +2,7 @@ package vdb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tahoma/internal/cascade"
@@ -54,13 +55,9 @@ func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
 		plan.content = append(plan.content, contentStep{cond: cc, pred: pred, spec: res.Spec, expected: res})
 	}
 	// Cheapest content predicate first: fewer expensive calls downstream.
-	for i := 0; i < len(plan.content); i++ {
-		for j := i + 1; j < len(plan.content); j++ {
-			if plan.content[j].expected.AvgCost < plan.content[i].expected.AvgCost {
-				plan.content[i], plan.content[j] = plan.content[j], plan.content[i]
-			}
-		}
-	}
+	sort.SliceStable(plan.content, func(i, j int) bool {
+		return plan.content[i].expected.AvgCost < plan.content[j].expected.AvgCost
+	})
 	return plan, nil
 }
 
@@ -79,8 +76,12 @@ func (p *queryPlan) describe(db *DB) string {
 			cs.spec.Describe(cs.pred.System.Models))
 		fmt.Fprintf(&b, "       est. accuracy %.3f, est. throughput %.0f imgs/sec (%s)\n",
 			cs.expected.Accuracy, cs.expected.Throughput, db.costModel.Name())
-		if _, ok := cs.pred.materialized[cs.spec.ID()]; ok {
-			b.WriteString("       (materialized: no inference needed)\n")
+		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok {
+			if n := col.coverage(); n == db.Count() {
+				b.WriteString("       (materialized: no inference needed)\n")
+			} else if n > 0 {
+				fmt.Fprintf(&b, "       (partially materialized: %d/%d rows cached)\n", n, db.Count())
+			}
 		}
 	}
 	if p.query.Limit > 0 {
@@ -122,42 +123,42 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 		}
 	}
 
-	// 2. Content predicates on survivors, with per-cascade materialization:
-	// the first query for (category, cascade) classifies the whole corpus
-	// column and caches it, as the paper's partially-materialized UDF
-	// output suggests.
+	// 2. Content predicates on survivors, evaluated as batched columns
+	// through the execution engine. The materialized column carries
+	// per-row validity (the paper's partially-materialized UDF output):
+	// rows classified under a metadata filter are cached too, so a later
+	// broader query only pays for the rows it has not yet seen.
 	udfCalls := 0
 	for _, cs := range plan.content {
 		key := cs.spec.ID()
-		col, ok := cs.pred.materialized[key]
-		if !ok {
+		col := cs.pred.materialized[key]
+		if col == nil {
+			col = &column{}
+			cs.pred.materialized[key] = col
+		}
+		col.grow(db.corpus.Len())
+		if missing := col.missing(live); len(missing) > 0 {
 			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
 			if err != nil {
 				return nil, err
 			}
-			col = make([]bool, db.corpus.Len())
-			for _, idx := range live {
-				im, err := db.corpus.Image(idx)
-				if err != nil {
-					return nil, fmt.Errorf("vdb: loading row %d: %w", idx, err)
-				}
-				label, _, err := rt.Classify(im)
-				if err != nil {
-					return nil, fmt.Errorf("vdb: classifying row %d: %w", idx, err)
-				}
-				col[idx] = label
-				udfCalls++
+			eng, err := rt.Engine()
+			if err != nil {
+				return nil, err
 			}
-			// Cache only fully-populated columns; partial runs (due to
-			// metadata filters) are re-evaluated next time for the missing
-			// rows, so only cache when the filter passed everything.
-			if len(live) == db.corpus.Len() {
-				cs.pred.materialized[key] = col
+			rep, err := eng.Run(db.corpus, missing, db.execOpts)
+			if err != nil {
+				return nil, fmt.Errorf("vdb: classifying %q: %w", cs.cond.Category, err)
 			}
+			for j, idx := range missing {
+				col.labels[idx] = rep.Labels[j]
+				col.valid[idx] = true
+			}
+			udfCalls += rep.Frames
 		}
 		var next []int
 		for _, idx := range live {
-			if col[idx] != cs.cond.Negated {
+			if col.labels[idx] != cs.cond.Negated {
 				next = append(next, idx)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tahoma/internal/core"
+	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/scenario"
 	"tahoma/internal/synth"
@@ -201,6 +202,73 @@ func TestEndToEndQuery(t *testing.T) {
 	}
 	if resLim.Count != 7 || len(resLim.Rows) != 7 {
 		t.Fatalf("limit: %+v", resLim.Count)
+	}
+}
+
+// TestPartialMaterializationReuse: rows classified under a metadata filter
+// must land in the materialized column, so a later broader query only pays
+// for rows it has not yet seen (the seed re-classified everything when a
+// filter made materialization partial).
+func TestPartialMaterializationReuse(t *testing.T) {
+	db, _ := buildTestDB(t)
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+
+	res, err := db.Query("SELECT id FROM images WHERE location = 'uptown' AND contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UDFCalls != 20 {
+		t.Fatalf("filtered query ran %d classifications, want 20", res.UDFCalls)
+	}
+
+	// EXPLAIN between the queries reports the partial column.
+	out, err := db.Explain("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partially materialized: 20/40 rows cached") {
+		t.Fatalf("explain does not report partial materialization:\n%s", out)
+	}
+
+	// The full scan reuses the 20 cached rows and classifies only the rest.
+	full, err := db.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.UDFCalls != 20 {
+		t.Fatalf("full scan after filtered query ran %d classifications, want 20", full.UDFCalls)
+	}
+
+	// A fresh DB's full scan must agree row-for-row with the incremental one.
+	db2, _ := buildTestDB(t)
+	fresh, err := db2.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Count != full.Count {
+		t.Fatalf("incremental column (%d rows) disagrees with fresh run (%d rows)", full.Count, fresh.Count)
+	}
+}
+
+// TestExecOptionsParity: labels are identical at every engine sizing.
+func TestExecOptionsParity(t *testing.T) {
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+	db, _ := buildTestDB(t)
+	base, err := db.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []exec.Options{{Workers: 1, Batch: 1}, {Workers: 4, Batch: 3}, {Workers: 2, Batch: 64}} {
+		db2, _ := buildTestDB(t)
+		db2.SetExecOptions(o)
+		res, err := db2.Query("SELECT id FROM images WHERE contains_object('cloak')", cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != base.Count || res.UDFCalls != base.UDFCalls {
+			t.Fatalf("opts %+v: count=%d udf=%d, want count=%d udf=%d",
+				o, res.Count, res.UDFCalls, base.Count, base.UDFCalls)
+		}
 	}
 }
 

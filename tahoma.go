@@ -27,6 +27,7 @@ import (
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
+	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
 	"tahoma/internal/scenario"
@@ -55,6 +56,16 @@ type (
 	// Splits are the labeled train/config/eval datasets initialization
 	// consumes.
 	Splits = synth.Splits
+	// ExecOptions size the batched execution engine: worker goroutines ×
+	// frames per batch. The zero value means GOMAXPROCS workers and the
+	// engine's default batch size.
+	ExecOptions = exec.Options
+	// ExecReport is one engine run's accounting: labels, per-batch stats
+	// and measured throughput (comparable to the evaluator's analytic
+	// estimate).
+	ExecReport = exec.Report
+	// ExecBatchStats reports one engine batch's work.
+	ExecBatchStats = exec.BatchStats
 )
 
 // Deployment scenarios (Section VII-A of the paper).
@@ -231,8 +242,39 @@ func (c *Classifier) Classify(im *Image) (bool, error) {
 	return label, err
 }
 
+// ClassifyBatch labels a batch of images through the execution engine with
+// default options. Labels are bit-identical to per-image Classify calls.
+func (c *Classifier) ClassifyBatch(ims []*Image) ([]bool, error) {
+	rep, err := c.rt.ClassifyBatch(ims, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Labels, nil
+}
+
+// ClassifyBatchReport labels a batch of images under explicit engine
+// options and returns the full execution report, including per-batch stats
+// and the measured throughput to hold against Expected.Throughput.
+func (c *Classifier) ClassifyBatchReport(ims []*Image, opts ExecOptions) (*ExecReport, error) {
+	return c.rt.ClassifyBatch(ims, opts)
+}
+
 // String describes the cascade's levels.
 func (c *Classifier) String() string { return c.desc }
+
+// ClassifyBatch chooses the Pareto-optimal cascade for the constraints and
+// labels the whole batch through the execution engine.
+func (p *Predicate) ClassifyBatch(c Constraints, ims []*Image, opts ExecOptions) ([]bool, error) {
+	clf, err := p.Choose(c)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := clf.rt.ClassifyBatch(ims, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Labels, nil
+}
 
 // System exposes the underlying initialized system for advanced use
 // alongside the internal packages (cmd/ and the benchmarks do this).

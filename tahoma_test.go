@@ -98,6 +98,66 @@ func TestInstallAndChoose(t *testing.T) {
 	}
 }
 
+// TestClassifyBatchMatchesClassify: the public batch APIs agree with
+// per-image Classify at every engine sizing and report real work.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	p := testPredicate(t)
+	clf, err := p.Choose(Constraints{MaxAccuracyLoss: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := GenerateCorpus("cloak", CorpusOptions{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 60, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ims []*Image
+	for _, e := range splits.Eval.Examples {
+		ims = append(ims, e.Image)
+	}
+	want := make([]bool, len(ims))
+	for i, im := range ims {
+		want[i], err = clf.Classify(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := clf.ClassifyBatch(ims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ims {
+		if got[i] != want[i] {
+			t.Fatalf("batch label %d = %v, Classify = %v", i, got[i], want[i])
+		}
+	}
+
+	rep, err := clf.ClassifyBatchReport(ims, ExecOptions{Workers: 3, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != len(ims) || rep.LevelsRun < len(ims) || rep.Throughput <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	for i := range ims {
+		if rep.Labels[i] != want[i] {
+			t.Fatalf("report label %d = %v, Classify = %v", i, rep.Labels[i], want[i])
+		}
+	}
+
+	viaPred, err := p.ClassifyBatch(Constraints{MaxAccuracyLoss: 0.05}, ims, ExecOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ims {
+		if viaPred[i] != want[i] {
+			t.Fatalf("predicate batch label %d = %v, Classify = %v", i, viaPred[i], want[i])
+		}
+	}
+}
+
 func TestReprice(t *testing.T) {
 	p := testPredicate(t)
 	params := DefaultCostParams()
