@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+// sweepResult is one (mode, batch) cell of the exec-engine sweep.
+type sweepResult struct {
+	Mode             string  `json:"mode"` // "level-major" or "frame-major"
+	Batch            int     `json:"batch"`
+	Workers          int     `json:"workers"`
+	Frames           int     `json:"frames"`
+	FramesPerSec     float64 `json:"frames_per_sec"`
+	NsPerFrame       float64 `json:"ns_per_frame"`
+	LevelsRun        int     `json:"levels_run"`
+	RepsMaterialized int     `json:"reps_materialized"`
+}
+
+// sweepReport is the machine-readable output of -json: the perf trajectory
+// record the BENCH_*.json snapshots hold.
+type sweepReport struct {
+	Bench      string `json:"bench"`
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Config     struct {
+		Frames       int      `json:"frames"`
+		SourceSize   int      `json:"source_size"`
+		CascadeDepth int      `json:"cascade_depth"`
+		Transforms   []string `json:"transforms"`
+		Arch         string   `json:"arch"`
+		Repeats      int      `json:"repeats"`
+	} `json:"config"`
+	Results []sweepResult `json:"results"`
+}
+
+// runExecSweep measures the execution engine on a deterministic synthetic
+// cascade (the same shape the repository-root BenchmarkExecEngine uses):
+// level-major and frame-major inner loops at batch sizes 1/8/64, one worker,
+// best-of-repeats wall time. Results go to path as indented JSON.
+func runExecSweep(path string) error {
+	const (
+		numFrames  = 512
+		sourceSize = 32
+		repeats    = 3
+	)
+	xfs := []xform.Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 16, Color: img.Gray},
+		{Size: 32, Color: img.RGB},
+	}
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 4, DenseWidth: 8, Kernel: 3}
+	levels := make([]exec.Level, len(xfs))
+	for i, t := range xfs {
+		m, err := model.New(spec, t, model.Basic, int64(40+i))
+		if err != nil {
+			return err
+		}
+		levels[i] = exec.Level{
+			Model: m,
+			// Wide uncertain bands so most frames descend several levels.
+			Thresholds: thresh.Thresholds{Low: 0.4, High: 0.6},
+			Last:       i == len(xfs)-1,
+		}
+	}
+	eng, err := exec.New(levels)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(41))
+	frames := make([]*img.Image, numFrames)
+	for i := range frames {
+		im := img.New(sourceSize, sourceSize, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+
+	var rep sweepReport
+	rep.Bench = "exec-engine"
+	rep.Go = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config.Frames = numFrames
+	rep.Config.SourceSize = sourceSize
+	rep.Config.CascadeDepth = len(levels)
+	for _, t := range xfs {
+		rep.Config.Transforms = append(rep.Config.Transforms, t.ID())
+	}
+	rep.Config.Arch = spec.ID()
+	rep.Config.Repeats = repeats
+
+	for _, mode := range []string{"level-major", "frame-major"} {
+		for _, batch := range []int{1, 8, 64} {
+			opts := exec.Options{Workers: 1, Batch: batch, FrameMajor: mode == "frame-major"}
+			var best *exec.Report
+			for r := 0; r < repeats+1; r++ {
+				run, err := eng.RunAll(exec.Frames(frames), opts)
+				if err != nil {
+					return fmt.Errorf("%s b=%d: %w", mode, batch, err)
+				}
+				// The first run per config is warmup (pool fill).
+				if r > 0 && (best == nil || run.Wall < best.Wall) {
+					best = run
+				}
+			}
+			rep.Results = append(rep.Results, sweepResult{
+				Mode:             mode,
+				Batch:            batch,
+				Workers:          1,
+				Frames:           best.Frames,
+				FramesPerSec:     best.Throughput,
+				NsPerFrame:       float64(best.Wall.Nanoseconds()) / float64(best.Frames),
+				LevelsRun:        best.LevelsRun,
+				RepsMaterialized: best.RepsMaterialized,
+			})
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}

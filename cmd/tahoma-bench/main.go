@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	tahoma-bench [-scale quick|default|test] [-exp all|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file]
+//	tahoma-bench [-scale quick|default|test] [-exp all|none|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file] [-json file]
 //
 // The default scale trains the full 4-size × 5-color × 8-architecture grid
 // for all ten predicates (minutes of CPU time); -scale quick runs three
 // predicates on a reduced grid; -scale test is the tiny grid the unit tests
 // use (seconds).
+//
+// -json runs the execution-engine throughput sweep (level-major vs
+// frame-major at several batch sizes on a deterministic synthetic cascade)
+// and writes machine-readable results, tracking the perf trajectory across
+// PRs (the committed snapshots are the BENCH_*.json files). Combine with
+// -exp none to run only the sweep.
 package main
 
 import (
@@ -27,11 +33,22 @@ func main() {
 	log.SetPrefix("tahoma-bench: ")
 
 	scale := flag.String("scale", "quick", "experiment scale: test, quick or default")
-	exp := flag.String("exp", "all", "experiment: all, tab2, fig4, fig5, fig6, fig7, fig8, fig9, tab3, fig10, fig11")
+	exp := flag.String("exp", "all", "experiment: all, none, tab2, fig4, fig5, fig6, fig7, fig8, fig9, tab3, fig10, fig11")
 	out := flag.String("out", "", "write results to this file as well as stdout")
+	jsonPath := flag.String("json", "", "run the exec-engine sweep and write machine-readable results to this file")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "results per evaluation batch (0 = default)")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runExecSweep(*jsonPath); err != nil {
+			log.Fatalf("exec sweep: %v", err)
+		}
+		log.Printf("exec sweep written to %s", *jsonPath)
+	}
+	if *exp == "none" {
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {

@@ -77,6 +77,26 @@ func BenchmarkExecEngine(b *testing.B) {
 		}
 		reportThroughput(b)
 	})
+	// Frame-major vs level-major at one worker isolates the gain of the
+	// batched inner loop (one ScoreBatch per level over pooled
+	// representation buffers) from worker parallelism. Run with -benchmem:
+	// level-major's steady state allocates ~nothing per frame.
+	b.Run("frame-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.ClassifyBatch(frames, exec.Options{Workers: 1, Batch: 32, FrameMajor: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportThroughput(b)
+	})
+	b.Run("level-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.ClassifyBatch(frames, exec.Options{Workers: 1, Batch: 32}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportThroughput(b)
+	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -9,11 +9,16 @@
 // assigned the same representation slot, so each slot is materialized at
 // most once per frame, matching the evaluator's Section VI cost accounting
 // without the per-image map lookups the old per-consumer loops paid.
-// Frames execute in configurable batches across a worker pool; each frame
-// short-circuits at the earliest deciding level. Per-batch and per-run
-// stats (levels run, representations materialized, wall time, measured
-// throughput) let callers compare real throughput against the evaluator's
-// analytic estimate.
+// Frames execute in configurable batches across a worker pool, and within a
+// batch execution is level-major: each level materializes its
+// representation slot for the still-undecided frames (into pooled, reused
+// buffers), scores them all with one batched inference call, applies the
+// thresholds and compacts the survivor set before descending. Each frame
+// still short-circuits at the earliest deciding level, and labels and stats
+// are bit-identical to the per-frame walk at every worker count and batch
+// size. Per-batch and per-run stats (levels run, representations
+// materialized, wall time, measured throughput) let callers compare real
+// throughput against the evaluator's analytic estimate.
 package exec
 
 import (
@@ -69,9 +74,18 @@ type Options struct {
 	// (0 = GOMAXPROCS). Results are bit-identical at every worker count.
 	Workers int
 	// Batch is the number of frames dispatched to a worker at a time
-	// (0 = DefaultBatch). Batching amortizes dispatch overhead and sets
-	// the granularity of the per-batch stats.
+	// (0 = DefaultBatch). Batching amortizes dispatch overhead, sets the
+	// granularity of the per-batch stats, and bounds the level-major
+	// inner loop's working set.
 	Batch int
+	// FrameMajor selects the legacy inner loop: each frame of a batch
+	// runs the whole cascade (per-frame Score, allocating a fresh
+	// representation per transform) before the next frame starts. The
+	// default level-major loop scores all still-undecided frames of a
+	// batch per level with one ScoreBatch call over pooled representation
+	// buffers. Labels and stats are bit-identical either way; the flag
+	// exists as the parity oracle and benchmark baseline.
+	FrameMajor bool
 }
 
 func (o Options) normalized() Options {
@@ -127,8 +141,10 @@ type Engine struct {
 	repSlot []int    // per level: representation slot consumed
 	repIDs  []string // per slot: transform identity
 	scratch []*img.Image
-	// workers pools worker-local level clones so repeated small runs (the
-	// streaming path) amortize clone/scratch allocation across runs.
+	// workers pools per-goroutine worker state (level clones, survivor
+	// bookkeeping, pooled representation buffers) so repeated runs — the
+	// streaming path especially — reach a steady state with no per-frame
+	// allocations.
 	workers sync.Pool
 }
 
@@ -160,7 +176,7 @@ func New(levels []Level) (*Engine, error) {
 		}
 		e.repSlot[i] = slot
 	}
-	e.workers.New = func() any { return e.cloneLevels() }
+	e.workers.New = func() any { return &worker{levels: e.cloneLevels()} }
 	return e, nil
 }
 
@@ -226,6 +242,47 @@ func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
 	return label, tr, err
 }
 
+// worker is one goroutine's private execution state, pooled on the engine so
+// repeated runs (the streaming path) reach a steady state with no per-frame
+// allocations: model clones, the level-major survivor bookkeeping, and the
+// pooled representation buffers that ApplyInto materializes into.
+type worker struct {
+	levels []Level
+	// Frame-major scratch: one representation slot set, reused per frame.
+	slots []*img.Image
+	// Level-major scratch, sized to the largest batch seen.
+	srcs   []*img.Image   // source frames of the current batch
+	und    []int          // undecided positions, compacted level by level
+	gather []*img.Image   // representations of the undecided frames
+	scores []float32      // ScoreBatch output
+	reps   [][]*img.Image // [slot][pos] pooled representation buffers
+	repOK  [][]bool       // [slot][pos] materialized for the current batch?
+	proj   []*img.Image   // [slot] projection scratch for ApplyInto
+}
+
+// ensure grows the level-major scratch to batch capacity n.
+func (w *worker) ensure(n, nslots int) {
+	if cap(w.srcs) < n {
+		w.srcs = make([]*img.Image, n)
+		w.und = make([]int, n)
+		w.gather = make([]*img.Image, n)
+		w.scores = make([]float32, n)
+	}
+	if w.reps == nil {
+		w.reps = make([][]*img.Image, nslots)
+		w.repOK = make([][]bool, nslots)
+		w.proj = make([]*img.Image, nslots)
+	}
+	for s := range w.reps {
+		if cap(w.reps[s]) < n {
+			grown := make([]*img.Image, n)
+			copy(grown, w.reps[s])
+			w.reps[s] = grown
+			w.repOK[s] = make([]bool, n)
+		}
+	}
+}
+
 // cloneLevels builds a worker-local level set: models are cloned (weights
 // shared, inference scratch independent), deduplicated so a model appearing
 // at several levels is cloned once.
@@ -241,6 +298,117 @@ func (e *Engine) cloneLevels() []Level {
 		out[i] = Level{Model: c, Thresholds: lv.Thresholds, Last: lv.Last}
 	}
 	return out
+}
+
+// runBatchFrameMajor is the legacy inner loop: each frame descends the
+// cascade alone via per-frame Score calls, materializing representations
+// into freshly allocated images.
+func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, labels []bool, st *BatchStats) error {
+	if w.slots == nil {
+		w.slots = make([]*img.Image, len(e.repIDs))
+	}
+	for j := lo; j < hi; j++ {
+		im, err := src.Image(indices[j])
+		if err != nil {
+			return fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
+		}
+		label, err := e.classify(w.levels, w.slots, im, nil, st)
+		if err != nil {
+			return fmt.Errorf("exec: frame %d: %w", indices[j], err)
+		}
+		labels[j] = label
+	}
+	return nil
+}
+
+// runBatchLevelMajor is the batched inner loop: per level, the
+// representation slot is materialized once per still-undecided frame into
+// the worker's pooled buffers, all undecided frames are scored with one
+// ScoreBatch call, thresholds are applied, and the survivor index vector is
+// compacted in place before descending. Each frame still short-circuits at
+// its earliest deciding level — the (frame, level) pairs executed, the
+// representations materialized and the resulting labels are exactly those
+// of the frame-major loop, just reordered — so LevelsRun/RepsMaterialized
+// accounting and labels are bit-identical to runBatchFrameMajor.
+func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, labels []bool, st *BatchStats) error {
+	n := hi - lo
+	w.ensure(n, len(e.repIDs))
+	// Unpin the borrowed source frames on every exit path: the worker goes
+	// back into the pool even when a batch fails, and must not keep frames
+	// reachable for the engine's lifetime.
+	defer func() {
+		for j := 0; j < n; j++ {
+			w.srcs[j] = nil
+		}
+	}()
+	for j := 0; j < n; j++ {
+		im, err := src.Image(indices[lo+j])
+		if err != nil {
+			return fmt.Errorf("exec: loading frame %d: %w", indices[lo+j], err)
+		}
+		w.srcs[j] = im
+	}
+	und := w.und[:0]
+	for j := 0; j < n; j++ {
+		und = append(und, j)
+	}
+	for s := range w.repOK {
+		ok := w.repOK[s][:n]
+		for j := range ok {
+			ok[j] = false
+		}
+	}
+	for li := range w.levels {
+		if len(und) == 0 {
+			break
+		}
+		lv := &w.levels[li]
+		slot := e.repSlot[li]
+		bufs, ok := w.reps[slot], w.repOK[slot]
+		gather := w.gather[:0]
+		for _, j := range und {
+			if !ok[j] {
+				bufs[j], w.proj[slot] = lv.Model.Xform.ApplyInto(bufs[j], w.srcs[j], w.proj[slot])
+				ok[j] = true
+				st.RepsMaterialized++
+			}
+			gather = append(gather, bufs[j])
+		}
+		scores := w.scores[:len(und)]
+		if err := lv.Model.ScoreBatchInto(gather, scores); err != nil {
+			// Re-score frame by frame to attribute the failure to a corpus
+			// index (the batch error only knows gather positions). Cold
+			// path: scoring errors abort the whole run.
+			for i, j := range und {
+				if _, ferr := lv.Model.Score(gather[i]); ferr != nil {
+					return fmt.Errorf("exec: frame %d: level %d: %w", indices[lo+j], li, ferr)
+				}
+			}
+			return fmt.Errorf("exec: level %d: %w", li, err)
+		}
+		st.LevelsRun += len(und)
+		if lv.Last {
+			for i, j := range und {
+				labels[lo+j] = scores[i] >= 0.5
+			}
+			und = und[:0]
+			break
+		}
+		keep := und[:0]
+		for i, j := range und {
+			if decided, positive := lv.Thresholds.Decide(scores[i]); decided {
+				labels[lo+j] = positive
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		und = keep
+	}
+	if len(und) != 0 {
+		// Unreachable: the last level always decides. Guard anyway.
+		return fmt.Errorf("exec: no level decided (malformed cascade)")
+	}
+	return nil
 }
 
 // RunAll classifies every frame of src.
@@ -287,9 +455,8 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			levels := e.workers.Get().([]Level)
-			defer e.workers.Put(levels)
-			slots := make([]*img.Image, len(e.repIDs))
+			wk := e.workers.Get().(*worker)
+			defer e.workers.Put(wk)
 			for b := range jobs {
 				// A failed run is doomed: drain instead of classifying the
 				// remaining batches.
@@ -301,20 +468,16 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 				lo := b * opts.Batch
 				hi := min(lo+opts.Batch, len(indices))
 				st.Start, st.Frames = lo, hi-lo
-				for j := lo; j < hi; j++ {
-					im, err := src.Image(indices[j])
-					if err != nil {
-						failed.Store(true)
-						errs <- fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
-						return
-					}
-					label, err := e.classify(levels, slots, im, nil, st)
-					if err != nil {
-						failed.Store(true)
-						errs <- fmt.Errorf("exec: frame %d: %w", indices[j], err)
-						return
-					}
-					rep.Labels[j] = label
+				var err error
+				if opts.FrameMajor {
+					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, rep.Labels, st)
+				} else {
+					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, rep.Labels, st)
+				}
+				if err != nil {
+					failed.Store(true)
+					errs <- err
+					return
 				}
 				st.Wall = time.Since(t0)
 			}

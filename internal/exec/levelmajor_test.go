@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tahoma/internal/img"
+)
+
+// TestFrameMajorLevelMajorParity: the rewritten level-major inner loop must
+// reproduce the legacy frame-major loop exactly — labels, LevelsRun and
+// RepsMaterialized, per batch and in aggregate — across worker counts and
+// batch sizes, including batches smaller, equal to and larger than the
+// frame count.
+func TestFrameMajorLevelMajorParity(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		levels := buildLevels(t, 1100+int64(depth), depth)
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := randFrames(1200, 53, 32)
+		for _, workers := range []int{1, 2, 4} {
+			for _, batch := range []int{1, 5, 16, 64, 100} {
+				t.Run(fmt.Sprintf("depth=%d/w=%d/b=%d", depth, workers, batch), func(t *testing.T) {
+					opts := Options{Workers: workers, Batch: batch}
+					lm, err := eng.RunAll(Frames(frames), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts.FrameMajor = true
+					fm, err := eng.RunAll(Frames(frames), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range frames {
+						if lm.Labels[i] != fm.Labels[i] {
+							t.Fatalf("label %d: level-major %v != frame-major %v", i, lm.Labels[i], fm.Labels[i])
+						}
+					}
+					if lm.LevelsRun != fm.LevelsRun || lm.RepsMaterialized != fm.RepsMaterialized {
+						t.Fatalf("stats: level-major (%d levels, %d reps) != frame-major (%d, %d)",
+							lm.LevelsRun, lm.RepsMaterialized, fm.LevelsRun, fm.RepsMaterialized)
+					}
+					if len(lm.Batches) != len(fm.Batches) {
+						t.Fatalf("%d batches vs %d", len(lm.Batches), len(fm.Batches))
+					}
+					for b := range lm.Batches {
+						l, f := lm.Batches[b], fm.Batches[b]
+						if l.Start != f.Start || l.Frames != f.Frames || l.LevelsRun != f.LevelsRun || l.RepsMaterialized != f.RepsMaterialized {
+							t.Fatalf("batch %d accounting: level-major %+v != frame-major %+v", b, l, f)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLevelMajorErrorNamesFrame: a scoring failure must name the offending
+// corpus frame, as the frame-major loop always did, not a batch-local
+// position. An RGB-transform level over a grayscale frame is the reachable
+// failure: ApplyInto keeps the source's mode and model geometry validation
+// rejects the single-channel representation.
+func TestLevelMajorErrorNamesFrame(t *testing.T) {
+	levels := buildLevels(t, 1500, 2)
+	// Never-deciding first level so every frame reaches the RGB level.
+	levels[0].Thresholds.Low, levels[0].Thresholds.High = -1, 2
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(1600, 10, 32)
+	gray := img.New(32, 32, img.Gray)
+	frames[7] = gray
+	for _, frameMajor := range []bool{false, true} {
+		_, err := eng.RunAll(Frames(frames), Options{Workers: 1, Batch: 5, FrameMajor: frameMajor})
+		if err == nil {
+			t.Fatalf("frameMajor=%v: grayscale frame under an RGB level must fail", frameMajor)
+		}
+		if !strings.Contains(err.Error(), "frame 7") {
+			t.Fatalf("frameMajor=%v: error %q does not name frame 7", frameMajor, err)
+		}
+	}
+}
+
+// TestLevelMajorSteadyStateAllocs: once the worker pool is warm, the
+// level-major loop must run with (amortized) well under one allocation per
+// frame — pooled representation buffers instead of a fresh image per
+// Xform.Apply.
+func TestLevelMajorSteadyStateAllocs(t *testing.T) {
+	levels := buildLevels(t, 1300, 3)
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(1400, 128, 32)
+	opts := Options{Workers: 1, Batch: 32}
+	if _, err := eng.RunAll(Frames(frames), opts); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := eng.RunAll(Frames(frames), opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perFrame := avg / float64(len(frames))
+	// A run allocates its Report/Labels/Batches and goroutine plumbing
+	// (~15 allocations), but nothing per frame. The bound is loose because
+	// a GC during the measurement clears the worker pool and re-clones the
+	// models once.
+	if perFrame > 1 {
+		t.Fatalf("steady-state allocations = %.2f/frame (%.0f per run), want < 1", perFrame, avg)
+	}
+}

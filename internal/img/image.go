@@ -115,9 +115,22 @@ func Resize(src *Image, w, h int) *Image {
 		panic(fmt.Sprintf("img: invalid resize target %dx%d", w, h))
 	}
 	dst := New(w, h, src.Mode)
+	ResizeInto(dst, src)
+	return dst
+}
+
+// ResizeInto is Resize into a caller-owned destination, the allocation-free
+// primitive the execution engine's pooled representation buffers are built
+// on. dst's geometry selects the target size; its channel count must match
+// src's. The samples written are bit-identical to Resize's.
+func ResizeInto(dst, src *Image) {
+	if dst.Channels() != src.Channels() {
+		panic(fmt.Sprintf("img: ResizeInto %v -> %v channel mismatch", src.Mode, dst.Mode))
+	}
+	w, h := dst.W, dst.H
 	if src.W == w && src.H == h {
 		copy(dst.Pix, src.Pix)
-		return dst
+		return
 	}
 	xScale := float32(src.W) / float32(w)
 	yScale := float32(src.H) / float32(h)
@@ -156,7 +169,6 @@ func Resize(src *Image, w, h int) *Image {
 			}
 		}
 	}
-	return dst
 }
 
 // ExtractChannel returns the single-channel image for one of Red, Green,
@@ -164,6 +176,14 @@ func Resize(src *Image, w, h int) *Image {
 // the requested mode label. Requesting a channel from a Gray image is allowed
 // (the plane is reused) because a grayscale camera feed has only one plane.
 func ExtractChannel(src *Image, mode ColorMode) *Image {
+	out := New(src.W, src.H, mode)
+	ExtractChannelInto(out, src, mode)
+	return out
+}
+
+// ExtractChannelInto is ExtractChannel into a caller-owned single-channel
+// destination of the same size as src.
+func ExtractChannelInto(dst, src *Image, mode ColorMode) {
 	var idx int
 	switch mode {
 	case Red:
@@ -175,28 +195,38 @@ func ExtractChannel(src *Image, mode ColorMode) *Image {
 	default:
 		panic(fmt.Sprintf("img: ExtractChannel mode must be Red/Green/Blue, got %v", mode))
 	}
-	out := New(src.W, src.H, mode)
-	if src.Mode != RGB {
-		copy(out.Pix, src.Plane(0))
-		return out
+	if dst.W != src.W || dst.H != src.H || dst.Channels() != 1 {
+		panic(fmt.Sprintf("img: ExtractChannelInto destination %dx%d/%d for source %dx%d", dst.W, dst.H, dst.Channels(), src.W, src.H))
 	}
-	copy(out.Pix, src.Plane(idx))
-	return out
+	if src.Mode != RGB {
+		copy(dst.Pix, src.Plane(0))
+		return
+	}
+	copy(dst.Pix, src.Plane(idx))
 }
 
 // ToGray converts to single-channel grayscale using the Rec.601 luma weights.
 // Single-channel inputs are copied with the Gray label.
 func ToGray(src *Image) *Image {
 	out := New(src.W, src.H, Gray)
+	ToGrayInto(out, src)
+	return out
+}
+
+// ToGrayInto is ToGray into a caller-owned single-channel destination of the
+// same size as src.
+func ToGrayInto(dst, src *Image) {
+	if dst.W != src.W || dst.H != src.H || dst.Channels() != 1 {
+		panic(fmt.Sprintf("img: ToGrayInto destination %dx%d/%d for source %dx%d", dst.W, dst.H, dst.Channels(), src.W, src.H))
+	}
 	if src.Mode != RGB {
-		copy(out.Pix, src.Plane(0))
-		return out
+		copy(dst.Pix, src.Plane(0))
+		return
 	}
 	r, g, b := src.Plane(0), src.Plane(1), src.Plane(2)
-	for i := range out.Pix {
-		out.Pix[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+	for i := range dst.Pix {
+		dst.Pix[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
 	}
-	return out
 }
 
 // FlipH returns the image mirrored left-to-right (the paper's data

@@ -40,6 +40,8 @@ type Model struct {
 	Xform xform.Transform
 	Net   *nn.Network
 	Kind  Kind
+
+	batch [][]float32 // reused ScoreBatch sample-slice scratch
 }
 
 // New builds an untrained model with deterministic initial weights derived
@@ -82,6 +84,50 @@ func (m *Model) Score(rep *img.Image) (float32, error) {
 			m.ID(), rep.W, rep.H, rep.Channels(), m.Xform.ID())
 	}
 	return m.Net.Predict(InputTensor(rep)), nil
+}
+
+// ScoreBatchInto scores a batch of already-transformed representations in
+// one pass through the network's batched kernels, writing the probabilities
+// into out (len(out) must equal len(reps)). Geometry is validated once per
+// batch up front — one cheap comparison per representation instead of the
+// per-frame error-path formatting Score carries — and out[i] is bit-identical
+// to Score(reps[i]) at every batch size. Like the underlying network, a
+// Model's batch scratch is exclusive: clone the model per goroutine.
+func (m *Model) ScoreBatchInto(reps []*img.Image, out []float32) error {
+	if len(out) != len(reps) {
+		return fmt.Errorf("model %s: ScoreBatch output holds %d values for %d representations", m.ID(), len(out), len(reps))
+	}
+	if len(reps) == 0 {
+		return nil
+	}
+	size, ch := m.Xform.Size, m.Xform.Channels()
+	for i, rep := range reps {
+		if rep.W != size || rep.H != size || rep.Channels() != ch {
+			return fmt.Errorf("model %s: representation %d is %dx%d/%d channels, transform %s wants %dx%d/%d",
+				m.ID(), i, rep.W, rep.H, rep.Channels(), m.Xform.ID(), size, size, ch)
+		}
+	}
+	if cap(m.batch) < len(reps) {
+		m.batch = make([][]float32, len(reps))
+	}
+	m.batch = m.batch[:len(reps)]
+	for i, rep := range reps {
+		m.batch[i] = rep.Pix
+	}
+	m.Net.PredictBatch(m.batch, out)
+	for i := range m.batch {
+		m.batch[i] = nil // don't pin pixel buffers between calls
+	}
+	return nil
+}
+
+// ScoreBatch is ScoreBatchInto with an allocated result slice.
+func (m *Model) ScoreBatch(reps []*img.Image) ([]float32, error) {
+	out := make([]float32, len(reps))
+	if err := m.ScoreBatchInto(reps, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ScoreFull applies the model's input transformation to a full-size source

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/tensor"
+)
+
+func batchTestNet(t *testing.T, seed int64, convLayers, convWidth, denseWidth, channels, size int) *Network {
+	t.Helper()
+	var layers []Layer
+	ch := channels
+	for i := 0; i < convLayers; i++ {
+		layers = append(layers, NewConv2D(ch, convWidth, 3), NewReLU(), NewMaxPool2())
+		ch = convWidth
+	}
+	sp := size >> convLayers
+	layers = append(layers, NewFlatten(), NewDense(ch*sp*sp, denseWidth), NewReLU(), NewDense(denseWidth, 1))
+	net, err := NewNetwork([]int{channels, size, size}, layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Init(rand.New(rand.NewSource(seed)))
+	return net
+}
+
+// TestForwardBatchBitParity is the batched-inference correctness gate at the
+// network level: for every architecture shape and batch size, ForwardBatch
+// must reproduce Forward's logits bit for bit.
+func TestForwardBatchBitParity(t *testing.T) {
+	configs := []struct {
+		conv, cw, dw, ch, size int
+	}{
+		{0, 0, 4, 1, 4},   // logistic regression on raw pixels
+		{1, 2, 4, 1, 8},   // single conv block, gray
+		{1, 4, 8, 3, 16},  // single conv block, rgb
+		{2, 8, 16, 3, 16}, // two conv blocks
+		{3, 4, 8, 1, 32},  // three conv blocks
+	}
+	for ci, cfg := range configs {
+		net := batchTestNet(t, 900+int64(ci), cfg.conv, cfg.cw, cfg.dw, cfg.ch, cfg.size)
+		rng := rand.New(rand.NewSource(1000 + int64(ci)))
+		n := cfg.ch * cfg.size * cfg.size
+		samples := make([][]float32, 17)
+		want := make([]float32, len(samples))
+		for s := range samples {
+			pix := make([]float32, n)
+			for i := range pix {
+				pix[i] = rng.Float32()
+			}
+			samples[s] = pix
+			want[s] = net.Forward(tensor.NewFrom(pix, cfg.ch, cfg.size, cfg.size))
+		}
+		for _, bsz := range []int{1, 2, 3, 5, 8, 17} {
+			t.Run(fmt.Sprintf("cfg=%d/b=%d", ci, bsz), func(t *testing.T) {
+				got := make([]float32, bsz)
+				net.ForwardBatch(samples[:bsz], got)
+				for s := 0; s < bsz; s++ {
+					if got[s] != want[s] {
+						t.Fatalf("sample %d: batch logit %v != single logit %v", s, got[s], want[s])
+					}
+				}
+			})
+		}
+		// Shrinking then regrowing the batch (the level-major executor's
+		// survivor pattern) must keep reusing scratch correctly.
+		got := make([]float32, len(samples))
+		for _, bsz := range []int{17, 5, 1, 9, 17} {
+			net.ForwardBatch(samples[:bsz], got)
+			for s := 0; s < bsz; s++ {
+				if got[s] != want[s] {
+					t.Fatalf("cfg %d resize to b=%d: sample %d diverged", ci, bsz, s)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks the sigmoid stage too.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	net := batchTestNet(t, 77, 1, 2, 4, 1, 8)
+	rng := rand.New(rand.NewSource(78))
+	samples := make([][]float32, 6)
+	want := make([]float32, len(samples))
+	for s := range samples {
+		pix := make([]float32, 64)
+		for i := range pix {
+			pix[i] = rng.Float32()
+		}
+		samples[s] = pix
+		want[s] = net.Predict(tensor.NewFrom(pix, 1, 8, 8))
+	}
+	got := make([]float32, len(samples))
+	net.PredictBatch(samples, got)
+	for s := range samples {
+		if got[s] != want[s] {
+			t.Fatalf("sample %d: PredictBatch %v != Predict %v", s, got[s], want[s])
+		}
+	}
+}

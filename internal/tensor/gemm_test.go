@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveRef is the unblocked i,k,j triple loop without the zero-skip: the
+// exact arithmetic-order reference the blocked kernel must reproduce
+// bit-for-bit.
+func naiveRef(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+}
+
+// TestGemmBitIdenticalToNaiveOrder: at every blocking edge case (rows and
+// columns not multiples of the micro-kernel, k crossing the panel size) the
+// blocked kernel must be bit-identical to the plain triple loop.
+func TestGemmBitIdenticalToNaiveOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 9, 1}, {3, 5, 7}, {4, 8, 16}, {5, 27, 33},
+		{8, 27, 256}, {16, 72, 64}, {2, 300, 10}, {7, 513, 9},
+		{1, 1024, 1}, {4, 257, 4}, {6, 512, 65},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := randTensor(rng, m, k)
+			b := randTensor(rng, k, n)
+			got := New(m, n)
+			want := New(m, n)
+			// Dirty the output to prove Gemm overwrites rather than
+			// accumulates stale state on the first panel.
+			got.Fill(999)
+			Gemm(got, a, b)
+			naiveRef(want, a, b)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("element %d: blocked %v != reference %v", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGemmColumnBlockInvariance is the batched-inference correctness gate at
+// the kernel level: stacking B column blocks into one wide GEMM must give
+// every block the exact bits that B narrow GEMMs give.
+func TestGemmColumnBlockInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const m, k, n, bsz = 8, 300, 25, 7
+	a := randTensor(rng, m, k)
+	wide := New(k, bsz*n)
+	narrow := make([]*Tensor, bsz)
+	for s := 0; s < bsz; s++ {
+		narrow[s] = randTensor(rng, k, n)
+		for p := 0; p < k; p++ {
+			copy(wide.Data[p*bsz*n+s*n:p*bsz*n+(s+1)*n], narrow[s].Data[p*n:(p+1)*n])
+		}
+	}
+	cw := New(m, bsz*n)
+	Gemm(cw, a, wide)
+	for s := 0; s < bsz; s++ {
+		cn := New(m, n)
+		Gemm(cn, a, narrow[s])
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				got := cw.Data[i*bsz*n+s*n+j]
+				want := cn.Data[i*n+j]
+				if got != want {
+					t.Fatalf("sample %d element (%d,%d): wide %v != narrow %v", s, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmPanicsOnBadShapes(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("inner", func() { Gemm(New(2, 2), New(2, 3), New(4, 2)) })
+	expectPanic("out", func() { Gemm(New(2, 3), New(2, 3), New(3, 2)) })
+}
+
+func TestGemmZeroDims(t *testing.T) {
+	c := New(2, 3)
+	c.Fill(5)
+	Gemm(c, New(2, 0), New(0, 3))
+	for i, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("k=0 product element %d = %v, want 0", i, v)
+		}
+	}
+	// n=0 must not panic.
+	Gemm(New(2, 0), New(2, 3), New(3, 0))
+}
+
+// TestIm2ColBatchMatchesPerSample: every sample's column block must carry
+// exactly the bytes the single-sample Im2Col produces.
+func TestIm2ColBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	geoms := []ConvGeom{
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 2, InH: 9, InW: 7, KH: 5, KW: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 1},
+		{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 0, PadW: 0},
+		{InC: 4, InH: 5, InW: 5, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+	}
+	for gi, g := range geoms {
+		for _, bsz := range []int{1, 2, 5} {
+			t.Run(fmt.Sprintf("geom=%d/b=%d", gi, bsz), func(t *testing.T) {
+				samples := make([]*Tensor, bsz)
+				batched := New(g.InC, bsz, g.InH, g.InW)
+				plane := g.InH * g.InW
+				for s := range samples {
+					samples[s] = randTensor(rng, g.InC, g.InH, g.InW)
+					for c := 0; c < g.InC; c++ {
+						copy(batched.Data[(c*bsz+s)*plane:(c*bsz+s+1)*plane],
+							samples[s].Data[c*plane:(c+1)*plane])
+					}
+				}
+				ohow := g.ColCols()
+				colB := New(g.ColRows(), bsz*ohow)
+				colB.Fill(-7) // stale values must be fully overwritten
+				Im2ColBatch(colB, batched, g)
+				col1 := New(g.ColRows(), ohow)
+				for s := 0; s < bsz; s++ {
+					Im2Col(col1, samples[s], g)
+					for r := 0; r < g.ColRows(); r++ {
+						for j := 0; j < ohow; j++ {
+							got := colB.Data[r*bsz*ohow+s*ohow+j]
+							want := col1.Data[r*ohow+j]
+							if got != want {
+								t.Fatalf("sample %d row %d col %d: batch %v != single %v", s, r, j, got, want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// im2colRef is the seed's per-element im2col, kept as the oracle for the
+// bulk-zeroed rewrite.
+func im2colRef(col, x *Tensor, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	xd, cd := x.Data, col.Data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				out := cd[row*cols : (row+1)*cols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							out[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= g.InW {
+							out[idx] = 0
+						} else {
+							out[idx] = xd[rowBase+ix]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+func TestIm2ColBulkZeroMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	geoms := []ConvGeom{
+		{InC: 2, InH: 7, InW: 7, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+		{InC: 3, InH: 10, InW: 6, KH: 3, KW: 5, StrideH: 2, StrideW: 3, PadH: 1, PadW: 2},
+		{InC: 1, InH: 2, InW: 2, KH: 7, KW: 7, StrideH: 1, StrideW: 1, PadH: 3, PadW: 3},
+		{InC: 2, InH: 8, InW: 8, KH: 1, KW: 1, StrideH: 1, StrideW: 1, PadH: 0, PadW: 0},
+	}
+	for gi, g := range geoms {
+		x := randTensor(rng, g.InC, g.InH, g.InW)
+		got := New(g.ColRows(), g.ColCols())
+		got.Fill(42)
+		Im2Col(got, x, g)
+		want := New(g.ColRows(), g.ColCols())
+		im2colRef(want, x, g)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("geom %d element %d: %v != reference %v", gi, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestEnsureShape(t *testing.T) {
+	var s Tensor
+	s.EnsureShape(2, 3)
+	if s.Len() != 6 || s.Dims() != 2 {
+		t.Fatalf("after first EnsureShape: %v", s.Shape)
+	}
+	data, shape := &s.Data[0], &s.Shape[0]
+	s.EnsureShape(1, 4) // shrink: must reuse both backing array and shape slice
+	if &s.Data[0] != data || &s.Shape[0] != shape || s.Len() != 4 {
+		t.Fatal("shrinking EnsureShape reallocated")
+	}
+	s.EnsureShape(10, 10) // grow: new backing, same shape slice
+	if &s.Shape[0] != shape || s.Len() != 100 {
+		t.Fatal("growing EnsureShape mishandled shape slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank change must panic")
+		}
+	}()
+	s.EnsureShape(2, 2, 2)
+}

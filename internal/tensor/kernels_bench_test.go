@@ -1,0 +1,77 @@
+package tensor
+
+// Kernel micro-benchmarks for the batched inference path. The shapes are the
+// conv GEMMs the nn package actually produces: A is the [OutC, InC·K²]
+// weight matrix, B is the im2col column matrix whose width scales with the
+// batch size.
+//
+//	go test -run=NONE -bench='MatMul|Im2ColBatch' -benchmem ./internal/tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGemmShapes() [][3]int {
+	// [m, k, n(B=1)]: conv1 at 32x32 RGB, conv2 at 16x16, dense over a
+	// flattened 8x8x16 activation.
+	return [][3]int{
+		{16, 27, 1024},
+		{16, 144, 256},
+		{32, 1024, 1},
+	}
+}
+
+// BenchmarkMatMul compares the seed's naive i,k,j kernel against the blocked
+// register-tiled Gemm at conv-shaped sizes, at single-sample and batched
+// column widths.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range benchGemmShapes() {
+		for _, batch := range []int{1, 64} {
+			m, k, n := sh[0], sh[1], sh[2]*batch
+			a := randTensor(rng, m, k)
+			bm := randTensor(rng, k, n)
+			c := New(m, n)
+			flops := 2 * int64(m) * int64(k) * int64(n)
+			b.Run(fmt.Sprintf("naive/m=%d/k=%d/n=%d", m, k, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					MatMul(c, a, bm)
+				}
+				b.SetBytes(flops)
+			})
+			b.Run(fmt.Sprintf("blocked/m=%d/k=%d/n=%d", m, k, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Gemm(c, a, bm)
+				}
+				b.SetBytes(flops)
+			})
+		}
+	}
+}
+
+// BenchmarkIm2ColBatch measures the batched unroll against B single-sample
+// unrolls for a 3x3/pad-1 conv over 32x32 RGB.
+func BenchmarkIm2ColBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	for _, bsz := range []int{1, 8, 64} {
+		x := randTensor(rng, g.InC, bsz, g.InH, g.InW)
+		col := New(g.ColRows(), bsz*g.ColCols())
+		b.Run(fmt.Sprintf("batched/b=%d", bsz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Im2ColBatch(col, x, g)
+			}
+			b.ReportMetric(float64(b.N*bsz)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+	x1 := randTensor(rng, g.InC, g.InH, g.InW)
+	col1 := New(g.ColRows(), g.ColCols())
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Im2Col(col1, x1, g)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+}

@@ -78,6 +78,39 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{Shape: s, Data: t.Data}
 }
 
+// EnsureShape resizes t in place to the given shape, reusing the existing
+// Shape slice (the rank must match, or the previous shape must be empty) and
+// the existing backing array when its capacity suffices; otherwise a larger
+// backing array is allocated. Element values are unspecified afterwards.
+// This is the scratch-buffer primitive behind the batched inference path:
+// because batch sizes shrink as cascade levels decide frames, layers resize
+// their batch scratch every call, and EnsureShape makes that allocation-free
+// in the steady state.
+func (t *Tensor) EnsureShape(shape ...int) {
+	// The panic messages deliberately avoid formatting the shape slice:
+	// boxing it into an interface would make the variadic argument escape
+	// and cost the hot batched-inference path one heap allocation per call.
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in EnsureShape", d))
+		}
+		n *= d
+	}
+	if len(t.Shape) != len(shape) {
+		if len(t.Shape) != 0 {
+			panic(fmt.Sprintf("tensor: EnsureShape rank change %d -> %d", len(t.Shape), len(shape)))
+		}
+		t.Shape = make([]int, len(shape))
+	}
+	copy(t.Shape, shape)
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+}
+
 // SameShape reports whether t and u have identical shapes.
 func (t *Tensor) SameShape(u *Tensor) bool {
 	if len(t.Shape) != len(u.Shape) {
@@ -267,6 +300,63 @@ func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
 // ColCols returns the number of columns of the im2col matrix (OutH*OutW).
 func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
 
+// inSpan returns the half-open range [lo, hi) of output positions whose
+// input coordinate ox*stride - pad + kOff lands inside [0, inDim). Positions
+// outside the range read zero padding.
+func inSpan(outDim, stride, pad, kOff, inDim int) (lo, hi int) {
+	if d := pad - kOff; d > 0 {
+		lo = (d + stride - 1) / stride
+	}
+	if lo > outDim {
+		lo = outDim
+	}
+	hi = outDim
+	if num := inDim - 1 + pad - kOff; num < 0 {
+		hi = 0
+	} else if h := num/stride + 1; h < hi {
+		hi = h
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// im2colRow fills one im2col output row (the out slice, OutH*OutW values)
+// for kernel offset (kh, kw) from one input channel plane. Padding runs are
+// bulk-zeroed: each output row's out-of-bounds prefix and suffix are cleared
+// with a single memclr-able span instead of per-element stores, and the
+// in-bounds span is a straight copy when StrideW is 1.
+func im2colRow(out, plane []float32, g ConvGeom, kh, kw, oh, ow int) {
+	oxLo, oxHi := inSpan(ow, g.StrideW, g.PadW, kw, g.InW)
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*g.StrideH - g.PadH + kh
+		if iy < 0 || iy >= g.InH {
+			clear(out[idx : idx+ow])
+			idx += ow
+			continue
+		}
+		rowBase := iy * g.InW
+		clear(out[idx : idx+oxLo])
+		if oxHi == oxLo {
+			clear(out[idx+oxLo : idx+ow])
+			idx += ow
+			continue
+		}
+		if g.StrideW == 1 {
+			srcLo := rowBase + oxLo - g.PadW + kw
+			copy(out[idx+oxLo:idx+oxHi], plane[srcLo:srcLo+oxHi-oxLo])
+		} else {
+			for ox := oxLo; ox < oxHi; ox++ {
+				out[idx+ox] = plane[rowBase+ox*g.StrideW-g.PadW+kw]
+			}
+		}
+		clear(out[idx+oxHi : idx+ow])
+		idx += ow
+	}
+}
+
 // Im2Col unrolls a CHW input x into col with shape [C*KH*KW, OutH*OutW],
 // zero-padding out-of-bounds reads. col must be pre-allocated.
 func Im2Col(col, x *Tensor, g ConvGeom) {
@@ -276,32 +366,47 @@ func Im2Col(col, x *Tensor, g ConvGeom) {
 		panic(fmt.Sprintf("tensor: Im2Col col shape %v, want [%d %d]", col.Shape, g.ColRows(), cols))
 	}
 	xd, cd := x.Data, col.Data
+	planeLen := g.InH * g.InW
 	row := 0
 	for c := 0; c < g.InC; c++ {
-		chanBase := c * g.InH * g.InW
+		plane := xd[c*planeLen : (c+1)*planeLen]
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
-				out := cd[row*cols : (row+1)*cols]
-				idx := 0
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.StrideH - g.PadH + kh
-					if iy < 0 || iy >= g.InH {
-						for ox := 0; ox < ow; ox++ {
-							out[idx] = 0
-							idx++
-						}
-						continue
-					}
-					rowBase := chanBase + iy*g.InW
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.StrideW - g.PadW + kw
-						if ix < 0 || ix >= g.InW {
-							out[idx] = 0
-						} else {
-							out[idx] = xd[rowBase+ix]
-						}
-						idx++
-					}
+				im2colRow(cd[row*cols:(row+1)*cols], plane, g, kh, kw, oh, ow)
+				row++
+			}
+		}
+	}
+}
+
+// Im2ColBatch unrolls a batch of CHW samples, stored channel-major as a
+// [C, B, H, W] tensor, into col with shape [C*KH*KW, B*OutH*OutW]: within
+// every row, sample s occupies the column block [s*OutH*OutW, (s+1)*OutH*OutW),
+// filled exactly as Im2Col fills the corresponding single-sample row. One
+// GEMM against the [OutC, C*KH*KW] weight matrix then convolves the whole
+// batch, and each sample's output columns are bit-identical to what the
+// single-sample path produces.
+func Im2ColBatch(col, x *Tensor, g ConvGeom) {
+	if len(x.Shape) != 4 || x.Shape[0] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColBatch input shape %v, want [%d B %d %d]", x.Shape, g.InC, g.InH, g.InW))
+	}
+	bsz := x.Shape[1]
+	oh, ow := g.OutH(), g.OutW()
+	ohow := oh * ow
+	cols := bsz * ohow
+	if col.Shape[0] != g.ColRows() || col.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColBatch col shape %v, want [%d %d]", col.Shape, g.ColRows(), cols))
+	}
+	xd, cd := x.Data, col.Data
+	planeLen := g.InH * g.InW
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * cols
+				for s := 0; s < bsz; s++ {
+					plane := xd[(c*bsz+s)*planeLen : (c*bsz+s+1)*planeLen]
+					im2colRow(cd[base+s*ohow:base+(s+1)*ohow], plane, g, kh, kw, oh, ow)
 				}
 				row++
 			}

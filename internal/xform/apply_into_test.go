@@ -1,0 +1,56 @@
+package xform
+
+import (
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/img"
+)
+
+// TestApplyIntoMatchesApply: pooled-buffer materialization must be
+// bit-identical to the allocating path, reuse matching buffers, and recover
+// from mismatched ones.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := img.New(24, 24, img.RGB)
+	for i := range src.Pix {
+		src.Pix[i] = rng.Float32()
+	}
+	transforms := []Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 16, Color: img.RGB},
+		{Size: 12, Color: img.Red},
+		{Size: 24, Color: img.Blue}, // same-size path
+	}
+	for _, tr := range transforms {
+		want := tr.Apply(src)
+		var dst, proj *img.Image
+		for round := 0; round < 3; round++ {
+			var got *img.Image
+			got, proj = tr.ApplyInto(dst, src, proj)
+			if got.W != want.W || got.H != want.H || got.Mode != want.Mode {
+				t.Fatalf("%s: ApplyInto geometry %dx%d/%v, want %dx%d/%v", tr.ID(), got.W, got.H, got.Mode, want.W, want.H, want.Mode)
+			}
+			for i := range want.Pix {
+				if got.Pix[i] != want.Pix[i] {
+					t.Fatalf("%s round %d: pixel %d = %v, Apply = %v", tr.ID(), round, i, got.Pix[i], want.Pix[i])
+				}
+			}
+			if round > 0 && got != dst {
+				t.Fatalf("%s round %d: matching buffer was not reused", tr.ID(), round)
+			}
+			dst = got
+		}
+		// A mismatched buffer must be replaced, not written through.
+		wrong := img.New(3, 3, img.Gray)
+		got, _ := tr.ApplyInto(wrong, src, nil)
+		if got == wrong {
+			t.Fatalf("%s: mismatched buffer reused", tr.ID())
+		}
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%s with mismatched buffer: pixel %d differs", tr.ID(), i)
+			}
+		}
+	}
+}

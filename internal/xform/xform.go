@@ -60,6 +60,41 @@ func (t Transform) Apply(src *img.Image) *img.Image {
 	return out
 }
 
+// ApplyInto is Apply into caller-owned buffers: the allocation-free
+// materialization primitive behind the execution engine's pooled
+// representation slots. dst receives the representation and is reused when
+// its geometry matches what Apply would produce for src (otherwise a fresh
+// image is allocated); proj is an optional scratch for the intermediate
+// full-resolution color projection, reused the same way. The image actually
+// holding the representation and the (possibly newly allocated) projection
+// scratch are returned; pixel values are bit-identical to Apply's.
+func (t Transform) ApplyInto(dst, src, proj *img.Image) (rep, projOut *img.Image) {
+	// Mirror Apply: an RGB transform keeps the source's own mode (a
+	// single-channel source stays single-channel and is caught later by
+	// model geometry validation), the other transforms project first.
+	mode := t.Color
+	if t.Color == img.RGB {
+		mode = src.Mode
+	}
+	if dst == nil || dst.W != t.Size || dst.H != t.Size || dst.Mode != mode {
+		dst = img.New(t.Size, t.Size, mode)
+	}
+	if t.Color == img.RGB {
+		img.ResizeInto(dst, src)
+		return dst, proj
+	}
+	if proj == nil || proj.W != src.W || proj.H != src.H || proj.Mode != mode {
+		proj = img.New(src.W, src.H, mode)
+	}
+	if t.Color == img.Gray {
+		img.ToGrayInto(proj, src)
+	} else {
+		img.ExtractChannelInto(proj, src, t.Color)
+	}
+	img.ResizeInto(dst, proj)
+	return dst, proj
+}
+
 // Validate reports whether the transform is well-formed.
 func (t Transform) Validate() error {
 	if t.Size < 2 {
