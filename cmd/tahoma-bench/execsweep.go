@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"time"
 
 	"tahoma/internal/arch"
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/model"
+	"tahoma/internal/repstore"
 	"tahoma/internal/thresh"
 	"tahoma/internal/xform"
 )
@@ -25,6 +27,23 @@ type sweepResult struct {
 	NsPerFrame       float64 `json:"ns_per_frame"`
 	LevelsRun        int     `json:"levels_run"`
 	RepsMaterialized int     `json:"reps_materialized"`
+}
+
+// fusedSweepResult is one cell of the fused-vs-sequential sweep: a
+// predicate count × rep-grid overlap × execution mode combination.
+type fusedSweepResult struct {
+	Predicates       int     `json:"predicates"`
+	Grid             string  `json:"grid"` // "shared" or "disjoint"
+	Mode             string  `json:"mode"` // "fused" or "sequential"
+	Workers          int     `json:"workers"`
+	Batch            int     `json:"batch"`
+	Frames           int     `json:"frames"`
+	FramesPerSec     float64 `json:"frames_per_sec"`
+	NsPerFrame       float64 `json:"ns_per_frame"`
+	RepsMaterialized int     `json:"reps_materialized"`
+	// Speedup is frames/sec over the matching sequential cell (fused rows
+	// only).
+	Speedup float64 `json:"speedup_vs_sequential,omitempty"`
 }
 
 // sweepReport is the machine-readable output of -json: the perf trajectory
@@ -43,7 +62,49 @@ type sweepReport struct {
 		Arch         string   `json:"arch"`
 		Repeats      int      `json:"repeats"`
 	} `json:"config"`
-	Results []sweepResult `json:"results"`
+	Results     []sweepResult `json:"results"`
+	FusedConfig struct {
+		Frames       int    `json:"frames"`
+		SourceSize   int    `json:"source_size"`
+		CascadeDepth int    `json:"cascade_depth"`
+		Arch         string `json:"arch"`
+		Repeats      int    `json:"repeats"`
+	} `json:"fused_config"`
+	FusedResults []fusedSweepResult `json:"fused_results"`
+	// RepServed measures the 2-predicate shared-grid fused run against a
+	// representation store serving every slot (transforms skipped), with
+	// the rep cache's own counters for the measured run.
+	RepServed struct {
+		Predicates         int     `json:"predicates"`
+		FramesPerSec       float64 `json:"frames_per_sec"`
+		NsPerFrame         float64 `json:"ns_per_frame"`
+		RepHits            int     `json:"rep_hits"`
+		RepsMaterialized   int     `json:"reps_materialized"`
+		CacheHits          int64   `json:"cache_hits"`
+		CacheMisses        int64   `json:"cache_misses"`
+		CacheEvictedBytes  int64   `json:"cache_evicted_bytes"`
+		CacheResidentBytes int64   `json:"cache_resident_bytes"`
+	} `json:"rep_served"`
+}
+
+// cacheSource adapts a repstore cache to exec.RepSource for the sweep.
+type cacheSource struct {
+	cache *repstore.Cache
+	avail map[string]xform.Transform
+}
+
+func (s *cacheSource) HasRep(id string) bool {
+	_, ok := s.avail[id]
+	return ok
+}
+
+func (s *cacheSource) Rep(i int, id string) (*img.Image, error) {
+	return s.cache.Rep(i, s.avail[id])
+}
+
+func (s *cacheSource) CacheStats() exec.CacheStats {
+	st := s.cache.Stats()
+	return exec.CacheStats{Hits: st.Hits, Misses: st.Misses, EvictedBytes: st.EvictedBytes, ResidentBytes: st.ResidentBytes}
 }
 
 // runExecSweep measures the execution engine on a deterministic synthetic
@@ -131,10 +192,216 @@ func runExecSweep(path string) error {
 		}
 	}
 
+	if err := runFusedSweep(&rep); err != nil {
+		return err
+	}
+
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	blob = append(blob, '\n')
 	return os.WriteFile(path, blob, 0o644)
+}
+
+// fusedSweepCascade builds one predicate's cascade over the given transform
+// ladder with wide uncertain bands, so most frames descend every level and
+// the sweep exercises representation sharing end to end.
+func fusedSweepCascade(xfs []xform.Transform, spec arch.Spec, seed int64) ([]exec.Level, error) {
+	levels := make([]exec.Level, len(xfs))
+	for i, t := range xfs {
+		m, err := model.New(spec, t, model.Basic, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = exec.Level{
+			Model:      m,
+			Thresholds: thresh.Thresholds{Low: 0.4, High: 0.6},
+			Last:       i == len(xfs)-1,
+		}
+	}
+	return levels, nil
+}
+
+// runFusedSweep measures fused multi-predicate execution against sequential
+// per-predicate runs: 1/2/3 predicates whose cascades draw from fully
+// shared or fully disjoint representation grids, one worker, best-of-repeats
+// wall time. With shared grids the fused engine materializes each (frame,
+// slot) once for the whole predicate set — the multi-query-optimization win
+// this sweep tracks across PRs.
+func runFusedSweep(rep *sweepReport) error {
+	const (
+		numFrames  = 512
+		sourceSize = 64
+		batch      = 64
+		repeats    = 3
+	)
+	// Small models over small representations of a larger source: the
+	// transform cost the fused path amortizes is real decode-side work.
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+	sharedGrid := [][]xform.Transform{
+		{{Size: 8, Color: img.Gray}, {Size: 16, Color: img.Gray}},
+		{{Size: 8, Color: img.Gray}, {Size: 16, Color: img.Gray}},
+		{{Size: 8, Color: img.Gray}, {Size: 16, Color: img.Gray}},
+	}
+	disjointGrid := [][]xform.Transform{
+		{{Size: 8, Color: img.Red}, {Size: 16, Color: img.Red}},
+		{{Size: 8, Color: img.Green}, {Size: 16, Color: img.Green}},
+		{{Size: 8, Color: img.Blue}, {Size: 16, Color: img.Blue}},
+	}
+	rep.FusedConfig.Frames = numFrames
+	rep.FusedConfig.SourceSize = sourceSize
+	rep.FusedConfig.CascadeDepth = len(sharedGrid[0])
+	rep.FusedConfig.Arch = spec.ID()
+	rep.FusedConfig.Repeats = repeats
+
+	rng := rand.New(rand.NewSource(43))
+	frames := make([]*img.Image, numFrames)
+	for i := range frames {
+		im := img.New(sourceSize, sourceSize, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+	opts := exec.Options{Workers: 1, Batch: batch}
+
+	for _, cfg := range []struct {
+		preds int
+		grid  string
+		xfs   [][]xform.Transform
+	}{
+		{1, "shared", sharedGrid},
+		{2, "shared", sharedGrid},
+		{3, "shared", sharedGrid},
+		{2, "disjoint", disjointGrid},
+		{3, "disjoint", disjointGrid},
+	} {
+		var cascades [][]exec.Level
+		var engines []*exec.Engine
+		for p := 0; p < cfg.preds; p++ {
+			levels, err := fusedSweepCascade(cfg.xfs[p], spec, int64(60+100*p))
+			if err != nil {
+				return err
+			}
+			cascades = append(cascades, levels)
+			eng, err := exec.New(levels)
+			if err != nil {
+				return err
+			}
+			engines = append(engines, eng)
+		}
+		fe, err := exec.NewFused(cascades...)
+		if err != nil {
+			return err
+		}
+
+		var seqBest time.Duration
+		seqReps := 0
+		for r := 0; r < repeats+1; r++ {
+			reps := 0
+			t0 := time.Now()
+			for _, eng := range engines {
+				run, err := eng.RunAll(exec.Frames(frames), opts)
+				if err != nil {
+					return fmt.Errorf("sequential %d-pred %s: %w", cfg.preds, cfg.grid, err)
+				}
+				reps += run.RepsMaterialized
+			}
+			wall := time.Since(t0)
+			// The first run per config is warmup (pool fill).
+			if r > 0 && (seqBest == 0 || wall < seqBest) {
+				seqBest, seqReps = wall, reps
+			}
+		}
+		var fusedBest time.Duration
+		fusedReps := 0
+		for r := 0; r < repeats+1; r++ {
+			run, err := fe.RunAll(exec.Frames(frames), opts)
+			if err != nil {
+				return fmt.Errorf("fused %d-pred %s: %w", cfg.preds, cfg.grid, err)
+			}
+			if r > 0 && (fusedBest == 0 || run.Wall < fusedBest) {
+				fusedBest, fusedReps = run.Wall, run.RepsMaterialized
+			}
+		}
+
+		seqFPS := float64(numFrames) / seqBest.Seconds()
+		fusedFPS := float64(numFrames) / fusedBest.Seconds()
+		rep.FusedResults = append(rep.FusedResults,
+			fusedSweepResult{
+				Predicates: cfg.preds, Grid: cfg.grid, Mode: "sequential",
+				Workers: 1, Batch: batch, Frames: numFrames,
+				FramesPerSec:     seqFPS,
+				NsPerFrame:       float64(seqBest.Nanoseconds()) / numFrames,
+				RepsMaterialized: seqReps,
+			},
+			fusedSweepResult{
+				Predicates: cfg.preds, Grid: cfg.grid, Mode: "fused",
+				Workers: 1, Batch: batch, Frames: numFrames,
+				FramesPerSec:     fusedFPS,
+				NsPerFrame:       float64(fusedBest.Nanoseconds()) / numFrames,
+				RepsMaterialized: fusedReps,
+				Speedup:          fusedFPS / seqFPS,
+			})
+	}
+
+	// Rep-served cell: the same 2-predicate shared-grid fused run, but with
+	// every slot served from a representation store through the LRU cache —
+	// no transforms at all, and the cache's own counters land in the JSON.
+	var cascades [][]exec.Level
+	for p := 0; p < 2; p++ {
+		levels, err := fusedSweepCascade(sharedGrid[p], spec, int64(60+100*p))
+		if err != nil {
+			return err
+		}
+		cascades = append(cascades, levels)
+	}
+	fe, err := exec.NewFused(cascades...)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "tahoma-sweep-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := repstore.Create(dir, sourceSize, sourceSize, sharedGrid[0])
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if err := store.IngestAll(frames); err != nil {
+		return err
+	}
+	cache, err := repstore.NewCache(store, 64<<20)
+	if err != nil {
+		return err
+	}
+	src := &cacheSource{cache: cache, avail: make(map[string]xform.Transform)}
+	for _, t := range store.Transforms() {
+		src.avail[t.ID()] = t
+	}
+	servedOpts := opts
+	servedOpts.RepSource = src
+	var best *exec.FusedReport
+	for r := 0; r < repeats+1; r++ {
+		run, err := fe.RunAll(exec.Frames(frames), servedOpts)
+		if err != nil {
+			return fmt.Errorf("rep-served fused: %w", err)
+		}
+		if r > 0 && (best == nil || run.Wall < best.Wall) {
+			best = run
+		}
+	}
+	rep.RepServed.Predicates = 2
+	rep.RepServed.FramesPerSec = best.Throughput
+	rep.RepServed.NsPerFrame = float64(best.Wall.Nanoseconds()) / numFrames
+	rep.RepServed.RepHits = best.RepHits
+	rep.RepServed.RepsMaterialized = best.RepsMaterialized
+	rep.RepServed.CacheHits = best.Cache.Hits
+	rep.RepServed.CacheMisses = best.Cache.Misses
+	rep.RepServed.CacheEvictedBytes = best.Cache.EvictedBytes
+	rep.RepServed.CacheResidentBytes = best.Cache.ResidentBytes
+	return nil
 }

@@ -10,11 +10,13 @@
 // predicates on a reduced grid; -scale test is the tiny grid the unit tests
 // use (seconds).
 //
-// -json runs the execution-engine throughput sweep (level-major vs
-// frame-major at several batch sizes on a deterministic synthetic cascade)
-// and writes machine-readable results, tracking the perf trajectory across
-// PRs (the committed snapshots are the BENCH_*.json files). Combine with
-// -exp none to run only the sweep.
+// -json runs the execution-engine throughput sweeps — level-major vs
+// frame-major at several batch sizes, and fused multi-predicate execution
+// vs sequential per-predicate runs (1/2/3 predicates, shared vs disjoint
+// representation grids) — on deterministic synthetic cascades and writes
+// machine-readable results, tracking the perf trajectory across PRs (the
+// committed snapshots are the BENCH_*.json files). Combine with -exp none
+// to run only the sweeps.
 package main
 
 import (

@@ -6,6 +6,17 @@
 //	tahoma frontier -zoo ./zoo/fence -scenario camera        print the Pareto frontier
 //	tahoma query    -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
 //	tahoma explain  -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
+//
+// query/explain execution flags: multi-predicate queries fuse their cascades
+// into one shared representation plan (-fused=false for sequential
+// predicate-at-a-time execution); -store-corpus queries straight out of the
+// representation store through a -cache-mb LRU instead of loading every
+// source into memory; -serve-reps additionally loads pre-materialized
+// representations from the store, skipping decode + transform for the
+// transforms it covers; -prefetch sizes the async ingest ring that overlaps
+// decode/transform with inference. Each query prints its classifier
+// invocations, representation work (transformed vs served) and the
+// rep-cache hit rate.
 package main
 
 import (
@@ -247,6 +258,11 @@ func cmdQuery(mode string, args []string) error {
 	loss := fs.Float64("accuracy-loss", 0.05, "permissible accuracy loss (Uacc)")
 	workers := fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "frames per execution-engine batch (0 = engine default)")
+	fused := fs.Bool("fused", true, "fuse multi-predicate queries into one shared representation-slot plan")
+	prefetch := fs.Int("prefetch", 0, "async ingest ring depth for fused queries (0 = auto, <0 = synchronous)")
+	storeCorpus := fs.Bool("store-corpus", false, "query straight out of the representation store through an LRU cache instead of loading sources into memory")
+	cacheMB := fs.Int("cache-mb", 64, "decoded-record LRU cache budget in MiB for -store-corpus")
+	serveReps := fs.Bool("serve-reps", false, "load pre-materialized representations from the store (implies -store-corpus); skips decode+transform for covered transforms")
 	fs.Parse(args)
 	if *zooDir == "" || *corpusDir == "" || *sql == "" {
 		return fmt.Errorf("%s: -zoo, -corpus and -sql are required", mode)
@@ -265,14 +281,9 @@ func cmdQuery(mode string, args []string) error {
 	}
 	defer store.Close()
 
-	var images []*img.Image
-	var meta []vdb.Metadata
-	if err := store.ScanSource(func(i int, im *img.Image) error {
-		images = append(images, im)
-		meta = append(meta, vdb.Metadata{ID: int64(i), Location: "corpus", Camera: "cam-0", TS: int64(i)})
-		return nil
-	}); err != nil {
-		return err
+	meta := make([]vdb.Metadata, store.Count())
+	for i := range meta {
+		meta[i] = vdb.Metadata{ID: int64(i), Location: "corpus", Camera: "cam-0", TS: int64(i)}
 	}
 
 	cm, err := scenario.NewAnalytic(kind, scenario.DefaultParams())
@@ -280,9 +291,27 @@ func cmdQuery(mode string, args []string) error {
 		return err
 	}
 	db := vdb.New(cm)
-	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch})
-	if err := db.LoadCorpus(images, meta); err != nil {
-		return err
+	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
+	db.SetFusion(*fused)
+	if *serveReps {
+		*storeCorpus = true
+	}
+	if *storeCorpus {
+		if err := db.LoadCorpusFromStore(store, int64(*cacheMB)<<20, meta); err != nil {
+			return err
+		}
+		db.ServeReps(*serveReps)
+	} else {
+		var images []*img.Image
+		if err := store.ScanSource(func(i int, im *img.Image) error {
+			images = append(images, im)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := db.LoadCorpus(images, meta); err != nil {
+			return err
+		}
 	}
 	// The category is the text inside contains_object(...) — register the
 	// loaded system under its own category name.
@@ -299,6 +328,7 @@ func cmdQuery(mode string, args []string) error {
 		fmt.Print(plan)
 		return nil
 	}
+	cacheBefore, hasCache := db.RepCacheStats()
 	res, err := db.Query(*sql, cons)
 	if err != nil {
 		return err
@@ -311,6 +341,36 @@ func cmdQuery(mode string, args []string) error {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Printf("-- %d rows, %d classifier invocations\n", res.Count, res.UDFCalls)
+	fusedTag := ""
+	if res.Fused {
+		fusedTag = " (fused)"
+	}
+	fmt.Printf("-- %d rows, %d classifier invocations%s\n", res.Count, res.UDFCalls, fusedTag)
+	if res.UDFCalls > 0 {
+		fmt.Printf("-- reps: %d transformed, %d served from store\n", res.RepsMaterialized, res.RepHits)
+	}
+	cacheStats, showCache := res.RepCache, res.HasRepCache
+	if !showCache && hasCache {
+		// Without -serve-reps no RepSource reaches the engines, but the
+		// store-backed corpus still decodes sources through the LRU cache:
+		// report that traffic from the cache's own counters.
+		after, _ := db.RepCacheStats()
+		cacheStats = exec.CacheStats{
+			Hits:          after.Hits - cacheBefore.Hits,
+			Misses:        after.Misses - cacheBefore.Misses,
+			EvictedBytes:  after.EvictedBytes - cacheBefore.EvictedBytes,
+			ResidentBytes: after.ResidentBytes,
+		}
+		showCache = true
+	}
+	if showCache {
+		total := cacheStats.Hits + cacheStats.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(cacheStats.Hits) / float64(total)
+		}
+		fmt.Printf("-- rep cache: %d hits, %d misses (%.0f%% hit rate), %.1f MiB resident\n",
+			cacheStats.Hits, cacheStats.Misses, rate, float64(cacheStats.ResidentBytes)/(1<<20))
+	}
 	return nil
 }

@@ -108,3 +108,102 @@ func BenchmarkExecEngine(b *testing.B) {
 		})
 	}
 }
+
+// benchFusedCascades builds preds cascades of depth 2: shared grids draw
+// every cascade's representations from the same gray ladder, disjoint grids
+// give each cascade its own color channel.
+func benchFusedCascades(b *testing.B, preds int, shared bool) [][]exec.Level {
+	b.Helper()
+	colors := []img.ColorMode{img.Red, img.Green, img.Blue}
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+	cascades := make([][]exec.Level, preds)
+	for p := 0; p < preds; p++ {
+		color := img.Gray
+		if !shared {
+			color = colors[p%len(colors)]
+		}
+		xfs := []xform.Transform{{Size: 8, Color: color}, {Size: 16, Color: color}}
+		levels := make([]exec.Level, len(xfs))
+		for i, t := range xfs {
+			m, err := model.New(spec, t, model.Basic, int64(60+100*p+i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			levels[i] = exec.Level{
+				Model: m,
+				// Wide uncertain bands: most frames descend both levels, so
+				// the benchmark exercises cross-cascade representation
+				// sharing, not just level 1.
+				Thresholds: thresh.Thresholds{Low: 0.4, High: 0.6},
+				Last:       i == len(xfs)-1,
+			}
+		}
+		cascades[p] = levels
+	}
+	return cascades
+}
+
+// BenchmarkExecFused measures fused multi-predicate execution against
+// sequential per-predicate engine runs: 1/2/3 predicates over shared vs
+// disjoint representation grids. With shared grids the fused engine
+// materializes each (frame, slot) once for the whole predicate set; run
+// with -benchmem to see that the steady state allocates ~nothing per frame.
+//
+//	go test -run=NONE -bench=BenchmarkExecFused -benchtime=1x -benchmem
+func BenchmarkExecFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	frames := make([]*img.Image, 256)
+	for i := range frames {
+		im := img.New(64, 64, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+	opts := exec.Options{Workers: 1, Batch: 64}
+	for _, cfg := range []struct {
+		preds  int
+		shared bool
+		grid   string
+	}{
+		{1, true, "shared"},
+		{2, true, "shared"},
+		{3, true, "shared"},
+		{2, false, "disjoint"},
+		{3, false, "disjoint"},
+	} {
+		cascades := benchFusedCascades(b, cfg.preds, cfg.shared)
+		b.Run(fmt.Sprintf("preds=%d/%s/sequential", cfg.preds, cfg.grid), func(b *testing.B) {
+			engines := make([]*exec.Engine, len(cascades))
+			for p, levels := range cascades {
+				eng, err := exec.New(levels)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines[p] = eng
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, eng := range engines {
+					if _, err := eng.RunAll(exec.Frames(frames), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "frames/sec")
+		})
+		b.Run(fmt.Sprintf("preds=%d/%s/fused", cfg.preds, cfg.grid), func(b *testing.B) {
+			fe, err := exec.NewFused(cascades...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fe.RunAll(exec.Frames(frames), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "frames/sec")
+		})
+	}
+}

@@ -72,6 +72,23 @@ func (rt *Runtime) Engine() (*exec.Engine, error) {
 	return rt.engine, rt.engErr
 }
 
+// FusedEngine builds a fused execution engine over several runtimes'
+// cascades: one global representation-slot plan spanning all of them, so a
+// transform shared by two predicates is materialized once per frame for the
+// whole set. The query executor fuses all content predicates of a query
+// this way.
+func FusedEngine(rts ...*Runtime) (*exec.Fused, error) {
+	cascades := make([][]exec.Level, len(rts))
+	for i, rt := range rts {
+		eng, err := rt.Engine()
+		if err != nil {
+			return nil, err
+		}
+		cascades[i] = eng.Levels()
+	}
+	return exec.NewFused(cascades...)
+}
+
 // Trace records what one classification did, for cost verification and
 // debugging.
 type Trace struct {

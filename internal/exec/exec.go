@@ -50,6 +50,46 @@ type Source interface {
 	Image(i int) (*img.Image, error)
 }
 
+// RepSource serves pre-materialized physical representations by source frame
+// index and transform identity (xform.Transform.ID). When a run has one, the
+// engines skip both the source decode and the transform for every slot the
+// source covers — the representation-store fast path the ARCHIVE and ONGOING
+// scenarios price. Implementations must be safe for concurrent use and must
+// return images the caller may read but never write: engines treat served
+// representations as immutable and keep them out of their pooled buffers.
+//
+// Served pixels are whatever the source stored (for repstore, the uint8-
+// quantized record), not a fresh transform of the decoded source, so labels
+// can legitimately differ from a RepSource-less run. Serving is decided once
+// per slot per run, so results remain deterministic and independent of
+// worker count, batch size and loop order.
+type RepSource interface {
+	// HasRep reports whether representations of transform id can be
+	// served. Engines consult it once per run per slot; availability must
+	// not change during a run.
+	HasRep(id string) bool
+	// Rep returns the representation of source frame i under transform id.
+	Rep(i int, id string) (*img.Image, error)
+}
+
+// CacheStats snapshots a caching RepSource's own accounting. In a Report the
+// Hits/Misses/EvictedBytes fields are per-run deltas and ResidentBytes is
+// the footprint when the run finished; repstore.Cache is the canonical
+// producer of the underlying counters.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	EvictedBytes  int64
+	ResidentBytes int64
+}
+
+// CacheStatser is optionally implemented by RepSources that keep cache
+// accounting; runs snapshot it before and after so per-run deltas land in
+// the report.
+type CacheStatser interface {
+	CacheStats() CacheStats
+}
+
 // Frames adapts an in-memory slice to Source.
 type Frames []*img.Image
 
@@ -86,6 +126,16 @@ type Options struct {
 	// buffers. Labels and stats are bit-identical either way; the flag
 	// exists as the parity oracle and benchmark baseline.
 	FrameMajor bool
+	// RepSource, when set, serves pre-materialized representations for
+	// the transforms it covers: served slots skip decode and transform
+	// entirely and are counted as RepHits instead of RepsMaterialized.
+	RepSource RepSource
+	// Prefetch sizes the fused engine's async ingest ring: how many
+	// batches may be decoded and first-level-materialized ahead of
+	// inference. 0 means default double buffering (Workers+1, at least
+	// 2); negative disables the pipeline and prepares batches inline.
+	// Engine.Run ignores it — only Fused.Run has the ingest stage.
+	Prefetch int
 }
 
 func (o Options) normalized() Options {
@@ -112,6 +162,7 @@ type BatchStats struct {
 	Frames           int
 	LevelsRun        int
 	RepsMaterialized int
+	RepHits          int // slots served by the RepSource instead of transformed
 	Wall             time.Duration
 }
 
@@ -120,12 +171,18 @@ type Report struct {
 	// Labels holds the binary label per classified frame, parallel to the
 	// index list the run was given.
 	Labels []bool
-	// Frames, LevelsRun and RepsMaterialized aggregate the batch stats.
+	// Frames, LevelsRun, RepsMaterialized and RepHits aggregate the
+	// batch stats.
 	Frames           int
 	LevelsRun        int
 	RepsMaterialized int
+	RepHits          int
 	// Batches reports per-batch work in frame order.
 	Batches []BatchStats
+	// Cache carries the run's delta of the RepSource's own cache
+	// counters when the source implements CacheStatser (HasCache then).
+	Cache    CacheStats
+	HasCache bool
 	// Wall is the end-to-end run time; Throughput is Frames/Wall in
 	// frames/sec, directly comparable to the evaluator's analytic
 	// Result.Throughput estimate.
@@ -148,12 +205,29 @@ type Engine struct {
 	workers sync.Pool
 }
 
+// validateLevels checks cascade shape: non-empty, every level has a model,
+// exactly the final level has Last set.
+func validateLevels(levels []Level) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("empty cascade")
+	}
+	for i, lv := range levels {
+		if lv.Model == nil {
+			return fmt.Errorf("level %d has no model", i)
+		}
+		if last := i == len(levels)-1; lv.Last != last {
+			return fmt.Errorf("level %d/%d has Last=%v", i+1, len(levels), lv.Last)
+		}
+	}
+	return nil
+}
+
 // New plans an engine for the cascade described by levels: exactly the
 // final level must have Last set. Transform dedup across levels is planned
 // here, once, instead of per frame.
 func New(levels []Level) (*Engine, error) {
-	if len(levels) == 0 {
-		return nil, fmt.Errorf("exec: empty cascade")
+	if err := validateLevels(levels); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
 	}
 	e := &Engine{
 		levels:  append([]Level(nil), levels...),
@@ -161,12 +235,6 @@ func New(levels []Level) (*Engine, error) {
 	}
 	slots := make(map[string]int, len(levels))
 	for i, lv := range levels {
-		if lv.Model == nil {
-			return nil, fmt.Errorf("exec: level %d has no model", i)
-		}
-		if last := i == len(levels)-1; lv.Last != last {
-			return nil, fmt.Errorf("exec: level %d/%d has Last=%v", i+1, len(levels), lv.Last)
-		}
 		id := lv.Model.Xform.ID()
 		slot, ok := slots[id]
 		if !ok {
@@ -180,6 +248,49 @@ func New(levels []Level) (*Engine, error) {
 	return e, nil
 }
 
+// serving is run-scoped RepSource state: the source plus the per-slot
+// serve-or-transform decision, fixed before the first batch so results are
+// independent of worker count, batch size and loop order. A nil *serving
+// means every slot is transformed.
+type serving struct {
+	rs     RepSource
+	served []bool // per slot
+}
+
+// on reports whether slot is served by the RepSource.
+func (sv *serving) on(slot int) bool { return sv != nil && sv.served[slot] }
+
+// needSource reports whether any slot still requires the decoded source.
+func (sv *serving) needSource() bool {
+	if sv == nil {
+		return true
+	}
+	for _, s := range sv.served {
+		if !s {
+			return true
+		}
+	}
+	return false
+}
+
+// newServing resolves the per-slot decisions for one run; nil when rs is nil
+// or serves none of the planned transforms.
+func newServing(rs RepSource, repIDs []string) *serving {
+	if rs == nil {
+		return nil
+	}
+	served := make([]bool, len(repIDs))
+	any := false
+	for s, id := range repIDs {
+		served[s] = rs.HasRep(id)
+		any = any || served[s]
+	}
+	if !any {
+		return nil
+	}
+	return &serving{rs: rs, served: served}
+}
+
 // Levels returns the engine's cascade stages.
 func (e *Engine) Levels() []Level { return e.levels }
 
@@ -189,9 +300,9 @@ func (e *Engine) Reps() []string { return append([]string(nil), e.repIDs...) }
 
 // classify runs the cascade on one frame. levels must be worker-local (or
 // otherwise exclusively held); slots must have len(e.repIDs) entries and is
-// clobbered. tr and st, when non-nil, receive per-frame and aggregate
-// accounting.
-func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, tr *Trace, st *BatchStats) (bool, error) {
+// clobbered. sv (optional) serves pre-materialized slots for source frame
+// idx. tr and st, when non-nil, receive per-frame and aggregate accounting.
+func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv *serving, idx int, tr *Trace, st *BatchStats) (bool, error) {
 	for i := range slots {
 		slots[i] = nil
 	}
@@ -199,13 +310,25 @@ func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, tr
 		slot := e.repSlot[li]
 		rep := slots[slot]
 		if rep == nil {
-			rep = lv.Model.Xform.Apply(src)
-			slots[slot] = rep
+			if sv.on(slot) {
+				var err error
+				rep, err = sv.rs.Rep(idx, e.repIDs[slot])
+				if err != nil {
+					return false, fmt.Errorf("serving rep %s: %w", e.repIDs[slot], err)
+				}
+				slots[slot] = rep
+				if st != nil {
+					st.RepHits++
+				}
+			} else {
+				rep = lv.Model.Xform.Apply(src)
+				slots[slot] = rep
+				if st != nil {
+					st.RepsMaterialized++
+				}
+			}
 			if tr != nil {
 				tr.RepsCreated = append(tr.RepsCreated, e.repIDs[slot])
-			}
-			if st != nil {
-				st.RepsMaterialized++
 			}
 		}
 		score, err := lv.Model.Score(rep)
@@ -238,7 +361,7 @@ func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
 		e.scratch = make([]*img.Image, len(e.repIDs))
 	}
 	var tr Trace
-	label, err := e.classify(e.levels, e.scratch, src, &tr, nil)
+	label, err := e.classify(e.levels, e.scratch, src, nil, -1, &tr, nil)
 	return label, tr, err
 }
 
@@ -302,17 +425,30 @@ func (e *Engine) cloneLevels() []Level {
 
 // runBatchFrameMajor is the legacy inner loop: each frame descends the
 // cascade alone via per-frame Score calls, materializing representations
-// into freshly allocated images.
-func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, labels []bool, st *BatchStats) error {
+// into freshly allocated images (or taking them from the RepSource).
+func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, labels []bool, st *BatchStats) error {
 	if w.slots == nil {
 		w.slots = make([]*img.Image, len(e.repIDs))
 	}
-	for j := lo; j < hi; j++ {
-		im, err := src.Image(indices[j])
-		if err != nil {
-			return fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
+	// Served slots hold cache-owned images; drop the references so the
+	// pooled worker does not pin them (and a later RepSource-less run
+	// cannot mistake one for an engine-owned buffer).
+	defer func() {
+		for i := range w.slots {
+			w.slots[i] = nil
 		}
-		label, err := e.classify(w.levels, w.slots, im, nil, st)
+	}()
+	needSrc := sv.needSource()
+	for j := lo; j < hi; j++ {
+		var im *img.Image
+		if needSrc {
+			var err error
+			im, err = src.Image(indices[j])
+			if err != nil {
+				return fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
+			}
+		}
+		label, err := e.classify(w.levels, w.slots, im, sv, indices[j], nil, st)
 		if err != nil {
 			return fmt.Errorf("exec: frame %d: %w", indices[j], err)
 		}
@@ -330,23 +466,38 @@ func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi
 // representations materialized and the resulting labels are exactly those
 // of the frame-major loop, just reordered — so LevelsRun/RepsMaterialized
 // accounting and labels are bit-identical to runBatchFrameMajor.
-func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, labels []bool, st *BatchStats) error {
 	n := hi - lo
 	w.ensure(n, len(e.repIDs))
 	// Unpin the borrowed source frames on every exit path: the worker goes
 	// back into the pool even when a batch fails, and must not keep frames
-	// reachable for the engine's lifetime.
+	// reachable for the engine's lifetime. Served slots hold cache-owned
+	// images — drop those references too, so the pool never offers a
+	// shared image as a writable ApplyInto target to a later run.
 	defer func() {
 		for j := 0; j < n; j++ {
 			w.srcs[j] = nil
 		}
-	}()
-	for j := 0; j < n; j++ {
-		im, err := src.Image(indices[lo+j])
-		if err != nil {
-			return fmt.Errorf("exec: loading frame %d: %w", indices[lo+j], err)
+		if sv != nil {
+			for s, on := range sv.served {
+				if !on {
+					continue
+				}
+				row := w.reps[s]
+				for j := 0; j < n; j++ {
+					row[j] = nil
+				}
+			}
 		}
-		w.srcs[j] = im
+	}()
+	if sv.needSource() {
+		for j := 0; j < n; j++ {
+			im, err := src.Image(indices[lo+j])
+			if err != nil {
+				return fmt.Errorf("exec: loading frame %d: %w", indices[lo+j], err)
+			}
+			w.srcs[j] = im
+		}
 	}
 	und := w.und[:0]
 	for j := 0; j < n; j++ {
@@ -368,9 +519,18 @@ func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi
 		gather := w.gather[:0]
 		for _, j := range und {
 			if !ok[j] {
-				bufs[j], w.proj[slot] = lv.Model.Xform.ApplyInto(bufs[j], w.srcs[j], w.proj[slot])
+				if sv.on(slot) {
+					rep, err := sv.rs.Rep(indices[lo+j], e.repIDs[slot])
+					if err != nil {
+						return fmt.Errorf("exec: frame %d: serving rep %s: %w", indices[lo+j], e.repIDs[slot], err)
+					}
+					bufs[j] = rep
+					st.RepHits++
+				} else {
+					bufs[j], w.proj[slot] = lv.Model.Xform.ApplyInto(bufs[j], w.srcs[j], w.proj[slot])
+					st.RepsMaterialized++
+				}
 				ok[j] = true
-				st.RepsMaterialized++
 			}
 			gather = append(gather, bufs[j])
 		}
@@ -431,6 +591,14 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 	}
 	start := time.Now()
 	rep := &Report{Labels: make([]bool, len(indices))}
+	sv := newServing(opts.RepSource, e.repIDs)
+	var cacher CacheStatser
+	var cacheBefore CacheStats
+	if sv != nil {
+		if c, ok := sv.rs.(CacheStatser); ok {
+			cacher, cacheBefore = c, c.CacheStats()
+		}
+	}
 	if len(indices) == 0 {
 		rep.Wall = time.Since(start)
 		return rep, nil
@@ -470,9 +638,9 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 				st.Start, st.Frames = lo, hi-lo
 				var err error
 				if opts.FrameMajor {
-					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, rep.Labels, st)
+					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, sv, rep.Labels, st)
 				} else {
-					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, rep.Labels, st)
+					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, sv, rep.Labels, st)
 				}
 				if err != nil {
 					failed.Store(true)
@@ -494,6 +662,17 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 		rep.Frames += st.Frames
 		rep.LevelsRun += st.LevelsRun
 		rep.RepsMaterialized += st.RepsMaterialized
+		rep.RepHits += st.RepHits
+	}
+	if cacher != nil {
+		after := cacher.CacheStats()
+		rep.HasCache = true
+		rep.Cache = CacheStats{
+			Hits:          after.Hits - cacheBefore.Hits,
+			Misses:        after.Misses - cacheBefore.Misses,
+			EvictedBytes:  after.EvictedBytes - cacheBefore.EvictedBytes,
+			ResidentBytes: after.ResidentBytes,
+		}
 	}
 	rep.Wall = time.Since(start)
 	if secs := rep.Wall.Seconds(); secs > 0 {

@@ -1,0 +1,638 @@
+// Fused multi-cascade execution: the whole-query half of the engine.
+//
+// A query with several content predicates selects one cascade per predicate,
+// and those cascades overwhelmingly draw their physical representations from
+// the same small transform grid. Run per predicate, each cascade decodes and
+// re-materializes the same representations once per predicate; Fused plans
+// the union of every cascade's transforms into one global slot set so each
+// distinct representation is materialized at most once per frame for the
+// whole query, while every cascade keeps its own survivor vector and
+// short-circuits exactly as it would alone. In front of the scoring loop an
+// async ingest stage (a bounded, double-buffered batch ring) overlaps decode
+// and first-level materialization of batch k+1 with inference on batch k,
+// and a pluggable RepSource lets a representation store serve
+// pre-materialized slots so hits skip the transform entirely.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/xform"
+)
+
+// Fused executes several cascades — typically all content predicates of one
+// query — over a shared representation-slot plan. Build it once per
+// predicate set with NewFused; Run is safe for concurrent use.
+type Fused struct {
+	cascades [][]Level
+	slot     [][]int           // [cascade][level] -> global representation slot
+	repIDs   []string          // per slot: transform identity
+	repXf    []xform.Transform // per slot: the transform itself
+	// workers pools per-goroutine scoring state (model clones shared
+	// across cascades, survivor bookkeeping); batches pools the
+	// representation buffer sets that cycle through the ingest ring.
+	workers sync.Pool
+	batches sync.Pool
+}
+
+// NewFused plans a fused engine over the given cascades. Each cascade is
+// validated like New's; transform dedup spans all of them, so a transform
+// appearing in several cascades gets a single global slot.
+func NewFused(cascades ...[]Level) (*Fused, error) {
+	if len(cascades) == 0 {
+		return nil, fmt.Errorf("exec: fused plan needs at least one cascade")
+	}
+	f := &Fused{slot: make([][]int, len(cascades))}
+	slots := make(map[string]int)
+	for c, levels := range cascades {
+		if err := validateLevels(levels); err != nil {
+			return nil, fmt.Errorf("exec: cascade %d: %w", c, err)
+		}
+		f.cascades = append(f.cascades, append([]Level(nil), levels...))
+		f.slot[c] = make([]int, len(levels))
+		for i, lv := range levels {
+			id := lv.Model.Xform.ID()
+			s, ok := slots[id]
+			if !ok {
+				s = len(f.repIDs)
+				slots[id] = s
+				f.repIDs = append(f.repIDs, id)
+				f.repXf = append(f.repXf, lv.Model.Xform)
+			}
+			f.slot[c][i] = s
+		}
+	}
+	f.workers.New = func() any { return &fusedWorker{cascades: f.cloneCascades()} }
+	f.batches.New = func() any { return &fusedBatch{} }
+	return f, nil
+}
+
+// Cascades returns the number of fused cascades.
+func (f *Fused) Cascades() int { return len(f.cascades) }
+
+// Reps returns the global representation-slot plan: the distinct transform
+// identities across every cascade, in first-use order.
+func (f *Fused) Reps() []string { return append([]string(nil), f.repIDs...) }
+
+// cloneCascades builds worker-local level sets: models are cloned (weights
+// shared, inference scratch independent), deduplicated across cascades so a
+// model appearing in several predicates is cloned once per worker.
+func (f *Fused) cloneCascades() [][]Level {
+	clones := make(map[*model.Model]*model.Model)
+	out := make([][]Level, len(f.cascades))
+	for c, levels := range f.cascades {
+		out[c] = make([]Level, len(levels))
+		for i, lv := range levels {
+			m, ok := clones[lv.Model]
+			if !ok {
+				m = lv.Model.Clone()
+				clones[lv.Model] = m
+			}
+			out[c][i] = Level{Model: m, Thresholds: lv.Thresholds, Last: lv.Last}
+		}
+	}
+	return out
+}
+
+// FusedBatchStats reports one batch's work under a fused run.
+type FusedBatchStats struct {
+	Start  int // offset of the batch within the run's frame list
+	Frames int
+	// LevelsRun is per cascade; RepsMaterialized and RepHits are global
+	// (a slot materialized once serves every cascade consuming it).
+	LevelsRun        []int
+	RepsMaterialized int
+	RepHits          int
+	// PrepWall is the ingest-side work (decode + first-level slots); under
+	// the async pipeline it overlaps the previous batch's Wall (scoring).
+	PrepWall time.Duration
+	Wall     time.Duration
+}
+
+// FusedReport is one fused run's accounting.
+type FusedReport struct {
+	// Labels[c][j] is cascade c's label for frame indices[j]. Positions a
+	// cascade was masked out of (see Fused.Run's need parameter) are false.
+	Labels [][]bool
+	// Frames counts classified positions of the run's frame list;
+	// LevelsRun is per cascade, RepsMaterialized and RepHits are global.
+	Frames           int
+	LevelsRun        []int
+	RepsMaterialized int
+	RepHits          int
+	// Batches reports per-batch work in frame order.
+	Batches []FusedBatchStats
+	// Cache carries the run's delta of the RepSource's own cache counters
+	// when the source implements CacheStatser (HasCache then).
+	Cache    CacheStats
+	HasCache bool
+	// Pipelined reports whether the async ingest ring ran (false for
+	// frame-major or Prefetch < 0 runs).
+	Pipelined  bool
+	Wall       time.Duration
+	Throughput float64
+}
+
+// fusedWorker is one scoring goroutine's private state.
+type fusedWorker struct {
+	cascades [][]Level
+	und      []int
+	gather   []*img.Image
+	scores   []float32
+}
+
+func (w *fusedWorker) ensure(n int) {
+	if cap(w.und) < n {
+		w.und = make([]int, n)
+		w.gather = make([]*img.Image, n)
+		w.scores = make([]float32, n)
+	}
+}
+
+// fusedBatch is one ring entry: the frames and pooled representation
+// buffers of a single batch. Exactly one goroutine owns a fusedBatch at a
+// time — the producer while preparing, then the consumer scoring it.
+type fusedBatch struct {
+	lo, hi int
+	st     *FusedBatchStats
+	srcs   []*img.Image
+	reps   [][]*img.Image // [slot][pos]
+	repOK  [][]bool       // [slot][pos]
+	proj   []*img.Image   // [slot] projection scratch for ApplyInto
+}
+
+func (fb *fusedBatch) ensure(n, nslots int) {
+	if cap(fb.srcs) < n {
+		grown := make([]*img.Image, n)
+		copy(grown, fb.srcs)
+		fb.srcs = grown
+	}
+	if fb.reps == nil {
+		fb.reps = make([][]*img.Image, nslots)
+		fb.repOK = make([][]bool, nslots)
+		fb.proj = make([]*img.Image, nslots)
+	}
+	for s := range fb.reps {
+		if cap(fb.reps[s]) < n {
+			grown := make([]*img.Image, n)
+			copy(grown, fb.reps[s])
+			fb.reps[s] = grown
+			fb.repOK[s] = make([]bool, n)
+		}
+	}
+}
+
+// fusedRun bundles one run's immutable parameters.
+type fusedRun struct {
+	f       *Fused
+	src     Source
+	indices []int
+	need    [][]bool // per cascade, positional over indices; nil = all
+	sv      *serving
+	labels  [][]bool
+}
+
+// needs reports whether cascade c must classify position pos.
+func (r *fusedRun) needs(c, pos int) bool {
+	return r.need == nil || r.need[c] == nil || r.need[c][pos]
+}
+
+// anyNeeds reports whether any cascade must classify position pos.
+func (r *fusedRun) anyNeeds(pos int) bool {
+	for c := range r.f.cascades {
+		if r.needs(c, pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// materialize fills slot for batch position j (frame indices[fb.lo+j]),
+// either serving it from the RepSource or transforming the decoded source
+// into the batch's pooled buffer.
+func (r *fusedRun) materialize(fb *fusedBatch, slot, j int) error {
+	if r.sv.on(slot) {
+		rep, err := r.sv.rs.Rep(r.indices[fb.lo+j], r.f.repIDs[slot])
+		if err != nil {
+			return fmt.Errorf("exec: frame %d: serving rep %s: %w", r.indices[fb.lo+j], r.f.repIDs[slot], err)
+		}
+		fb.reps[slot][j] = rep
+		fb.st.RepHits++
+	} else {
+		fb.reps[slot][j], fb.proj[slot] = r.f.repXf[slot].ApplyInto(fb.reps[slot][j], fb.srcs[j], fb.proj[slot])
+		fb.st.RepsMaterialized++
+	}
+	fb.repOK[slot][j] = true
+	return nil
+}
+
+// prepare is the ingest stage for one batch: decode the source frames (when
+// any slot still needs them) and materialize every cascade's first-level
+// slot for its needed frames. First levels run on every frame a cascade is
+// asked about, so this work is exactly what the scoring loop would do at
+// round zero — moving it here changes no accounting, it only lets the
+// pipeline overlap it with the previous batch's inference. Deeper slots
+// depend on which frames survive thresholding and stay lazy in consume.
+func (r *fusedRun) prepare(fb *fusedBatch) error {
+	n := fb.hi - fb.lo
+	fb.ensure(n, len(r.f.repIDs))
+	t0 := time.Now()
+	for s := range fb.repOK {
+		row := fb.repOK[s][:n]
+		for j := range row {
+			row[j] = false
+		}
+	}
+	if r.sv.needSource() {
+		for j := 0; j < n; j++ {
+			fb.srcs[j] = nil
+			if !r.anyNeeds(fb.lo + j) {
+				continue
+			}
+			im, err := r.src.Image(r.indices[fb.lo+j])
+			if err != nil {
+				return fmt.Errorf("exec: loading frame %d: %w", r.indices[fb.lo+j], err)
+			}
+			fb.srcs[j] = im
+		}
+	}
+	for c := range r.f.cascades {
+		slot := r.f.slot[c][0]
+		for j := 0; j < n; j++ {
+			if fb.repOK[slot][j] || !r.needs(c, fb.lo+j) {
+				continue
+			}
+			if err := r.materialize(fb, slot, j); err != nil {
+				return err
+			}
+		}
+	}
+	fb.st.PrepWall = time.Since(t0)
+	return nil
+}
+
+// consume scores one prepared batch, cascade-major: each cascade runs the
+// level-major survivor loop over the batch, drawing representations from
+// the shared slot buffers (whoever touches a (frame, slot) first
+// materializes it; everyone after reuses it).
+func (r *fusedRun) consume(w *fusedWorker, fb *fusedBatch) error {
+	n := fb.hi - fb.lo
+	w.ensure(n)
+	t0 := time.Now()
+	for c, levels := range w.cascades {
+		und := w.und[:0]
+		for j := 0; j < n; j++ {
+			if r.needs(c, fb.lo+j) {
+				und = append(und, j)
+			}
+		}
+		for li := range levels {
+			if len(und) == 0 {
+				break
+			}
+			lv := &levels[li]
+			slot := r.f.slot[c][li]
+			gather := w.gather[:0]
+			for _, j := range und {
+				if !fb.repOK[slot][j] {
+					if err := r.materialize(fb, slot, j); err != nil {
+						return err
+					}
+				}
+				gather = append(gather, fb.reps[slot][j])
+			}
+			scores := w.scores[:len(und)]
+			if err := lv.Model.ScoreBatchInto(gather, scores); err != nil {
+				// Re-score frame by frame to attribute the failure to a
+				// corpus index. Cold path: scoring errors abort the run.
+				for i, j := range und {
+					if _, ferr := lv.Model.Score(gather[i]); ferr != nil {
+						return fmt.Errorf("exec: frame %d: cascade %d level %d: %w", r.indices[fb.lo+j], c, li, ferr)
+					}
+				}
+				return fmt.Errorf("exec: cascade %d level %d: %w", c, li, err)
+			}
+			fb.st.LevelsRun[c] += len(und)
+			if lv.Last {
+				for i, j := range und {
+					r.labels[c][fb.lo+j] = scores[i] >= 0.5
+				}
+				und = und[:0]
+				break
+			}
+			keep := und[:0]
+			for i, j := range und {
+				if decided, positive := lv.Thresholds.Decide(scores[i]); decided {
+					r.labels[c][fb.lo+j] = positive
+				} else {
+					keep = append(keep, j)
+				}
+			}
+			und = keep
+		}
+		if len(und) != 0 {
+			// Unreachable: the last level always decides. Guard anyway.
+			return fmt.Errorf("exec: no level decided (malformed cascade)")
+		}
+	}
+	fb.st.Wall = time.Since(t0)
+	return nil
+}
+
+// consumeFrameMajor is the fused parity oracle: each frame walks every
+// cascade in turn via per-frame Score calls, still sharing the batch's slot
+// buffers across cascades. The (cascade, level) pairs executed and the
+// (frame, slot) pairs materialized are exactly consume's, just reordered,
+// so labels and all accounting are bit-identical.
+func (r *fusedRun) consumeFrameMajor(w *fusedWorker, fb *fusedBatch) error {
+	n := fb.hi - fb.lo
+	t0 := time.Now()
+	for j := 0; j < n; j++ {
+		for c, levels := range w.cascades {
+			if !r.needs(c, fb.lo+j) {
+				continue
+			}
+			decidedAt := -1
+			for li := range levels {
+				lv := &levels[li]
+				slot := r.f.slot[c][li]
+				if !fb.repOK[slot][j] {
+					if err := r.materialize(fb, slot, j); err != nil {
+						return err
+					}
+				}
+				score, err := lv.Model.Score(fb.reps[slot][j])
+				if err != nil {
+					return fmt.Errorf("exec: frame %d: cascade %d level %d: %w", r.indices[fb.lo+j], c, li, err)
+				}
+				fb.st.LevelsRun[c]++
+				if lv.Last {
+					r.labels[c][fb.lo+j] = score >= 0.5
+					decidedAt = li
+					break
+				}
+				if decided, positive := lv.Thresholds.Decide(score); decided {
+					r.labels[c][fb.lo+j] = positive
+					decidedAt = li
+					break
+				}
+			}
+			if decidedAt < 0 {
+				return fmt.Errorf("exec: no level decided (malformed cascade)")
+			}
+		}
+	}
+	fb.st.Wall = time.Since(t0)
+	return nil
+}
+
+// release drops borrowed references before a batch goes back to the ring:
+// source frames, and — for served slots — cache-owned representations that
+// must never become ApplyInto targets in a later run.
+func (r *fusedRun) release(fb *fusedBatch) {
+	for j := range fb.srcs {
+		fb.srcs[j] = nil
+	}
+	if r.sv != nil {
+		for s, on := range r.sv.served {
+			if !on {
+				continue
+			}
+			row := fb.reps[s]
+			for j := range row {
+				row[j] = nil
+			}
+		}
+	}
+}
+
+// RunAll classifies every frame of src under every cascade.
+func (f *Fused) RunAll(src Source, opts Options) (*FusedReport, error) {
+	return f.Run(src, nil, nil, opts)
+}
+
+// Run classifies the frames of src named by indices (nil = all) under every
+// fused cascade. need (optional) masks positions per cascade: cascade c
+// classifies position j only when need[c] is nil or need[c][j] — the shape
+// the query executor uses when predicates have different cached coverage.
+// Labels are positional and per cascade; results are bit-identical across
+// worker counts, batch sizes, frame-/level-major order and pipeline depth.
+func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*FusedReport, error) {
+	opts = opts.normalized()
+	if indices == nil {
+		indices = make([]int, src.Len())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if need != nil {
+		if len(need) != len(f.cascades) {
+			return nil, fmt.Errorf("exec: need mask covers %d cascades, fused plan has %d", len(need), len(f.cascades))
+		}
+		for c, m := range need {
+			if m != nil && len(m) != len(indices) {
+				return nil, fmt.Errorf("exec: need mask %d covers %d positions, run has %d", c, len(m), len(indices))
+			}
+		}
+	}
+	start := time.Now()
+	rep := &FusedReport{
+		Labels:    make([][]bool, len(f.cascades)),
+		LevelsRun: make([]int, len(f.cascades)),
+	}
+	for c := range rep.Labels {
+		rep.Labels[c] = make([]bool, len(indices))
+	}
+	sv := newServing(opts.RepSource, f.repIDs)
+	var cacher CacheStatser
+	var cacheBefore CacheStats
+	if sv != nil {
+		if c, ok := sv.rs.(CacheStatser); ok {
+			cacher, cacheBefore = c, c.CacheStats()
+		}
+	}
+	if len(indices) == 0 {
+		rep.Wall = time.Since(start)
+		return rep, nil
+	}
+
+	numBatches := (len(indices) + opts.Batch - 1) / opts.Batch
+	rep.Batches = make([]FusedBatchStats, numBatches)
+	for b := range rep.Batches {
+		lo := b * opts.Batch
+		hi := min(lo+opts.Batch, len(indices))
+		rep.Batches[b] = FusedBatchStats{Start: lo, Frames: hi - lo, LevelsRun: make([]int, len(f.cascades))}
+	}
+	run := &fusedRun{f: f, src: src, indices: indices, need: need, sv: sv, labels: rep.Labels}
+
+	workers := opts.Workers
+	if workers > numBatches {
+		workers = numBatches
+	}
+	var err error
+	if opts.FrameMajor || opts.Prefetch < 0 {
+		err = f.runSync(run, rep, numBatches, workers, opts)
+	} else {
+		rep.Pipelined = true
+		err = f.runPipelined(run, rep, numBatches, workers, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	for b := range rep.Batches {
+		st := &rep.Batches[b]
+		rep.Frames += st.Frames
+		rep.RepsMaterialized += st.RepsMaterialized
+		rep.RepHits += st.RepHits
+		for c, lr := range st.LevelsRun {
+			rep.LevelsRun[c] += lr
+		}
+	}
+	if cacher != nil {
+		after := cacher.CacheStats()
+		rep.HasCache = true
+		rep.Cache = CacheStats{
+			Hits:          after.Hits - cacheBefore.Hits,
+			Misses:        after.Misses - cacheBefore.Misses,
+			EvictedBytes:  after.EvictedBytes - cacheBefore.EvictedBytes,
+			ResidentBytes: after.ResidentBytes,
+		}
+	}
+	rep.Wall = time.Since(start)
+	if secs := rep.Wall.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Frames) / secs
+	}
+	return rep, nil
+}
+
+// runSync executes batches without the ingest pipeline: each worker
+// prepares and scores its own batches inline (the frame-major oracle always
+// runs this way).
+func (f *Fused) runSync(run *fusedRun, rep *FusedReport, numBatches, workers int, opts Options) error {
+	jobs := make(chan int, numBatches)
+	for b := 0; b < numBatches; b++ {
+		jobs <- b
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fw := f.workers.Get().(*fusedWorker)
+			defer f.workers.Put(fw)
+			fb := f.batches.Get().(*fusedBatch)
+			defer f.batches.Put(fb)
+			for b := range jobs {
+				if failed.Load() {
+					continue
+				}
+				fb.lo, fb.hi, fb.st = rep.Batches[b].Start, rep.Batches[b].Start+rep.Batches[b].Frames, &rep.Batches[b]
+				err := run.prepare(fb)
+				if err == nil {
+					if opts.FrameMajor {
+						err = run.consumeFrameMajor(fw, fb)
+					} else {
+						err = run.consume(fw, fb)
+					}
+				}
+				run.release(fb)
+				if err != nil {
+					failed.Store(true)
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runPipelined executes batches behind the async ingest stage: a producer
+// goroutine decodes and first-level-materializes batches into a bounded
+// ring of buffer sets while consumer workers score them. The ring bounds
+// memory (at most Prefetch batches in flight) and provides backpressure —
+// the producer blocks on a free buffer when ingest outruns inference.
+func (f *Fused) runPipelined(run *fusedRun, rep *FusedReport, numBatches, workers int, opts Options) error {
+	depth := opts.Prefetch
+	if depth == 0 {
+		depth = workers + 1
+		if depth < 2 {
+			depth = 2
+		}
+	}
+	if depth > numBatches {
+		depth = numBatches
+	}
+	ring := make(chan *fusedBatch, depth)
+	for i := 0; i < depth; i++ {
+		ring <- f.batches.Get().(*fusedBatch)
+	}
+	prepared := make(chan *fusedBatch, depth)
+	errs := make(chan error, workers+1)
+	var failed atomic.Bool
+
+	go func() {
+		defer close(prepared)
+		for b := 0; b < numBatches; b++ {
+			fb := <-ring
+			if failed.Load() {
+				ring <- fb
+				return
+			}
+			fb.lo, fb.hi, fb.st = rep.Batches[b].Start, rep.Batches[b].Start+rep.Batches[b].Frames, &rep.Batches[b]
+			if err := run.prepare(fb); err != nil {
+				failed.Store(true)
+				errs <- err
+				run.release(fb)
+				ring <- fb
+				return
+			}
+			prepared <- fb
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fw := f.workers.Get().(*fusedWorker)
+			defer f.workers.Put(fw)
+			for fb := range prepared {
+				if !failed.Load() {
+					if err := run.consume(fw, fb); err != nil {
+						failed.Store(true)
+						errs <- err
+					}
+				}
+				run.release(fb)
+				ring <- fb
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < depth; i++ {
+		f.batches.Put(<-ring)
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

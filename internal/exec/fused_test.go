@@ -1,0 +1,508 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+// buildCascades constructs numCascades cascades over the shared transform
+// list buildLevels uses, with distinct model seeds, so their representation
+// grids overlap exactly as a real multi-predicate query's would.
+func buildCascades(t *testing.T, seed int64, depths []int) [][]Level {
+	t.Helper()
+	out := make([][]Level, len(depths))
+	for c, d := range depths {
+		out[c] = buildLevels(t, seed+int64(100*c), d)
+	}
+	return out
+}
+
+// referenceFusedClassify is the independent oracle for fused execution: a
+// per-frame walk over every cascade with ONE shared representation map per
+// frame, mirroring how the seed runtime deduplicated transforms — but across
+// cascades. Returns per-cascade labels and levels-run, plus the global count
+// of materialized representations.
+func referenceFusedClassify(t *testing.T, cascades [][]Level, frames []*img.Image, need [][]bool) (labels [][]bool, levelsRun []int, reps int) {
+	t.Helper()
+	labels = make([][]bool, len(cascades))
+	levelsRun = make([]int, len(cascades))
+	for c := range labels {
+		labels[c] = make([]bool, len(frames))
+	}
+	for i, f := range frames {
+		cache := make(map[string]*img.Image)
+		for c, levels := range cascades {
+			if need != nil && need[c] != nil && !need[c][i] {
+				continue
+			}
+			decided := false
+			for _, lv := range levels {
+				id := lv.Model.Xform.ID()
+				rep, ok := cache[id]
+				if !ok {
+					rep = lv.Model.Xform.Apply(f)
+					cache[id] = rep
+					reps++
+				}
+				score, err := lv.Model.Score(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				levelsRun[c]++
+				if lv.Last {
+					labels[c][i] = score >= 0.5
+					decided = true
+					break
+				}
+				if dec, positive := lv.Thresholds.Decide(score); dec {
+					labels[c][i] = positive
+					decided = true
+					break
+				}
+			}
+			if !decided {
+				t.Fatal("no level decided")
+			}
+		}
+	}
+	return labels, levelsRun, reps
+}
+
+// TestFusedSequentialParity is the fused engine's core property: for every
+// worker count × batch size × level-/frame-major × pipeline depth, a fused
+// run returns bit-identical labels and per-cascade LevelsRun to sequential
+// per-cascade engine runs, and its global RepsMaterialized equals the
+// shared-representation reference walk (invariant across all sizings).
+func TestFusedSequentialParity(t *testing.T) {
+	cascades := buildCascades(t, 2100, []int{2, 3, 1})
+	fe, err := NewFused(cascades...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(2200, 47, 32)
+
+	// Sequential baseline: each cascade through its own engine.
+	seqLabels := make([][]bool, len(cascades))
+	seqLevels := make([]int, len(cascades))
+	for c, levels := range cascades {
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.RunAll(Frames(frames), Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqLabels[c] = rep.Labels
+		seqLevels[c] = rep.LevelsRun
+	}
+	refLabels, refLevels, refReps := referenceFusedClassify(t, cascades, frames, nil)
+	for c := range cascades {
+		if refLevels[c] != seqLevels[c] {
+			t.Fatalf("cascade %d: reference %d levels, sequential %d", c, refLevels[c], seqLevels[c])
+		}
+		for i := range frames {
+			if refLabels[c][i] != seqLabels[c][i] {
+				t.Fatalf("cascade %d frame %d: reference label %v, sequential %v", c, i, refLabels[c][i], seqLabels[c][i])
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 5, 16, 100} {
+			for _, mode := range []string{"level", "frame"} {
+				for _, prefetch := range []int{0, -1, 3} {
+					if mode == "frame" && prefetch != -1 {
+						continue // the frame-major oracle always runs inline
+					}
+					name := fmt.Sprintf("w=%d/b=%d/%s-major/prefetch=%d", workers, batch, mode, prefetch)
+					t.Run(name, func(t *testing.T) {
+						opts := Options{Workers: workers, Batch: batch, FrameMajor: mode == "frame", Prefetch: prefetch}
+						rep, err := fe.RunAll(Frames(frames), opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if rep.Frames != len(frames) {
+							t.Fatalf("processed %d frames, want %d", rep.Frames, len(frames))
+						}
+						for c := range cascades {
+							if rep.LevelsRun[c] != seqLevels[c] {
+								t.Fatalf("cascade %d: fused ran %d levels, sequential %d", c, rep.LevelsRun[c], seqLevels[c])
+							}
+							for i := range frames {
+								if rep.Labels[c][i] != seqLabels[c][i] {
+									t.Fatalf("cascade %d frame %d: fused %v, sequential %v", c, i, rep.Labels[c][i], seqLabels[c][i])
+								}
+							}
+						}
+						if rep.RepsMaterialized != refReps {
+							t.Fatalf("RepsMaterialized = %d, reference = %d", rep.RepsMaterialized, refReps)
+						}
+						if rep.RepHits != 0 || rep.HasCache {
+							t.Fatalf("no RepSource, but RepHits=%d HasCache=%v", rep.RepHits, rep.HasCache)
+						}
+						gotFrames, gotReps := 0, 0
+						for _, st := range rep.Batches {
+							gotFrames += st.Frames
+							gotReps += st.RepsMaterialized
+						}
+						if gotFrames != len(frames) || gotReps != rep.RepsMaterialized {
+							t.Fatalf("batch stats cover %d frames / %d reps, run reports %d / %d",
+								gotFrames, gotReps, rep.Frames, rep.RepsMaterialized)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestFusedExactlyOnceMaterialization pins the headline economics: two
+// cascades with fully-overlapping representation grids materialize each
+// (frame, slot) pair exactly once per fused run — half what sequential
+// per-predicate execution pays — at every worker count and batch size.
+func TestFusedExactlyOnceMaterialization(t *testing.T) {
+	xfs := []xform.Transform{
+		{Size: 8, Color: img.Gray},
+		{Size: 16, Color: img.Gray},
+	}
+	mkCascade := func(seed int64) []Level {
+		levels := make([]Level, len(xfs))
+		for i, xf := range xfs {
+			spec := arch.Spec{ConvLayers: 1, ConvWidth: 2, DenseWidth: 2, Kernel: 3}
+			m, err := model.New(spec, xf, model.Basic, seed+int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			levels[i] = Level{
+				Model: m,
+				// Never-deciding band: every frame descends every level, so
+				// every (frame, slot) pair is touched by both cascades.
+				Thresholds: thresh.Thresholds{Low: -1, High: 2},
+				Last:       i == len(xfs)-1,
+			}
+		}
+		return levels
+	}
+	a, b := mkCascade(3100), mkCascade(3200)
+	fe, err := NewFused(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fe.Reps()); got != len(xfs) {
+		t.Fatalf("global plan has %d slots, want %d (fully overlapping)", got, len(xfs))
+	}
+	frames := randFrames(3300, 40, 32)
+
+	seqReps := 0
+	for _, levels := range [][]Level{a, b} {
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.RunAll(Frames(frames), Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqReps += rep.RepsMaterialized
+	}
+	want := len(frames) * len(xfs)
+	if seqReps != 2*want {
+		t.Fatalf("sequential materialized %d reps, want %d (once per cascade)", seqReps, 2*want)
+	}
+	for _, workers := range []int{1, 3} {
+		for _, batch := range []int{1, 7, 64} {
+			rep, err := fe.RunAll(Frames(frames), Options{Workers: workers, Batch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.RepsMaterialized != want {
+				t.Fatalf("w=%d b=%d: fused materialized %d reps, want exactly %d (once per frame-slot)",
+					workers, batch, rep.RepsMaterialized, want)
+			}
+		}
+	}
+}
+
+// TestFusedNeedMasks: per-cascade masks restrict classification to the
+// requested positions — the shape the query executor uses when predicates
+// have different materialized-column coverage.
+func TestFusedNeedMasks(t *testing.T) {
+	cascades := buildCascades(t, 4100, []int{2, 2})
+	fe, err := NewFused(cascades...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(4200, 30, 32)
+	full, err := fe.RunAll(Frames(frames), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := [][]bool{make([]bool, len(frames)), nil} // cascade 1: all positions
+	for i := range frames {
+		need[0][i] = i%3 == 0
+	}
+	_, _, refReps := referenceFusedClassify(t, cascades, frames, need)
+	for _, prefetch := range []int{0, -1} {
+		masked, err := fe.Run(Frames(frames), nil, need, Options{Workers: 2, Batch: 8, Prefetch: prefetch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if need[0][i] && masked.Labels[0][i] != full.Labels[0][i] {
+				t.Fatalf("prefetch=%d: masked label disagrees at needed position %d", prefetch, i)
+			}
+			if !need[0][i] && masked.Labels[0][i] {
+				t.Fatalf("prefetch=%d: masked-out position %d was labeled", prefetch, i)
+			}
+			if masked.Labels[1][i] != full.Labels[1][i] {
+				t.Fatalf("prefetch=%d: unmasked cascade disagrees at %d", prefetch, i)
+			}
+		}
+		if masked.LevelsRun[0] >= full.LevelsRun[0] || masked.LevelsRun[1] != full.LevelsRun[1] {
+			t.Fatalf("prefetch=%d: masked LevelsRun %v vs full %v", prefetch, masked.LevelsRun, full.LevelsRun)
+		}
+		if masked.RepsMaterialized != refReps {
+			t.Fatalf("prefetch=%d: masked RepsMaterialized %d, reference %d", prefetch, masked.RepsMaterialized, refReps)
+		}
+	}
+	// Mask shape errors.
+	if _, err := fe.Run(Frames(frames), nil, [][]bool{nil}, Options{}); err == nil {
+		t.Fatal("mask with wrong cascade count must be rejected")
+	}
+	if _, err := fe.Run(Frames(frames), nil, [][]bool{make([]bool, 3), nil}, Options{}); err == nil {
+		t.Fatal("mask with wrong position count must be rejected")
+	}
+}
+
+// fakeRepSource serves pre-computed representations for a subset of
+// transforms and counts Rep calls as cache hits.
+type fakeRepSource struct {
+	reps map[string][]*img.Image // transform id -> per-frame representation
+	hits atomic.Int64
+}
+
+func (s *fakeRepSource) HasRep(id string) bool { _, ok := s.reps[id]; return ok }
+
+func (s *fakeRepSource) Rep(i int, id string) (*img.Image, error) {
+	reps, ok := s.reps[id]
+	if !ok || i < 0 || i >= len(reps) {
+		return nil, fmt.Errorf("fake: no rep %s/%d", id, i)
+	}
+	s.hits.Add(1)
+	return reps[i], nil
+}
+
+func (s *fakeRepSource) CacheStats() CacheStats {
+	return CacheStats{Hits: s.hits.Load()}
+}
+
+// TestFusedRepSource: served slots skip the transform (RepHits instead of
+// RepsMaterialized), labels stay bit-identical when the source serves
+// exactly what the transform would produce, and the source's own cache
+// counters surface on the report.
+func TestFusedRepSource(t *testing.T) {
+	cascades := buildCascades(t, 5100, []int{3, 2})
+	fe, err := NewFused(cascades...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(5200, 35, 32)
+	base, err := fe.RunAll(Frames(frames), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve 8x8/gray (slot 0 of both cascades) with bit-identical images.
+	served := xform.Transform{Size: 8, Color: img.Gray}
+	src := &fakeRepSource{reps: map[string][]*img.Image{served.ID(): nil}}
+	for _, f := range frames {
+		src.reps[served.ID()] = append(src.reps[served.ID()], served.Apply(f))
+	}
+
+	var first *FusedReport
+	for _, opts := range []Options{
+		{Workers: 1, Batch: 4, RepSource: src},
+		{Workers: 3, Batch: 16, RepSource: src},
+		{Workers: 2, Batch: 8, FrameMajor: true, RepSource: src},
+		{Workers: 2, Batch: 8, Prefetch: -1, RepSource: src},
+	} {
+		rep, err := fe.RunAll(Frames(frames), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range cascades {
+			for i := range frames {
+				if rep.Labels[c][i] != base.Labels[c][i] {
+					t.Fatalf("opts %+v: served label differs at cascade %d frame %d", opts, c, i)
+				}
+			}
+			if rep.LevelsRun[c] != base.LevelsRun[c] {
+				t.Fatalf("opts %+v: LevelsRun[%d] = %d, base %d", opts, c, rep.LevelsRun[c], base.LevelsRun[c])
+			}
+		}
+		if rep.RepHits == 0 {
+			t.Fatal("served slot produced no RepHits")
+		}
+		if rep.RepHits+rep.RepsMaterialized != base.RepsMaterialized {
+			t.Fatalf("hits (%d) + materialized (%d) != base materialized (%d)",
+				rep.RepHits, rep.RepsMaterialized, base.RepsMaterialized)
+		}
+		if !rep.HasCache {
+			t.Fatal("CacheStatser source did not surface cache stats")
+		}
+		if rep.Cache.Hits != int64(rep.RepHits) {
+			t.Fatalf("cache delta %d != engine RepHits %d", rep.Cache.Hits, rep.RepHits)
+		}
+		if first == nil {
+			first = rep
+		} else if rep.RepHits != first.RepHits || rep.RepsMaterialized != first.RepsMaterialized {
+			t.Fatalf("serving not invariant across sizings: %d/%d vs %d/%d",
+				rep.RepHits, rep.RepsMaterialized, first.RepHits, first.RepsMaterialized)
+		}
+	}
+}
+
+// TestEngineRepSource: the single-cascade engine honours Options.RepSource
+// the same way — frame- and level-major — so the query executor's
+// sequential fallback still skips transforms the store has materialized.
+func TestEngineRepSource(t *testing.T) {
+	levels := buildLevels(t, 5500, 3)
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(5600, 25, 32)
+	base, err := eng.RunAll(Frames(frames), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := xform.Transform{Size: 8, Color: img.Gray}
+	src := &fakeRepSource{reps: map[string][]*img.Image{served.ID(): nil}}
+	for _, f := range frames {
+		src.reps[served.ID()] = append(src.reps[served.ID()], served.Apply(f))
+	}
+	for _, frameMajor := range []bool{false, true} {
+		rep, err := eng.RunAll(Frames(frames), Options{Workers: 2, Batch: 8, FrameMajor: frameMajor, RepSource: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if rep.Labels[i] != base.Labels[i] {
+				t.Fatalf("frameMajor=%v: served label differs at frame %d", frameMajor, i)
+			}
+		}
+		if rep.LevelsRun != base.LevelsRun {
+			t.Fatalf("frameMajor=%v: LevelsRun %d, base %d", frameMajor, rep.LevelsRun, base.LevelsRun)
+		}
+		if rep.RepHits == 0 || rep.RepHits+rep.RepsMaterialized != base.RepsMaterialized {
+			t.Fatalf("frameMajor=%v: hits %d + materialized %d != base %d",
+				frameMajor, rep.RepHits, rep.RepsMaterialized, base.RepsMaterialized)
+		}
+		if !rep.HasCache || rep.Cache.Hits != int64(rep.RepHits) {
+			t.Fatalf("frameMajor=%v: cache stats %+v vs RepHits %d", frameMajor, rep.Cache, rep.RepHits)
+		}
+	}
+	// A run against a second engine without the source must be unaffected
+	// by the pooled buffers the served run left behind.
+	again, err := eng.RunAll(Frames(frames), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.RepsMaterialized != base.RepsMaterialized || again.RepHits != 0 {
+		t.Fatalf("post-serving run: %d reps / %d hits, want %d / 0",
+			again.RepsMaterialized, again.RepHits, base.RepsMaterialized)
+	}
+	for i := range frames {
+		if again.Labels[i] != base.Labels[i] {
+			t.Fatalf("post-serving label differs at frame %d", i)
+		}
+	}
+}
+
+// TestFusedErrorNamesFrame: scoring failures must name the offending corpus
+// frame in every execution mode, including through the async pipeline.
+func TestFusedErrorNamesFrame(t *testing.T) {
+	cascades := buildCascades(t, 6100, []int{2, 2})
+	// Never-deciding first levels so every frame reaches the 16x16/rgb level.
+	for c := range cascades {
+		cascades[c][0].Thresholds.Low, cascades[c][0].Thresholds.High = -1, 2
+	}
+	fe, err := NewFused(cascades...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(6200, 10, 32)
+	frames[7] = img.New(32, 32, img.Gray)
+	for _, opts := range []Options{
+		{Workers: 1, Batch: 5},
+		{Workers: 2, Batch: 3, Prefetch: 2},
+		{Workers: 1, Batch: 5, Prefetch: -1},
+		{Workers: 1, Batch: 5, FrameMajor: true},
+	} {
+		_, err := fe.RunAll(Frames(frames), opts)
+		if err == nil {
+			t.Fatalf("opts %+v: grayscale frame under an RGB level must fail", opts)
+		}
+		if !strings.Contains(err.Error(), "frame 7") {
+			t.Fatalf("opts %+v: error %q does not name frame 7", opts, err)
+		}
+	}
+	// Ingest-side failures (source loads) surface too, sync and async.
+	for _, prefetch := range []int{0, -1} {
+		_, err := fe.Run(Frames(frames), []int{0, 99}, nil, Options{Workers: 2, Batch: 1, Prefetch: prefetch})
+		if err == nil || !strings.Contains(err.Error(), "99") {
+			t.Fatalf("prefetch=%d: out-of-range load error = %v, want frame 99 named", prefetch, err)
+		}
+	}
+}
+
+func TestNewFusedValidation(t *testing.T) {
+	if _, err := NewFused(); err == nil {
+		t.Fatal("empty cascade set must be rejected")
+	}
+	levels := buildLevels(t, 6300, 2)
+	bad := append([]Level(nil), levels...)
+	bad[1].Last = false
+	if _, err := NewFused(levels, bad); err == nil {
+		t.Fatal("malformed member cascade must be rejected")
+	}
+	if _, err := NewFused(levels, nil); err == nil {
+		t.Fatal("nil member cascade must be rejected")
+	}
+}
+
+// TestFusedEmptyAndSubset: empty runs and positional index subsets.
+func TestFusedEmptyAndSubset(t *testing.T) {
+	cascades := buildCascades(t, 6400, []int{2})
+	fe, err := NewFused(cascades...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fe.RunAll(Frames(nil), Options{})
+	if err != nil || rep.Frames != 0 || len(rep.Labels[0]) != 0 {
+		t.Fatalf("empty run: %+v, %v", rep, err)
+	}
+	frames := randFrames(6500, 10, 32)
+	full, err := fe.RunAll(Frames(frames), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := fe.Run(Frames(frames), []int{7, 2, 9}, nil, Options{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, idx := range []int{7, 2, 9} {
+		if sub.Labels[0][j] != full.Labels[0][idx] {
+			t.Fatalf("subset label %d (row %d) disagrees with full run", j, idx)
+		}
+	}
+}

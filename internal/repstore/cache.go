@@ -23,8 +23,20 @@ type Cache struct {
 	lru   *list.List // front = most recent; values are *cacheEntry
 	items map[cacheKey]*list.Element
 
-	hits   int64
-	misses int64
+	hits    int64
+	misses  int64
+	evicted int64 // cumulative bytes pushed out by the LRU policy
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters. Hits,
+// Misses and EvictedBytes are cumulative since construction; ResidentBytes
+// is the current footprint. Execution reports subtract two snapshots to
+// attribute cache work to a single run.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	EvictedBytes  int64
+	ResidentBytes int64
 }
 
 type cacheKey struct {
@@ -99,15 +111,23 @@ func (c *Cache) get(key cacheKey, load func() (*img.Image, error)) (*img.Image, 
 		c.lru.Remove(oldest)
 		delete(c.items, entry.key)
 		c.bytes -= int64(entry.im.Bytes())
+		c.evicted += int64(entry.im.Bytes())
 	}
 	return im, nil
 }
 
 // Stats reports cache effectiveness.
-func (c *Cache) Stats() (hits, misses int64, residentBytes int64) {
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.bytes
+	return CacheStats{Hits: c.hits, Misses: c.misses, EvictedBytes: c.evicted, ResidentBytes: c.bytes}
+}
+
+// Has reports whether the underlying store materializes transform t, i.e.
+// whether Rep(i, t) can serve without transforming anything.
+func (c *Cache) Has(t xform.Transform) bool {
+	_, ok := c.store.reps[t.ID()]
+	return ok
 }
 
 // Len returns the number of cached records.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tahoma/internal/img"
+	"tahoma/internal/xform"
 )
 
 func cacheFixture(t *testing.T, n int) (*Store, []*img.Image) {
@@ -54,9 +55,9 @@ func TestCacheHitsAndCorrectness(t *testing.T) {
 			t.Fatal("cached content differs from direct read")
 		}
 	}
-	hits, misses, resident := c.Stats()
-	if hits != 1 || misses != 1 || resident <= 0 {
-		t.Fatalf("stats: hits=%d misses=%d resident=%d", hits, misses, resident)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.ResidentBytes <= 0 {
+		t.Fatalf("stats: %+v", st)
 	}
 
 	// Representation reads cache under a distinct key.
@@ -91,17 +92,21 @@ func TestCacheEviction(t *testing.T) {
 	if c.Len() > 2 {
 		t.Fatalf("cache holds %d entries over budget", c.Len())
 	}
-	_, _, resident := c.Stats()
-	if resident > 7000 {
-		t.Fatalf("resident %d exceeds capacity", resident)
+	st := c.Stats()
+	if st.ResidentBytes > 7000 {
+		t.Fatalf("resident %d exceeds capacity", st.ResidentBytes)
+	}
+	// 8 sources were loaded and at most 2 fit: the other 6 were evicted.
+	if want := int64(6 * 3072); st.EvictedBytes != want {
+		t.Fatalf("evicted %d bytes, want %d", st.EvictedBytes, want)
 	}
 	// Most recent entry must still hit.
-	before, _, _ := c.Stats()
+	before := c.Stats()
 	if _, err := c.Source(7); err != nil {
 		t.Fatal(err)
 	}
-	after, _, _ := c.Stats()
-	if after != before+1 {
+	after := c.Stats()
+	if after.Hits != before.Hits+1 {
 		t.Fatal("most recent entry was evicted")
 	}
 }
@@ -122,15 +127,15 @@ func TestCacheLRUOrder(t *testing.T) {
 	mustGet(1)
 	mustGet(0) // refresh 0 so 1 is the LRU victim
 	mustGet(2) // evicts 1
-	h0, _, _ := c.Stats()
+	h0 := c.Stats().Hits
 	mustGet(0) // must still hit
-	h1, _, _ := c.Stats()
+	h1 := c.Stats().Hits
 	if h1 != h0+1 {
 		t.Fatal("entry 0 was evicted despite being refreshed")
 	}
-	_, m0, _ := c.Stats()
+	m0 := c.Stats().Misses
 	mustGet(1) // must miss (was evicted)
-	_, m1, _ := c.Stats()
+	m1 := c.Stats().Misses
 	if m1 != m0+1 {
 		t.Fatal("entry 1 should have been evicted")
 	}
@@ -165,9 +170,38 @@ func TestCacheConcurrent(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
-	hits, misses, _ := c.Stats()
-	if hits+misses != 800 {
-		t.Fatalf("accounting lost requests: %d + %d != 800", hits, misses)
+	st := c.Stats()
+	if st.Hits+st.Misses != 800 {
+		t.Fatalf("accounting lost requests: %d + %d != 800", st.Hits, st.Misses)
+	}
+}
+
+// TestCacheStatsPinned drives a deterministic access pattern and pins every
+// counter exactly: the Stats() numbers feed execution reports and the bench
+// JSON, so their arithmetic must not drift.
+func TestCacheStatsPinned(t *testing.T) {
+	s, _ := cacheFixture(t, 4)
+	// Room for exactly two 16×16 RGB sources (3·256·4 = 3072 bytes each).
+	c, err := NewCache(s, 2*3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 0, 2, 0, 1} {
+		// 0 miss, 1 miss, 0 hit, 2 miss(evicts 1), 0 hit, 1 miss(evicts 2).
+		if _, err := c.Source(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	want := CacheStats{Hits: 2, Misses: 4, EvictedBytes: 2 * 3072, ResidentBytes: 2 * 3072}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+	if !c.Has(testTransforms[0]) {
+		t.Fatal("Has must report the store's materialized transform")
+	}
+	if c.Has(xform.Transform{Size: 4, Color: img.Gray}) {
+		t.Fatal("Has must reject a transform the store lacks")
 	}
 }
 

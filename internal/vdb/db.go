@@ -12,6 +12,7 @@ import (
 	"tahoma/internal/pareto"
 	"tahoma/internal/repstore"
 	"tahoma/internal/scenario"
+	"tahoma/internal/xform"
 )
 
 // Metadata is the relational half of one image row.
@@ -142,6 +143,48 @@ func (s *storeCorpus) appendImages(ims []*img.Image) error {
 	return s.store.IngestAll(ims)
 }
 
+// repSource adapts a store-backed corpus (and its LRU cache) to
+// exec.RepSource, so the execution engines load pre-materialized
+// representations instead of decoding the source and transforming — the
+// physical fast path the ARCHIVE and ONGOING scenarios price. Served pixels
+// are the store's quantized records, exactly what those scenarios load.
+type repSource struct {
+	sc    *storeCorpus
+	avail map[string]xform.Transform
+}
+
+func (s *storeCorpus) repSource() *repSource {
+	avail := make(map[string]xform.Transform)
+	for _, t := range s.store.Transforms() {
+		avail[t.ID()] = t
+	}
+	return &repSource{sc: s, avail: avail}
+}
+
+func (r *repSource) HasRep(id string) bool {
+	_, ok := r.avail[id]
+	return ok
+}
+
+func (r *repSource) Rep(i int, id string) (*img.Image, error) {
+	t, ok := r.avail[id]
+	if !ok {
+		return nil, fmt.Errorf("vdb: transform %s not materialized in the corpus store", id)
+	}
+	if r.sc.cache != nil {
+		return r.sc.cache.Rep(i, t)
+	}
+	return r.sc.store.LoadRep(i, t)
+}
+
+func (r *repSource) CacheStats() exec.CacheStats {
+	if r.sc.cache == nil {
+		return exec.CacheStats{}
+	}
+	st := r.sc.cache.Stats()
+	return exec.CacheStats{Hits: st.Hits, Misses: st.Misses, EvictedBytes: st.EvictedBytes, ResidentBytes: st.ResidentBytes}
+}
+
 // DB is a visual analytics database over one images table.
 type DB struct {
 	corpus     Corpus
@@ -150,12 +193,54 @@ type DB struct {
 	predicates map[string]*Predicate
 	trigger    TriggerPolicy
 	execOpts   exec.Options
+	fusionOff  bool
+	serveReps  bool
+	reps       *repSource // built with the store-backed corpus
 }
 
 // SetExecOptions sizes the batched execution engine used for content
 // predicates (query-time and trigger-time classification). The zero value
 // means GOMAXPROCS workers and the engine's default batch size.
 func (db *DB) SetExecOptions(o exec.Options) { db.execOpts = o }
+
+// SetFusion toggles fused multi-predicate execution (default on): when a
+// query has two or more content predicates with uncached rows, their
+// cascades share one representation-slot plan and each distinct transform
+// is materialized once per frame for the whole query. Off, predicates run
+// sequentially, each narrowing the row set for the next — today's labels
+// either way, since per-predicate decisions are independent.
+func (db *DB) SetFusion(on bool) { db.fusionOff = !on }
+
+// ServeReps toggles loading pre-materialized representations straight from
+// a store-backed corpus during content-predicate execution (default off).
+// Slots the store covers skip both source decode and transform; served
+// pixels are the store's quantized records — the exact data the ARCHIVE and
+// ONGOING cost models price — so labels may differ slightly from
+// recomputing representations out of the decoded source. No-op for
+// in-memory corpora.
+func (db *DB) ServeReps(on bool) { db.serveReps = on }
+
+// RepCacheStats returns the store-backed corpus's decoded-record cache
+// counters, cumulative since load (ok is false for in-memory corpora and
+// cacheless stores). The cache fronts source decodes always and
+// representation loads when ServeReps is on; callers diff two snapshots to
+// attribute traffic to one query.
+func (db *DB) RepCacheStats() (stats exec.CacheStats, ok bool) {
+	if db.reps == nil || db.reps.sc.cache == nil {
+		return exec.CacheStats{}, false
+	}
+	return db.reps.CacheStats(), true
+}
+
+// contentExecOpts resolves the engine options for one content-predicate
+// phase, attaching the corpus-backed RepSource when rep serving is on.
+func (db *DB) contentExecOpts() exec.Options {
+	opts := db.execOpts
+	if db.serveReps && db.reps != nil {
+		opts.RepSource = db.reps
+	}
+	return opts
+}
 
 // New creates an empty database priced under the given deployment scenario.
 func New(cm scenario.CostModel) *DB {
@@ -175,6 +260,7 @@ func (db *DB) LoadCorpus(images []*img.Image, meta []Metadata) error {
 		return fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
 	}
 	db.corpus = &memoryCorpus{images: images}
+	db.reps = nil
 	db.meta = meta
 	db.resetMaterialized()
 	return nil
@@ -196,6 +282,7 @@ func (db *DB) LoadCorpusFromStore(store *repstore.Store, cacheBytes int64, meta 
 		sc.cache = cache
 	}
 	db.corpus = sc
+	db.reps = sc.repSource()
 	db.meta = meta
 	db.resetMaterialized()
 	return nil
@@ -245,6 +332,18 @@ type Result struct {
 	// UDFCalls reports how many cascade classifications ran (0 when every
 	// content predicate was served from the materialized cache).
 	UDFCalls int
+	// Fused reports whether the multi-predicate fused path executed the
+	// content phase (two or more predicates with uncached rows).
+	Fused bool
+	// RepsMaterialized and RepHits report the physical-representation
+	// work of the content phase: transforms applied vs slots served
+	// straight from the representation store.
+	RepsMaterialized int
+	RepHits          int
+	// RepCache, when HasRepCache, is the per-query delta of the rep
+	// cache's own hit/miss/eviction counters.
+	RepCache    exec.CacheStats
+	HasRepCache bool
 }
 
 // Query parses, plans and executes sql under the user's constraints.

@@ -7,6 +7,7 @@ import (
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
+	"tahoma/internal/exec"
 )
 
 // contentStep is one planned content-predicate evaluation.
@@ -84,6 +85,9 @@ func (p *queryPlan) describe(db *DB) string {
 			}
 		}
 	}
+	if n, shares := db.fusionPreview(p.content); n >= 2 && shares {
+		fmt.Fprintf(&b, "  Fused: %d content predicates share one representation-slot plan\n", n)
+	}
 	if p.query.Limit > 0 {
 		fmt.Fprintf(&b, "  Limit %d\n", p.query.Limit)
 	}
@@ -128,8 +132,12 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 	// per-row validity (the paper's partially-materialized UDF output):
 	// rows classified under a metadata filter are cached too, so a later
 	// broader query only pays for the rows it has not yet seen.
-	udfCalls := 0
-	for _, cs := range plan.content {
+	res := &Result{}
+	execOpts := db.contentExecOpts()
+	ccols := make([]*column, len(plan.content))
+	pending := 0
+	seenCols := make(map[*column]bool, len(plan.content))
+	for si, cs := range plan.content {
 		key := cs.spec.ID()
 		col := cs.pred.materialized[key]
 		if col == nil {
@@ -137,6 +145,183 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 			cs.pred.materialized[key] = col
 		}
 		col.grow(db.corpus.Len())
+		ccols[si] = col
+		// Steps sharing a column (the same predicate referenced twice, e.g.
+		// X AND NOT X) are one classification, not two.
+		if !seenCols[col] && len(col.missing(live)) > 0 {
+			pending++
+		}
+		seenCols[col] = true
+	}
+
+	// 2a. Fused pre-pass: when two or more predicates still have uncached
+	// rows and their cascades actually share representations, run all of
+	// them at once over the union of those rows through one shared
+	// representation-slot plan — each distinct transform is materialized
+	// once per frame for the whole query instead of once per predicate.
+	// Per-cascade need masks keep predicates with different cached
+	// coverage from re-classifying rows they already know, and the columns
+	// end up covering every live row, so later queries (and the filtering
+	// below) are all cache reads. With a single pending predicate, or with
+	// fully disjoint rep grids (nothing to share, so the sequential loop's
+	// predicate narrowing is the better trade), execution falls back to
+	// the sequential path instead.
+	if pending >= 2 && !db.fusionOff {
+		// Gate on the distinct still-pending predicates only: a duplicate
+		// mention of one predicate, or a fully-cached predicate whose grid
+		// overlaps a pending one, must not manufacture slot sharing.
+		var gateRts []*cascade.Runtime
+		gateSeen := make(map[*column]bool, len(plan.content))
+		for si, cs := range plan.content {
+			if gateSeen[ccols[si]] || len(ccols[si].missing(live)) == 0 {
+				continue
+			}
+			gateSeen[ccols[si]] = true
+			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
+			if err != nil {
+				return nil, err
+			}
+			gateRts = append(gateRts, rt)
+		}
+		_, shares, err := fusedContentEngine(gateRts)
+		if err != nil {
+			return nil, err
+		}
+		if shares {
+			// The executed engine spans every step (need masks zero out
+			// duplicates) so Labels indexing stays per content step.
+			rts := make([]*cascade.Runtime, len(plan.content))
+			for si, cs := range plan.content {
+				rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
+				if err != nil {
+					return nil, err
+				}
+				rts[si] = rt
+			}
+			fe, err := cascade.FusedEngine(rts...)
+			if err != nil {
+				return nil, err
+			}
+			return db.executeFused(plan, res, ccols, live, fe, execOpts, q)
+		}
+	}
+
+	return db.executeSequential(plan, res, ccols, live, execOpts, q)
+}
+
+// fusionPreview mirrors execute's fusion gate for EXPLAIN: the number of
+// distinct not-fully-materialized predicate columns, and whether the
+// planned cascades share any representation slot. Coverage is judged
+// against the whole corpus (EXPLAIN does not evaluate metadata filters),
+// so it is the plan-time estimate of what execute will decide.
+func (db *DB) fusionPreview(steps []contentStep) (pending int, shares bool) {
+	if db.fusionOff || len(steps) < 2 {
+		return 0, false
+	}
+	seen := make(map[string]bool, len(steps))
+	rts := make([]*cascade.Runtime, 0, len(steps))
+	for _, cs := range steps {
+		key := cs.pred.Category + "|" + cs.spec.ID()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok && col.coverage() >= db.Count() {
+			continue
+		}
+		rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
+		if err != nil {
+			return 0, false
+		}
+		rts = append(rts, rt)
+		pending++
+	}
+	if pending < 2 {
+		return pending, false
+	}
+	_, shares, err := fusedContentEngine(rts)
+	if err != nil {
+		return 0, false
+	}
+	return pending, shares
+}
+
+// fusedContentEngine builds the fused engine over the planned runtimes and
+// reports whether any representation slot is actually shared across
+// cascades — the gate for taking the fused path.
+func fusedContentEngine(rts []*cascade.Runtime) (*exec.Fused, bool, error) {
+	fe, err := cascade.FusedEngine(rts...)
+	if err != nil {
+		return nil, false, err
+	}
+	total := 0
+	for _, rt := range rts {
+		eng, err := rt.Engine()
+		if err != nil {
+			return nil, false, err
+		}
+		total += len(eng.Reps())
+	}
+	return fe, len(fe.Reps()) < total, nil
+}
+
+// executeFused runs the fused content pre-pass — filling every predicate's
+// column for every live row in one shared-representation engine run — and
+// then delegates to the sequential tail, which finds nothing left to
+// classify and only filters and projects.
+func (db *DB) executeFused(plan *queryPlan, res *Result, ccols []*column, live []int, fe *exec.Fused, execOpts exec.Options, q *Query) (*Result, error) {
+	var union []int
+	for _, idx := range live {
+		for si := range plan.content {
+			if !ccols[si].valid[idx] {
+				union = append(union, idx)
+				break
+			}
+		}
+	}
+	need := make([][]bool, len(plan.content))
+	fusedCols := make(map[*column]bool, len(plan.content))
+	for si := range plan.content {
+		need[si] = make([]bool, len(union))
+		// A later step over an already-fused column classifies nothing:
+		// the first step fills it for every union row.
+		if !fusedCols[ccols[si]] {
+			for j, idx := range union {
+				need[si][j] = !ccols[si].valid[idx]
+			}
+			fusedCols[ccols[si]] = true
+		}
+	}
+	frep, err := fe.Run(db.corpus, union, need, execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("vdb: fused content predicates: %w", err)
+	}
+	for si := range plan.content {
+		col := ccols[si]
+		for j, idx := range union {
+			if need[si][j] {
+				col.labels[idx] = frep.Labels[si][j]
+				col.valid[idx] = true
+				res.UDFCalls++
+			}
+		}
+	}
+	res.Fused = true
+	res.RepsMaterialized += frep.RepsMaterialized
+	res.RepHits += frep.RepHits
+	if frep.HasCache {
+		res.HasRepCache = true
+		res.RepCache = frep.Cache
+	}
+	return db.executeSequential(plan, res, ccols, live, execOpts, q)
+}
+
+// executeSequential classifies whatever is still uncached (everything when
+// the fused pre-pass did not run, nothing when it did), narrows the live
+// set predicate by predicate, and applies limit + projection.
+func (db *DB) executeSequential(plan *queryPlan, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
+	for si, cs := range plan.content {
+		col := ccols[si]
 		if missing := col.missing(live); len(missing) > 0 {
 			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
 			if err != nil {
@@ -146,7 +331,7 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := eng.Run(db.corpus, missing, db.execOpts)
+			rep, err := eng.Run(db.corpus, missing, execOpts)
 			if err != nil {
 				return nil, fmt.Errorf("vdb: classifying %q: %w", cs.cond.Category, err)
 			}
@@ -154,7 +339,16 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 				col.labels[idx] = rep.Labels[j]
 				col.valid[idx] = true
 			}
-			udfCalls += rep.Frames
+			res.UDFCalls += rep.Frames
+			res.RepsMaterialized += rep.RepsMaterialized
+			res.RepHits += rep.RepHits
+			if rep.HasCache {
+				res.HasRepCache = true
+				res.RepCache.Hits += rep.Cache.Hits
+				res.RepCache.Misses += rep.Cache.Misses
+				res.RepCache.EvictedBytes += rep.Cache.EvictedBytes
+				res.RepCache.ResidentBytes = rep.Cache.ResidentBytes
+			}
 		}
 		var next []int
 		for _, idx := range live {
@@ -169,7 +363,7 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 	if q.Limit > 0 && len(live) > q.Limit {
 		live = live[:q.Limit]
 	}
-	res := &Result{Count: len(live), UDFCalls: udfCalls}
+	res.Count = len(live)
 	cols := q.Columns
 	if q.Star {
 		cols = metaColumns

@@ -66,6 +66,16 @@ type (
 	ExecReport = exec.Report
 	// ExecBatchStats reports one engine batch's work.
 	ExecBatchStats = exec.BatchStats
+	// FusedReport is one fused multi-classifier run's accounting:
+	// per-classifier labels and levels-run, global representation work.
+	FusedReport = exec.FusedReport
+	// RepSource serves pre-materialized physical representations to the
+	// execution engines (ExecOptions.RepSource), skipping decode and
+	// transform for the slots it covers.
+	RepSource = exec.RepSource
+	// CacheStats is a RepSource cache's hit/miss/eviction accounting as
+	// surfaced on execution reports.
+	CacheStats = exec.CacheStats
 )
 
 // Deployment scenarios (Section VII-A of the paper).
@@ -261,6 +271,25 @@ func (c *Classifier) ClassifyBatchReport(ims []*Image, opts ExecOptions) (*ExecR
 
 // String describes the cascade's levels.
 func (c *Classifier) String() string { return c.desc }
+
+// ClassifyBatchFused labels ims under several chosen classifiers at once,
+// fusing their cascades into one shared representation-slot plan: each
+// distinct input transform is materialized once per frame for the whole
+// classifier set instead of once per classifier, and an async ingest stage
+// overlaps decode + first-level transformation with inference. Labels[i]
+// are bit-identical to clfs[i].ClassifyBatch alone; see FusedReport for the
+// shared-representation accounting.
+func ClassifyBatchFused(clfs []*Classifier, ims []*Image, opts ExecOptions) (*FusedReport, error) {
+	rts := make([]*cascade.Runtime, len(clfs))
+	for i, c := range clfs {
+		rts[i] = c.rt
+	}
+	fe, err := cascade.FusedEngine(rts...)
+	if err != nil {
+		return nil, err
+	}
+	return fe.RunAll(exec.Frames(ims), opts)
+}
 
 // ClassifyBatch chooses the Pareto-optimal cascade for the constraints and
 // labels the whole batch through the execution engine.
