@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tahoma-bench [-scale quick|default|test] [-exp all|none|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file] [-json file]
+//	tahoma-bench [-scale quick|default|test] [-exp all|none|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file] [-json file] [-serve-json file]
 //
 // The default scale trains the full 4-size × 5-color × 8-architecture grid
 // for all ten predicates (minutes of CPU time); -scale quick runs three
@@ -17,6 +17,13 @@
 // machine-readable results, tracking the perf trajectory across PRs (the
 // committed snapshots are the BENCH_*.json files). Combine with -exp none
 // to run only the sweeps.
+//
+// -serve-json runs the concurrent-serving sweep: an in-process `tahoma
+// serve` instance answering 1/2/4/8 closed-loop HTTP clients over a
+// two-predicate query mix, every response checked bit-identical against a
+// serial baseline, with throughput, the server's latency histogram and the
+// cross-query shared-representation-cache counters in the output
+// (BENCH_serve.json).
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, none, tab2, fig4, fig5, fig6, fig7, fig8, fig9, tab3, fig10, fig11")
 	out := flag.String("out", "", "write results to this file as well as stdout")
 	jsonPath := flag.String("json", "", "run the exec-engine sweep and write machine-readable results to this file")
+	serveJSON := flag.String("serve-json", "", "run the concurrent-serving sweep (closed-loop multi-client) and write machine-readable results to this file")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "results per evaluation batch (0 = default)")
 	flag.Parse()
@@ -47,6 +55,12 @@ func main() {
 			log.Fatalf("exec sweep: %v", err)
 		}
 		log.Printf("exec sweep written to %s", *jsonPath)
+	}
+	if *serveJSON != "" {
+		if err := runServeSweep(*serveJSON); err != nil {
+			log.Fatalf("serve sweep: %v", err)
+		}
+		log.Printf("serve sweep written to %s", *serveJSON)
 	}
 	if *exp == "none" {
 		return

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"tahoma/internal/core"
+	"tahoma/internal/img"
+	"tahoma/internal/scenario"
+	"tahoma/internal/server"
+	"tahoma/internal/synth"
+	"tahoma/internal/vdb"
+)
+
+// serveCell is one client-count cell of the closed-loop serving sweep.
+type serveCell struct {
+	Clients int `json:"clients"`
+	Queries int `json:"queries"`
+	// Wall is end-to-end for the whole cell (cold DB each time); QPS is
+	// Queries/Wall. Latencies come from the server's own histogram.
+	WallMS float64 `json:"wall_ms"`
+	QPS    float64 `json:"qps"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// Engine accounting across the cell, from /stats: classifier calls,
+	// transforms applied, and slots served without transforming (cross-query
+	// shared-cache hits included).
+	UDFCalls         int64 `json:"udf_calls"`
+	RepsMaterialized int64 `json:"reps_materialized"`
+	RepHits          int64 `json:"rep_hits"`
+	SharedHits       int64 `json:"shared_cache_hits"`
+	SharedMisses     int64 `json:"shared_cache_misses"`
+	Rejected         int64 `json:"rejected"`
+	// BitIdentical reports that every concurrent response matched the
+	// serial baseline byte for byte.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// serveSweepReport is the machine-readable output of -serve-json
+// (BENCH_serve.json).
+type serveSweepReport struct {
+	Bench      string `json:"bench"`
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Config     struct {
+		Rows             int      `json:"rows"`
+		Predicates       []string `json:"predicates"`
+		QueriesPerClient int      `json:"queries_per_client"`
+		Queries          []string `json:"queries"`
+		AccuracyLoss     float64  `json:"accuracy_loss"`
+		ShareRepsMB      int      `json:"share_reps_mb"`
+	} `json:"config"`
+	Cells []serveCell `json:"cells"`
+}
+
+var serveSweepQueries = []string{
+	"SELECT COUNT(*) FROM images WHERE contains_object('cloak')",
+	"SELECT id FROM images WHERE contains_object('cloakb')",
+	"SELECT id FROM images WHERE location = 'uptown' AND contains_object('cloak')",
+	"SELECT id FROM images WHERE contains_object('cloak') AND contains_object('cloakb')",
+	"SELECT COUNT(*) FROM images WHERE NOT contains_object('cloakb')",
+	"SELECT id, ts FROM images WHERE ts >= 300",
+}
+
+// buildServeDB assembles the sweep database: a tiny trained system over its
+// eval split, installed under two categories so distinct queries share
+// physical representations (identical cascade grids, separate virtual
+// columns) — the cross-query regime the serving path optimizes.
+func buildServeDB(sys *core.System, splits synth.Splits) (*vdb.DB, error) {
+	cm, err := scenario.NewAnalytic(scenario.Camera, scenario.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	db := vdb.New(cm)
+	var images []*img.Image
+	var meta []vdb.Metadata
+	locations := []string{"uptown", "downtown"}
+	for i, e := range splits.Eval.Examples {
+		images = append(images, e.Image)
+		meta = append(meta, vdb.Metadata{ID: int64(i), Location: locations[i%2], Camera: "cam-1", TS: int64(i * 10)})
+	}
+	if err := db.LoadCorpus(images, meta); err != nil {
+		return nil, err
+	}
+	for _, cat := range []string{"cloak", "cloakb"} {
+		if err := db.InstallPredicate(cat, sys, 2); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func serveRespKey(resp *server.QueryResponse) string {
+	return fmt.Sprintf("cols=%v count=%d rows=%v", resp.Columns, resp.Count, resp.Rows)
+}
+
+// runServeSweep measures the concurrent query service closed-loop: 1/2/4/8
+// clients, each issuing queriesPerClient requests over a fixed template mix
+// against a cold server (fresh DB + shared rep cache per cell), verifying
+// every response against a serial baseline. Results go to path as JSON.
+func runServeSweep(path string) error {
+	const (
+		queriesPerClient = 12
+		accuracyLoss     = 0.05
+		shareRepsMB      = 64
+	)
+	cat, err := synth.CategoryByName("cloak")
+	if err != nil {
+		return err
+	}
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 120, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := core.Initialize("cloak", splits, core.TinyConfig())
+	if err != nil {
+		return err
+	}
+
+	// Serial baseline: the byte-exact answers every concurrent response must
+	// reproduce.
+	baseDB, err := buildServeDB(sys, splits)
+	if err != nil {
+		return err
+	}
+	baseSrv := server.New(baseDB, server.Options{DefaultAccuracyLoss: accuracyLoss})
+	baseLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go baseSrv.Serve(baseLn)
+	baseClient := server.NewClient("http://" + baseLn.Addr().String())
+	want := make(map[string]string, len(serveSweepQueries))
+	for _, sql := range serveSweepQueries {
+		resp, err := baseClient.Query(sql, server.QueryOptions{})
+		if err != nil {
+			return fmt.Errorf("baseline %q: %w", sql, err)
+		}
+		want[sql] = serveRespKey(resp)
+	}
+	baseLn.Close()
+
+	var rep serveSweepReport
+	rep.Bench = "serve"
+	rep.Go = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config.Rows = baseDB.Count()
+	rep.Config.Predicates = baseDB.Predicates()
+	rep.Config.QueriesPerClient = queriesPerClient
+	rep.Config.Queries = serveSweepQueries
+	rep.Config.AccuracyLoss = accuracyLoss
+	rep.Config.ShareRepsMB = shareRepsMB
+
+	for _, clients := range []int{1, 2, 4, 8} {
+		db, err := buildServeDB(sys, splits)
+		if err != nil {
+			return err
+		}
+		rc, err := vdb.NewSharedRepCache(shareRepsMB << 20)
+		if err != nil {
+			return err
+		}
+		srv := server.New(db, server.Options{DefaultAccuracyLoss: accuracyLoss, RepCache: rc})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		client := server.NewClient("http://" + ln.Addr().String())
+
+		var wg sync.WaitGroup
+		identical := true
+		var mu sync.Mutex
+		var firstErr error
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < queriesPerClient; i++ {
+					sql := serveSweepQueries[(c+i)%len(serveSweepQueries)]
+					resp, err := client.Query(sql, server.QueryOptions{})
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("client %d %q: %w", c, sql, err)
+						}
+					} else if serveRespKey(resp) != want[sql] {
+						identical = false
+					}
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		if firstErr != nil {
+			ln.Close()
+			return firstErr
+		}
+		st, err := client.Stats()
+		ln.Close()
+		if err != nil {
+			return err
+		}
+		total := clients * queriesPerClient
+		cell := serveCell{
+			Clients:          clients,
+			Queries:          total,
+			WallMS:           float64(wall.Microseconds()) / 1e3,
+			QPS:              float64(total) / wall.Seconds(),
+			MeanMS:           st.Latency.MeanMS,
+			MaxMS:            st.Latency.MaxMS,
+			UDFCalls:         st.UDFCalls,
+			RepsMaterialized: st.RepsMaterialized,
+			RepHits:          st.RepHits,
+			Rejected:         st.Rejected,
+			BitIdentical:     identical,
+		}
+		if st.SharedRepCache != nil {
+			cell.SharedHits = st.SharedRepCache.Hits
+			cell.SharedMisses = st.SharedRepCache.Misses
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -6,6 +6,15 @@
 //	tahoma frontier -zoo ./zoo/fence -scenario camera        print the Pareto frontier
 //	tahoma query    -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
 //	tahoma explain  -zoo ./zoo/fence -corpus ./corpus -sql 'SELECT ...'
+//	tahoma serve    -zoo ./zoo/fence -corpus ./corpus -addr 127.0.0.1:8080
+//
+// serve runs the long-lived concurrent query service: POST /query (SQL in,
+// rows out; ?ndjson=1 streams), GET /explain, GET /stats. A bounded
+// admission pool (-max-concurrent, -max-queue, -queue-timeout) keeps N
+// clients from oversubscribing the execution engine, and -share-reps-mb
+// sizes the cross-query representation cache that lets concurrent queries
+// reuse each other's transform work. Multiple -zoo directories
+// (comma-separated) install one predicate each.
 //
 // query/explain execution flags: multi-predicate queries fuse their cascades
 // into one shared representation plan (-fused=false for sequential
@@ -56,6 +65,8 @@ func main() {
 		err = cmdFrontier(os.Args[2:])
 	case "query", "explain":
 		err = cmdQuery(os.Args[1], os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -76,6 +87,7 @@ commands:
   frontier  print the Pareto-optimal cascades for a persisted predicate under a scenario
   query     run a SQL query against a corpus using installed predicates
   explain   show the query plan without executing it
+  serve     serve concurrent SQL queries over HTTP from one open database
 
 categories: %s
 `, strings.Join(synth.CategoryNames(), ", "))

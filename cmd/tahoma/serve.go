@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/repstore"
+	"tahoma/internal/scenario"
+	"tahoma/internal/server"
+	"tahoma/internal/vdb"
+)
+
+// cmdServe runs the long-lived concurrent query service: one open DB, an
+// HTTP front end with a bounded admission pool, and a cross-query shared
+// representation cache so concurrent queries reuse each other's transform
+// work. Results are bit-identical to one-shot `tahoma query` runs.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	zooDirs := fs.String("zoo", "", "model repository directories, comma-separated (required; one predicate each)")
+	corpusDir := fs.String("corpus", "", "representation store directory (required)")
+	scen := fs.String("scenario", "camera", "deployment scenario")
+	loss := fs.Float64("accuracy-loss", 0.05, "default permissible accuracy loss (Uacc) when a request names none; 0 = no loss (most accurate cascade)")
+	workers := fs.Int("workers", 0, "classification worker goroutines per query (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "frames per execution-engine batch (0 = engine default)")
+	fused := fs.Bool("fused", true, "fuse multi-predicate queries into one shared representation-slot plan")
+	prefetch := fs.Int("prefetch", 0, "async ingest ring depth for fused queries (0 = auto, <0 = synchronous)")
+	storeCorpus := fs.Bool("store-corpus", false, "serve straight out of the representation store through an LRU cache instead of loading sources into memory")
+	cacheMB := fs.Int("cache-mb", 64, "decoded-record LRU cache budget in MiB for -store-corpus")
+	serveReps := fs.Bool("serve-reps", false, "load pre-materialized representations from the store (implies -store-corpus)")
+	shareRepsMB := fs.Int("share-reps-mb", 64, "cross-query shared representation cache budget in MiB (0 disables)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "queries executing at once (0 = GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "queries waiting for a worker (0 = 4x max-concurrent, <0 = no queue)")
+	queueTimeout := fs.Duration("queue-timeout", 30*time.Second, "how long a query may wait for a worker before a 503")
+	fs.Parse(args)
+	if *zooDirs == "" || *corpusDir == "" {
+		return fmt.Errorf("serve: -zoo and -corpus are required")
+	}
+	kind, err := parseScenario(*scen)
+	if err != nil {
+		return err
+	}
+
+	store, err := repstore.Open(*corpusDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	meta := make([]vdb.Metadata, store.Count())
+	for i := range meta {
+		meta[i] = vdb.Metadata{ID: int64(i), Location: "corpus", Camera: "cam-0", TS: int64(i)}
+	}
+
+	cm, err := scenario.NewAnalytic(kind, scenario.DefaultParams())
+	if err != nil {
+		return err
+	}
+	db := vdb.New(cm)
+	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
+	db.SetFusion(*fused)
+	if *serveReps {
+		*storeCorpus = true
+	}
+	if *storeCorpus {
+		if err := db.LoadCorpusFromStore(store, int64(*cacheMB)<<20, meta); err != nil {
+			return err
+		}
+		db.ServeReps(*serveReps)
+	} else {
+		var images []*img.Image
+		if err := store.ScanSource(func(i int, im *img.Image) error {
+			images = append(images, im)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := db.LoadCorpus(images, meta); err != nil {
+			return err
+		}
+	}
+
+	for _, dir := range strings.Split(*zooDirs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		sys, err := loadSystem(dir)
+		if err != nil {
+			return err
+		}
+		category := strings.TrimSuffix(strings.TrimPrefix(sys.Predicate, "contains_object("), ")")
+		if err := db.InstallPredicate(category, sys, 2); err != nil {
+			return err
+		}
+		log.Printf("installed predicate %q from %s", category, dir)
+	}
+
+	opts := server.Options{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		// server.Options uses 0 = "0.05 default", negative = "no loss";
+		// at the flag level an explicit 0 means no loss.
+		DefaultAccuracyLoss: *loss,
+	}
+	if *loss == 0 {
+		opts.DefaultAccuracyLoss = -1
+	}
+	if *shareRepsMB > 0 {
+		rc, err := vdb.NewSharedRepCache(int64(*shareRepsMB) << 20)
+		if err != nil {
+			return err
+		}
+		opts.RepCache = rc
+	}
+	srv := server.New(db, opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d rows, predicates [%s] on http://%s (POST /query, GET /explain, GET /stats)",
+		db.Count(), strings.Join(db.Predicates(), ", "), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

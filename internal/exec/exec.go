@@ -72,10 +72,36 @@ type RepSource interface {
 	Rep(i int, id string) (*img.Image, error)
 }
 
+// RepCache is a read-through, cross-run representation cache shared by many
+// engine runs — the multi-query analogue of RepSource. Slots a RepSource does
+// not serve consult the cache before transforming, and freshly transformed
+// representations are published back, so a representation materialized for
+// one query becomes a RepHit for every concurrent or later query over the
+// same corpus. Implementations must be safe for concurrent use.
+//
+// Cached pixels are bit-identical copies of the transform output (engines
+// clone out of their pooled buffers before publishing), so — unlike
+// RepSource's quantized records — serving from a RepCache never changes
+// labels: results stay bit-identical to cacheless runs at every hit pattern.
+// repstore.SharedReps is the canonical implementation.
+type RepCache interface {
+	// GetRep returns the cached representation of source frame i under
+	// transform id, or nil. Returned images are shared: engines read them
+	// but never write them, and keep them out of pooled ApplyInto buffers.
+	GetRep(i int, id string) *img.Image
+	// PutRep publishes a representation. The image becomes cache-owned;
+	// callers must pass an image no engine buffer aliases.
+	PutRep(i int, id string, im *img.Image)
+}
+
 // CacheStats snapshots a caching RepSource's own accounting. In a Report the
 // Hits/Misses/EvictedBytes fields are per-run deltas and ResidentBytes is
 // the footprint when the run finished; repstore.Cache is the canonical
-// producer of the underlying counters.
+// producer of the underlying counters. The counters are cache-global, so a
+// report's delta is exact when the run had the cache to itself and
+// approximate when concurrent runs share it (other runs' traffic lands in
+// whatever window overlaps them); the report's own RepHits/RepsMaterialized
+// are engine-local and always exact.
 type CacheStats struct {
 	Hits          int64
 	Misses        int64
@@ -130,6 +156,13 @@ type Options struct {
 	// the transforms it covers: served slots skip decode and transform
 	// entirely and are counted as RepHits instead of RepsMaterialized.
 	RepSource RepSource
+	// RepCache, when set, is a read-through cross-run representation cache:
+	// slots the RepSource does not serve consult it before transforming,
+	// cache hits count as RepHits, and freshly transformed representations
+	// are published back (cloned out of pooled buffers) for other runs —
+	// typically concurrent queries — to reuse. Labels are unchanged: cached
+	// pixels are bit-identical to the transform output.
+	RepCache RepCache
 	// Prefetch sizes the fused engine's async ingest ring: how many
 	// batches may be decoded and first-level-materialized ahead of
 	// inference. 0 means default double buffering (Workers+1, at least
@@ -248,6 +281,21 @@ func New(levels []Level) (*Engine, error) {
 	return e, nil
 }
 
+// runCacher picks the cache whose per-run stats delta lands on the report:
+// the RepSource's own counters when it keeps them, else the cross-run
+// RepCache's. Returns the statser (nil if neither) and its before snapshot.
+func runCacher(sv *serving, rc RepCache) (CacheStatser, CacheStats) {
+	if sv != nil {
+		if c, ok := sv.rs.(CacheStatser); ok {
+			return c, c.CacheStats()
+		}
+	}
+	if c, ok := rc.(CacheStatser); ok {
+		return c, c.CacheStats()
+	}
+	return nil, CacheStats{}
+}
+
 // serving is run-scoped RepSource state: the source plus the per-slot
 // serve-or-transform decision, fixed before the first batch so results are
 // independent of worker count, batch size and loop order. A nil *serving
@@ -301,8 +349,10 @@ func (e *Engine) Reps() []string { return append([]string(nil), e.repIDs...) }
 // classify runs the cascade on one frame. levels must be worker-local (or
 // otherwise exclusively held); slots must have len(e.repIDs) entries and is
 // clobbered. sv (optional) serves pre-materialized slots for source frame
-// idx. tr and st, when non-nil, receive per-frame and aggregate accounting.
-func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv *serving, idx int, tr *Trace, st *BatchStats) (bool, error) {
+// idx; rc (optional) is the cross-run representation cache consulted for
+// slots sv does not serve. tr and st, when non-nil, receive per-frame and
+// aggregate accounting.
+func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv *serving, rc RepCache, idx int, tr *Trace, st *BatchStats) (bool, error) {
 	for i := range slots {
 		slots[i] = nil
 	}
@@ -320,8 +370,19 @@ func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv
 				if st != nil {
 					st.RepHits++
 				}
+			} else if cached := getCachedRep(rc, idx, e.repIDs[slot]); cached != nil {
+				rep = cached
+				slots[slot] = rep
+				if st != nil {
+					st.RepHits++
+				}
 			} else {
 				rep = lv.Model.Xform.Apply(src)
+				if rc != nil {
+					// Apply allocates a fresh image per frame, so the cache
+					// can own it as-is — nothing writes it after this point.
+					rc.PutRep(idx, e.repIDs[slot], rep)
+				}
 				slots[slot] = rep
 				if st != nil {
 					st.RepsMaterialized++
@@ -361,8 +422,16 @@ func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
 		e.scratch = make([]*img.Image, len(e.repIDs))
 	}
 	var tr Trace
-	label, err := e.classify(e.levels, e.scratch, src, nil, -1, &tr, nil)
+	label, err := e.classify(e.levels, e.scratch, src, nil, nil, -1, &tr, nil)
 	return label, tr, err
+}
+
+// getCachedRep consults the optional cross-run cache; nil means transform.
+func getCachedRep(rc RepCache, idx int, id string) *img.Image {
+	if rc == nil {
+		return nil
+	}
+	return rc.GetRep(idx, id)
 }
 
 // worker is one goroutine's private execution state, pooled on the engine so
@@ -380,7 +449,11 @@ type worker struct {
 	scores []float32      // ScoreBatch output
 	reps   [][]*img.Image // [slot][pos] pooled representation buffers
 	repOK  [][]bool       // [slot][pos] materialized for the current batch?
-	proj   []*img.Image   // [slot] projection scratch for ApplyInto
+	// repShared marks positions whose rep entry is a cache-owned image from
+	// Options.RepCache rather than a pooled buffer: those entries must be
+	// dropped after the batch so they never become ApplyInto targets.
+	repShared [][]bool     // [slot][pos]
+	proj      []*img.Image // [slot] projection scratch for ApplyInto
 }
 
 // ensure grows the level-major scratch to batch capacity n.
@@ -394,6 +467,7 @@ func (w *worker) ensure(n, nslots int) {
 	if w.reps == nil {
 		w.reps = make([][]*img.Image, nslots)
 		w.repOK = make([][]bool, nslots)
+		w.repShared = make([][]bool, nslots)
 		w.proj = make([]*img.Image, nslots)
 	}
 	for s := range w.reps {
@@ -402,6 +476,7 @@ func (w *worker) ensure(n, nslots int) {
 			copy(grown, w.reps[s])
 			w.reps[s] = grown
 			w.repOK[s] = make([]bool, n)
+			w.repShared[s] = make([]bool, n)
 		}
 	}
 }
@@ -426,12 +501,12 @@ func (e *Engine) cloneLevels() []Level {
 // runBatchFrameMajor is the legacy inner loop: each frame descends the
 // cascade alone via per-frame Score calls, materializing representations
 // into freshly allocated images (or taking them from the RepSource).
-func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
 	if w.slots == nil {
 		w.slots = make([]*img.Image, len(e.repIDs))
 	}
-	// Served slots hold cache-owned images; drop the references so the
-	// pooled worker does not pin them (and a later RepSource-less run
+	// Served and cached slots hold cache-owned images; drop the references
+	// so the pooled worker does not pin them (and a later RepSource-less run
 	// cannot mistake one for an engine-owned buffer).
 	defer func() {
 		for i := range w.slots {
@@ -448,7 +523,7 @@ func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi
 				return fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
 			}
 		}
-		label, err := e.classify(w.levels, w.slots, im, sv, indices[j], nil, st)
+		label, err := e.classify(w.levels, w.slots, im, sv, rc, indices[j], nil, st)
 		if err != nil {
 			return fmt.Errorf("exec: frame %d: %w", indices[j], err)
 		}
@@ -466,14 +541,14 @@ func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi
 // representations materialized and the resulting labels are exactly those
 // of the frame-major loop, just reordered — so LevelsRun/RepsMaterialized
 // accounting and labels are bit-identical to runBatchFrameMajor.
-func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
 	n := hi - lo
 	w.ensure(n, len(e.repIDs))
 	// Unpin the borrowed source frames on every exit path: the worker goes
 	// back into the pool even when a batch fails, and must not keep frames
-	// reachable for the engine's lifetime. Served slots hold cache-owned
-	// images — drop those references too, so the pool never offers a
-	// shared image as a writable ApplyInto target to a later run.
+	// reachable for the engine's lifetime. Served slots and RepCache hits
+	// hold cache-owned images — drop those references too, so the pool never
+	// offers a shared image as a writable ApplyInto target to a later run.
 	defer func() {
 		for j := 0; j < n; j++ {
 			w.srcs[j] = nil
@@ -486,6 +561,17 @@ func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi
 				row := w.reps[s]
 				for j := 0; j < n; j++ {
 					row[j] = nil
+				}
+			}
+		}
+		if rc != nil {
+			for s := range w.repShared {
+				row, shared := w.reps[s], w.repShared[s]
+				for j := 0; j < n; j++ {
+					if shared[j] {
+						row[j] = nil
+						shared[j] = false
+					}
 				}
 			}
 		}
@@ -526,8 +612,18 @@ func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi
 					}
 					bufs[j] = rep
 					st.RepHits++
+				} else if cached := getCachedRep(rc, indices[lo+j], e.repIDs[slot]); cached != nil {
+					// The pooled buffer at this position is dropped in favor
+					// of the shared image; the deferred cleanup unpins it so
+					// it can never become an ApplyInto target.
+					bufs[j] = cached
+					w.repShared[slot][j] = true
+					st.RepHits++
 				} else {
 					bufs[j], w.proj[slot] = lv.Model.Xform.ApplyInto(bufs[j], w.srcs[j], w.proj[slot])
+					if rc != nil {
+						rc.PutRep(indices[lo+j], e.repIDs[slot], bufs[j].Clone())
+					}
 					st.RepsMaterialized++
 				}
 				ok[j] = true
@@ -592,13 +688,7 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Labels: make([]bool, len(indices))}
 	sv := newServing(opts.RepSource, e.repIDs)
-	var cacher CacheStatser
-	var cacheBefore CacheStats
-	if sv != nil {
-		if c, ok := sv.rs.(CacheStatser); ok {
-			cacher, cacheBefore = c, c.CacheStats()
-		}
-	}
+	cacher, cacheBefore := runCacher(sv, opts.RepCache)
 	if len(indices) == 0 {
 		rep.Wall = time.Since(start)
 		return rep, nil
@@ -638,9 +728,9 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 				st.Start, st.Frames = lo, hi-lo
 				var err error
 				if opts.FrameMajor {
-					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, sv, rep.Labels, st)
+					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
 				} else {
-					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, sv, rep.Labels, st)
+					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
 				}
 				if err != nil {
 					failed.Store(true)

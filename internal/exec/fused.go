@@ -163,7 +163,11 @@ type fusedBatch struct {
 	srcs   []*img.Image
 	reps   [][]*img.Image // [slot][pos]
 	repOK  [][]bool       // [slot][pos]
-	proj   []*img.Image   // [slot] projection scratch for ApplyInto
+	// repShared marks positions holding a cache-owned image from
+	// Options.RepCache instead of a pooled buffer; release drops them so
+	// they never become ApplyInto targets.
+	repShared [][]bool     // [slot][pos]
+	proj      []*img.Image // [slot] projection scratch for ApplyInto
 }
 
 func (fb *fusedBatch) ensure(n, nslots int) {
@@ -175,6 +179,7 @@ func (fb *fusedBatch) ensure(n, nslots int) {
 	if fb.reps == nil {
 		fb.reps = make([][]*img.Image, nslots)
 		fb.repOK = make([][]bool, nslots)
+		fb.repShared = make([][]bool, nslots)
 		fb.proj = make([]*img.Image, nslots)
 	}
 	for s := range fb.reps {
@@ -183,6 +188,7 @@ func (fb *fusedBatch) ensure(n, nslots int) {
 			copy(grown, fb.reps[s])
 			fb.reps[s] = grown
 			fb.repOK[s] = make([]bool, n)
+			fb.repShared[s] = make([]bool, n)
 		}
 	}
 }
@@ -194,6 +200,7 @@ type fusedRun struct {
 	indices []int
 	need    [][]bool // per cascade, positional over indices; nil = all
 	sv      *serving
+	rc      RepCache
 	labels  [][]bool
 }
 
@@ -223,8 +230,15 @@ func (r *fusedRun) materialize(fb *fusedBatch, slot, j int) error {
 		}
 		fb.reps[slot][j] = rep
 		fb.st.RepHits++
+	} else if cached := getCachedRep(r.rc, r.indices[fb.lo+j], r.f.repIDs[slot]); cached != nil {
+		fb.reps[slot][j] = cached
+		fb.repShared[slot][j] = true
+		fb.st.RepHits++
 	} else {
 		fb.reps[slot][j], fb.proj[slot] = r.f.repXf[slot].ApplyInto(fb.reps[slot][j], fb.srcs[j], fb.proj[slot])
+		if r.rc != nil {
+			r.rc.PutRep(r.indices[fb.lo+j], r.f.repIDs[slot], fb.reps[slot][j].Clone())
+		}
 		fb.st.RepsMaterialized++
 	}
 	fb.repOK[slot][j] = true
@@ -392,8 +406,8 @@ func (r *fusedRun) consumeFrameMajor(w *fusedWorker, fb *fusedBatch) error {
 }
 
 // release drops borrowed references before a batch goes back to the ring:
-// source frames, and — for served slots — cache-owned representations that
-// must never become ApplyInto targets in a later run.
+// source frames, and — for served slots and RepCache hits — cache-owned
+// representations that must never become ApplyInto targets in a later run.
 func (r *fusedRun) release(fb *fusedBatch) {
 	for j := range fb.srcs {
 		fb.srcs[j] = nil
@@ -406,6 +420,17 @@ func (r *fusedRun) release(fb *fusedBatch) {
 			row := fb.reps[s]
 			for j := range row {
 				row[j] = nil
+			}
+		}
+	}
+	if r.rc != nil {
+		for s := range fb.repShared {
+			row, shared := fb.reps[s], fb.repShared[s]
+			for j := range shared {
+				if shared[j] {
+					row[j] = nil
+					shared[j] = false
+				}
 			}
 		}
 	}
@@ -449,13 +474,7 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 		rep.Labels[c] = make([]bool, len(indices))
 	}
 	sv := newServing(opts.RepSource, f.repIDs)
-	var cacher CacheStatser
-	var cacheBefore CacheStats
-	if sv != nil {
-		if c, ok := sv.rs.(CacheStatser); ok {
-			cacher, cacheBefore = c, c.CacheStats()
-		}
-	}
+	cacher, cacheBefore := runCacher(sv, opts.RepCache)
 	if len(indices) == 0 {
 		rep.Wall = time.Since(start)
 		return rep, nil
@@ -468,7 +487,7 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 		hi := min(lo+opts.Batch, len(indices))
 		rep.Batches[b] = FusedBatchStats{Start: lo, Frames: hi - lo, LevelsRun: make([]int, len(f.cascades))}
 	}
-	run := &fusedRun{f: f, src: src, indices: indices, need: need, sv: sv, labels: rep.Labels}
+	run := &fusedRun{f: f, src: src, indices: indices, need: need, sv: sv, rc: opts.RepCache, labels: rep.Labels}
 
 	workers := opts.Workers
 	if workers > numBatches {

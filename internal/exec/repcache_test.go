@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"testing"
+
+	"tahoma/internal/repstore"
+)
+
+// statsRepCache adapts repstore.SharedReps to CacheStatser so per-run deltas
+// land on reports (the shape vdb's shared-cache adapter has).
+type statsRepCache struct {
+	*repstore.SharedReps
+}
+
+func (s statsRepCache) CacheStats() CacheStats {
+	st := s.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, EvictedBytes: st.EvictedBytes, ResidentBytes: st.ResidentBytes}
+}
+
+func newTestRepCache(t *testing.T) statsRepCache {
+	t.Helper()
+	sr, err := repstore.NewSharedReps(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return statsRepCache{sr}
+}
+
+// TestRepCacheParityAndSharing: a cold run through a cross-run RepCache is
+// bit-identical to a cacheless run and publishes every materialized slot; a
+// warm run (same cache, fresh engine — the cross-query shape) serves every
+// slot as a RepHit with zero transforms, still bit-identical.
+func TestRepCacheParityAndSharing(t *testing.T) {
+	frames := randFrames(11, 96, 32)
+	for _, frameMajor := range []bool{false, true} {
+		levels := buildLevels(t, 21, 3)
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := eng.RunAll(Frames(frames), Options{Workers: 2, Batch: 16, FrameMajor: frameMajor})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rc := newTestRepCache(t)
+		opts := Options{Workers: 2, Batch: 16, FrameMajor: frameMajor, RepCache: rc}
+		cold, err := eng.RunAll(Frames(frames), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowEqual(cold.Labels, base.Labels) {
+			t.Fatalf("frameMajor=%v: cold cached labels differ from cacheless run", frameMajor)
+		}
+		if cold.RepsMaterialized != base.RepsMaterialized || cold.RepHits != 0 {
+			t.Fatalf("frameMajor=%v: cold run reps=%d hits=%d, want reps=%d hits=0",
+				frameMajor, cold.RepsMaterialized, cold.RepHits, base.RepsMaterialized)
+		}
+		if !cold.HasCache {
+			t.Fatalf("frameMajor=%v: RepCache statser did not reach the report", frameMajor)
+		}
+
+		// A different engine over the same cascade — a second query — serves
+		// everything from the shared cache.
+		eng2, err := New(buildLevels(t, 21, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := eng2.RunAll(Frames(frames), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowEqual(warm.Labels, base.Labels) {
+			t.Fatalf("frameMajor=%v: warm cached labels differ from cacheless run", frameMajor)
+		}
+		if warm.RepsMaterialized != 0 || warm.RepHits != base.RepsMaterialized {
+			t.Fatalf("frameMajor=%v: warm run reps=%d hits=%d, want reps=0 hits=%d",
+				frameMajor, warm.RepsMaterialized, warm.RepHits, base.RepsMaterialized)
+		}
+		if warm.Cache.Hits != int64(base.RepsMaterialized) {
+			t.Fatalf("frameMajor=%v: warm cache delta %+v, want %d hits", frameMajor, warm.Cache, base.RepsMaterialized)
+		}
+	}
+}
+
+// TestRepCacheFusedParity: the fused engine draws from and publishes to the
+// same cross-run cache, so a fused query after a single-predicate query
+// rehits that query's representations, labels unchanged.
+func TestRepCacheFusedParity(t *testing.T) {
+	frames := randFrames(13, 80, 32)
+	a := buildLevels(t, 31, 3)
+	b := buildLevels(t, 77, 2) // same transform ladder prefix, different weights
+
+	fe, err := NewFused(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := fe.RunAll(Frames(frames), Options{Workers: 2, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query 1: cascade a alone, publishing its representations.
+	rc := newTestRepCache(t)
+	engA, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runA, err := engA.RunAll(Frames(frames), Options{Workers: 2, Batch: 16, RepCache: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query 2: the fused pair; every slot cascade a touched is a cross-query
+	// hit now.
+	fused, err := fe.RunAll(Frames(frames), Options{Workers: 2, Batch: 16, RepCache: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range base.Labels {
+		if !rowEqual(fused.Labels[c], base.Labels[c]) {
+			t.Fatalf("cascade %d: fused labels differ under RepCache", c)
+		}
+	}
+	if fused.RepHits < runA.RepsMaterialized {
+		t.Fatalf("fused rehit %d reps, want at least the %d query 1 published", fused.RepHits, runA.RepsMaterialized)
+	}
+	if fused.RepsMaterialized+fused.RepHits != base.RepsMaterialized {
+		t.Fatalf("fused reps+hits = %d+%d, want %d (the cacheless union)",
+			fused.RepsMaterialized, fused.RepHits, base.RepsMaterialized)
+	}
+	// Pipelined and synchronous fused runs agree under the cache too.
+	sync, err := fe.RunAll(Frames(frames), Options{Workers: 2, Batch: 16, RepCache: rc, Prefetch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range base.Labels {
+		if !rowEqual(sync.Labels[c], base.Labels[c]) {
+			t.Fatalf("cascade %d: synchronous fused labels differ under RepCache", c)
+		}
+	}
+}
+
+func rowEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,7 +1,6 @@
 package repstore
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
@@ -15,38 +14,23 @@ import (
 // queries; the cache turns those re-reads into memory hits while bounding
 // resident pixel bytes. Safe for concurrent use.
 type Cache struct {
-	store    *Store
-	capacity int64 // pixel-byte budget
+	store *Store
 
-	mu    sync.Mutex
-	bytes int64
-	lru   *list.List // front = most recent; values are *cacheEntry
-	items map[cacheKey]*list.Element
-
-	hits    int64
-	misses  int64
-	evicted int64 // cumulative bytes pushed out by the LRU policy
+	mu  sync.Mutex
+	lru *lruCore
 }
 
 // CacheStats is a point-in-time snapshot of a cache's counters. Hits,
 // Misses and EvictedBytes are cumulative since construction; ResidentBytes
 // is the current footprint. Execution reports subtract two snapshots to
-// attribute cache work to a single run.
+// attribute cache work to a single run — exact when the run has the cache
+// to itself, approximate when concurrent queries share it (the counters are
+// cache-global).
 type CacheStats struct {
 	Hits          int64
 	Misses        int64
 	EvictedBytes  int64
 	ResidentBytes int64
-}
-
-type cacheKey struct {
-	rep string // transform ID; "" = full-size source
-	idx int
-}
-
-type cacheEntry struct {
-	key cacheKey
-	im  *img.Image
 }
 
 // NewCache wraps store with a cache holding up to capacityBytes of decoded
@@ -55,12 +39,7 @@ func NewCache(store *Store, capacityBytes int64) (*Cache, error) {
 	if capacityBytes <= 0 {
 		return nil, fmt.Errorf("repstore: cache capacity must be positive, got %d", capacityBytes)
 	}
-	return &Cache{
-		store:    store,
-		capacity: capacityBytes,
-		lru:      list.New(),
-		items:    make(map[cacheKey]*list.Element),
-	}, nil
+	return &Cache{store: store, lru: newLRUCore(capacityBytes)}, nil
 }
 
 // Source returns full-size image i, from cache when possible.
@@ -79,18 +58,15 @@ func (c *Cache) Rep(i int, t xform.Transform) (*img.Image, error) {
 
 func (c *Cache) get(key cacheKey, load func() (*img.Image, error)) (*img.Image, error) {
 	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.lru.MoveToFront(el)
-		im := el.Value.(*cacheEntry).im
-		c.hits++
+	if im := c.lru.lookup(key); im != nil {
 		c.mu.Unlock()
 		return im, nil
 	}
-	c.misses++
 	c.mu.Unlock()
 
 	// Load outside the lock; concurrent misses on the same key may load
-	// twice, which is wasteful but correct (records are immutable).
+	// twice, which is wasteful but correct (records are immutable, and
+	// insert keeps whichever copy got there first).
 	im, err := load()
 	if err != nil {
 		return nil, err
@@ -98,29 +74,14 @@ func (c *Cache) get(key cacheKey, load func() (*img.Image, error)) (*img.Image, 
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		// Another goroutine beat us; keep its copy.
-		c.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).im, nil
-	}
-	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, im: im})
-	c.bytes += int64(im.Bytes())
-	for c.bytes > c.capacity && c.lru.Len() > 1 {
-		oldest := c.lru.Back()
-		entry := oldest.Value.(*cacheEntry)
-		c.lru.Remove(oldest)
-		delete(c.items, entry.key)
-		c.bytes -= int64(entry.im.Bytes())
-		c.evicted += int64(entry.im.Bytes())
-	}
-	return im, nil
+	return c.lru.insert(key, im), nil
 }
 
 // Stats reports cache effectiveness.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, EvictedBytes: c.evicted, ResidentBytes: c.bytes}
+	return c.lru.stats()
 }
 
 // Has reports whether the underlying store materializes transform t, i.e.
@@ -134,5 +95,5 @@ func (c *Cache) Has(t xform.Transform) bool {
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Len()
+	return c.lru.list.Len()
 }

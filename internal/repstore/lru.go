@@ -1,0 +1,77 @@
+package repstore
+
+import (
+	"container/list"
+
+	"tahoma/internal/img"
+)
+
+// lruCore is the shared LRU machinery behind Cache and SharedReps: a
+// byte-budgeted recency list over decoded images with hit/miss/eviction
+// accounting. It is not goroutine-safe — the owning cache holds the lock.
+type lruCore struct {
+	capacity int64 // pixel-byte budget
+	bytes    int64
+	list     *list.List // front = most recent; values are *cacheEntry
+	items    map[cacheKey]*list.Element
+
+	hits    int64
+	misses  int64
+	evicted int64 // cumulative bytes pushed out by the LRU policy
+}
+
+type cacheKey struct {
+	rep string // transform ID; "" = full-size source
+	idx int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	im  *img.Image
+}
+
+func newLRUCore(capacityBytes int64) *lruCore {
+	return &lruCore{
+		capacity: capacityBytes,
+		list:     list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// lookup returns the cached image for key and records a hit, or records a
+// miss and returns nil.
+func (c *lruCore) lookup(key cacheKey) *img.Image {
+	if el, ok := c.items[key]; ok {
+		c.list.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).im
+	}
+	c.misses++
+	return nil
+}
+
+// insert stores im under key unless an entry is already resident (the
+// resident image wins — records are immutable, so the pixels are identical),
+// evicting from the cold end until the budget holds. It returns the resident
+// image for key.
+func (c *lruCore) insert(key cacheKey, im *img.Image) *img.Image {
+	if el, ok := c.items[key]; ok {
+		c.list.MoveToFront(el)
+		return el.Value.(*cacheEntry).im
+	}
+	c.items[key] = c.list.PushFront(&cacheEntry{key: key, im: im})
+	c.bytes += int64(im.Bytes())
+	for c.bytes > c.capacity && c.list.Len() > 1 {
+		oldest := c.list.Back()
+		entry := oldest.Value.(*cacheEntry)
+		c.list.Remove(oldest)
+		delete(c.items, entry.key)
+		c.bytes -= int64(entry.im.Bytes())
+		c.evicted += int64(entry.im.Bytes())
+	}
+	return im
+}
+
+func (c *lruCore) stats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses, EvictedBytes: c.evicted, ResidentBytes: c.bytes}
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"tahoma/internal/img"
 	"tahoma/internal/xform"
@@ -42,14 +43,21 @@ type Manifest struct {
 
 const manifestName = "manifest.json"
 
-// Store is an open representation store. Concurrent readers are safe once
-// ingestion is finished; Ingest must not race with reads.
+// Store is an open representation store, safe for concurrent use: records
+// are read with ReadAt and the record count is guarded, so readers may
+// overlap an in-flight Ingest — they simply do not see rows appended after
+// they checked Count.
 type Store struct {
-	dir      string
+	dir    string
+	xforms []xform.Transform
+	source *os.File
+	reps   map[string]*os.File
+
+	// mu guards manifest (Count grows on ingest). Data files are append-
+	// only with fixed record sizes: a record below Count is complete, so
+	// ReadAt needs no lock of its own.
+	mu       sync.RWMutex
 	manifest Manifest
-	xforms   []xform.Transform
-	source   *os.File
-	reps     map[string]*os.File
 }
 
 // Create initializes a new store in dir (which must be empty or absent) that
@@ -185,7 +193,11 @@ func (s *Store) writeManifest() error {
 }
 
 // Count returns the number of ingested images.
-func (s *Store) Count() int { return s.manifest.Count }
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.manifest.Count
+}
 
 // Transforms returns the transforms materialized by this store.
 func (s *Store) Transforms() []xform.Transform {
@@ -199,6 +211,8 @@ func (s *Store) BaseSize() (w, h int) { return s.manifest.BaseW, s.manifest.Base
 // representation (the ONGOING pipeline: transform on ingest, load-only at
 // query time). It returns the image's index.
 func (s *Store) Ingest(im *img.Image) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if im.W != s.manifest.BaseW || im.H != s.manifest.BaseH || im.Mode != img.RGB {
 		return 0, fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
 			im.W, im.H, im.Mode, s.manifest.BaseW, s.manifest.BaseH)
@@ -223,6 +237,8 @@ func (s *Store) Ingest(im *img.Image) (int, error) {
 // IngestAll appends a batch of images, deferring the manifest write to the
 // end (one fsync-visible update per batch rather than per image).
 func (s *Store) IngestAll(ims []*img.Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, im := range ims {
 		if im.W != s.manifest.BaseW || im.H != s.manifest.BaseH || im.Mode != img.RGB {
 			return fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
@@ -273,8 +289,8 @@ func (s *Store) LoadRep(i int, t xform.Transform) (*img.Image, error) {
 }
 
 func (s *Store) loadRecord(f *os.File, i, record int, name string) (*img.Image, error) {
-	if i < 0 || i >= s.manifest.Count {
-		return nil, fmt.Errorf("repstore: index %d out of range [0,%d)", i, s.manifest.Count)
+	if n := s.Count(); i < 0 || i >= n {
+		return nil, fmt.Errorf("repstore: index %d out of range [0,%d)", i, n)
 	}
 	buf := make([]byte, record)
 	if _, err := f.ReadAt(buf, int64(i)*int64(record)); err != nil {
@@ -289,7 +305,8 @@ func (s *Store) loadRecord(f *os.File, i, record int, name string) (*img.Image, 
 
 // ScanSource streams every full-size image in order.
 func (s *Store) ScanSource(fn func(i int, im *img.Image) error) error {
-	for i := 0; i < s.manifest.Count; i++ {
+	n := s.Count() // fixed bound: rows ingested mid-scan are not visited
+	for i := 0; i < n; i++ {
 		im, err := s.LoadSource(i)
 		if err != nil {
 			return err
@@ -306,7 +323,8 @@ func (s *Store) ScanRep(t xform.Transform, fn func(i int, im *img.Image) error) 
 	if _, ok := s.reps[t.ID()]; !ok {
 		return fmt.Errorf("repstore: transform %s not materialized in this store", t.ID())
 	}
-	for i := 0; i < s.manifest.Count; i++ {
+	n := s.Count() // fixed bound: rows ingested mid-scan are not visited
+	for i := 0; i < n; i++ {
 		im, err := s.LoadRep(i, t)
 		if err != nil {
 			return err

@@ -1,0 +1,103 @@
+package repstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tahoma/internal/img"
+)
+
+func sharedTestImage(seed int) *img.Image {
+	im := img.New(4, 4, img.Gray)
+	for p := range im.Pix {
+		im.Pix[p] = float32(seed) + float32(p)*0.25
+	}
+	return im
+}
+
+func TestSharedRepsGetPut(t *testing.T) {
+	sr, err := NewSharedReps(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.GetRep(0, "8x8/gray"); got != nil {
+		t.Fatalf("empty cache served %v", got)
+	}
+	im := sharedTestImage(1)
+	sr.PutRep(0, "8x8/gray", im)
+	got := sr.GetRep(0, "8x8/gray")
+	if got != im {
+		t.Fatalf("GetRep returned %p, want the published image %p", got, im)
+	}
+	// Distinct transform of the same frame is a different key.
+	if sr.GetRep(0, "16x16/gray") != nil {
+		t.Fatal("key collision across transform IDs")
+	}
+	st := sr.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.ResidentBytes != int64(im.Bytes()) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSharedRepsEviction(t *testing.T) {
+	one := sharedTestImage(0)
+	// Room for exactly three images.
+	sr, err := NewSharedReps(int64(one.Bytes()) * 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sr.PutRep(i, "x", sharedTestImage(i))
+	}
+	if sr.Len() != 3 {
+		t.Fatalf("resident %d entries, want 3", sr.Len())
+	}
+	// LRU: 0 and 1 are gone, 2..4 remain.
+	if sr.GetRep(0, "x") != nil || sr.GetRep(1, "x") != nil {
+		t.Fatal("oldest entries not evicted")
+	}
+	for i := 2; i < 5; i++ {
+		if sr.GetRep(i, "x") == nil {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	st := sr.Stats()
+	if st.EvictedBytes != int64(one.Bytes())*2 {
+		t.Fatalf("evicted %d bytes, want %d", st.EvictedBytes, one.Bytes()*2)
+	}
+	if st.ResidentBytes > int64(one.Bytes())*3 {
+		t.Fatalf("resident %d bytes exceeds capacity", st.ResidentBytes)
+	}
+}
+
+func TestSharedRepsConcurrent(t *testing.T) {
+	sr, err := NewSharedReps(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("t%d", i%7)
+				if im := sr.GetRep(i%31, id); im == nil {
+					sr.PutRep(i%31, id, sharedTestImage(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := sr.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lookups %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}
+
+func TestSharedRepsRejectsBadCapacity(t *testing.T) {
+	if _, err := NewSharedReps(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

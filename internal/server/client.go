@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a running tahoma server. The zero accuracy budget defers
+// to the server's default.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a server base URL, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// QueryOptions are the per-request cascade-selection constraints.
+type QueryOptions struct {
+	// MaxAccuracyLoss is the accuracy budget (Uacc). nil defers to the
+	// server's default; AccuracyLoss(0) explicitly requests the most
+	// accurate cascade.
+	MaxAccuracyLoss *float64
+	MinThroughput   float64
+}
+
+// AccuracyLoss builds an explicit accuracy budget for QueryOptions.
+func AccuracyLoss(v float64) *float64 { return &v }
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e errorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) postQuery(sql string, opts QueryOptions, ndjson bool) (*http.Response, error) {
+	req := QueryRequest{SQL: sql, MaxAccuracyLoss: opts.MaxAccuracyLoss, MinThroughput: opts.MinThroughput, NDJSON: ndjson}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// Query runs sql and returns the full result. Row cells decode as
+// json.Number (int64 columns) or string.
+func (c *Client) Query(sql string, opts QueryOptions) (*QueryResponse, error) {
+	resp, err := c.postQuery(sql, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var out QueryResponse
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// QueryRows streams sql's result via NDJSON, calling fn once per row as it
+// arrives, and returns the trailer (counts and engine accounting, no Rows).
+// Row cells are json.Number or string.
+func (c *Client) QueryRows(sql string, opts QueryOptions, fn func(row []any) error) (*QueryResponse, error) {
+	resp, err := c.postQuery(sql, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	first := true
+	var trailer *QueryResponse
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		switch {
+		case line[0] == '[':
+			var row []any
+			dec := json.NewDecoder(bytes.NewReader(line))
+			dec.UseNumber()
+			if err := dec.Decode(&row); err != nil {
+				return nil, fmt.Errorf("decoding row: %w", err)
+			}
+			if fn != nil {
+				if err := fn(row); err != nil {
+					return nil, err
+				}
+			}
+		case first:
+			// The columns header; skip (the trailer repeats the counts).
+		default:
+			var t QueryResponse
+			dec := json.NewDecoder(bytes.NewReader(line))
+			dec.UseNumber()
+			if err := dec.Decode(&t); err != nil {
+				return nil, fmt.Errorf("decoding trailer: %w", err)
+			}
+			trailer = &t
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if trailer == nil {
+		return nil, fmt.Errorf("stream ended without a trailer")
+	}
+	return trailer, nil
+}
+
+// Explain returns the server's plan for sql without executing it.
+func (c *Client) Explain(sql string, opts QueryOptions) (string, error) {
+	v := url.Values{"sql": {sql}}
+	if opts.MaxAccuracyLoss != nil {
+		v.Set("max_accuracy_loss", strconv.FormatFloat(*opts.MaxAccuracyLoss, 'g', -1, 64))
+	}
+	if opts.MinThroughput != 0 {
+		v.Set("min_throughput", strconv.FormatFloat(opts.MinThroughput, 'g', -1, 64))
+	}
+	resp, err := c.hc.Get(c.base + "/explain?" + v.Encode())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.hc.Get(c.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

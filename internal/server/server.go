@@ -1,0 +1,537 @@
+// Package server is TAHOMA's concurrent query service: a long-lived HTTP
+// front end over one open vdb.DB. It adds what the one-shot CLI cannot —
+// admission control (a bounded query-worker pool with a queue, so N
+// concurrent clients share the machine instead of oversubscribing the
+// execution engine), cross-query representation sharing (every query reads
+// and publishes the DB's shared rep cache), and live observability
+// (per-query latency histogram, engine and cache counters on /stats).
+//
+// Endpoints:
+//
+//	POST /query    SQL in (JSON body or raw text), rows out; ?ndjson=1 or
+//	               {"ndjson":true} streams results as NDJSON for large sets
+//	GET  /explain  the query plan, without executing it
+//	GET  /stats    engine + rep-cache counters, latency histogram
+//	GET  /healthz  liveness + row count
+//
+// Concurrent queries return results bit-identical to serial execution: the
+// DB snapshots its column state per query and classification is
+// deterministic per row, so interleaving cannot change any answer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tahoma/internal/core"
+	"tahoma/internal/exec"
+	"tahoma/internal/vdb"
+)
+
+// Options configure a Server. The zero value serves with GOMAXPROCS query
+// workers, a 4× queue, a 30s queue timeout and a 5% default accuracy budget.
+type Options struct {
+	// MaxConcurrent bounds the queries executing at once (0 = GOMAXPROCS).
+	// Each query already parallelizes internally through the execution
+	// engine, so this is the admission knob that keeps N clients from
+	// oversubscribing the engine's workers.
+	MaxConcurrent int
+	// MaxQueue bounds the queries waiting for a worker (0 = 4×MaxConcurrent;
+	// negative = no queueing). Requests beyond the bound are rejected with
+	// 503 instead of piling up.
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for a worker before a
+	// 503 (0 = 30s).
+	QueueTimeout time.Duration
+	// DefaultAccuracyLoss is the accuracy budget (the paper's Uacc) applied
+	// when a request does not name one (0 = 0.05; negative = no loss, the
+	// most accurate cascade).
+	DefaultAccuracyLoss float64
+	// RepCache, when set, is installed on the DB as the cross-query
+	// representation cache and reported under /stats: a representation
+	// materialized for one query becomes a RepHit for every other.
+	RepCache *vdb.SharedRepCache
+}
+
+func (o Options) normalized() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.MaxQueue == 0:
+		o.MaxQueue = 4 * o.MaxConcurrent
+	case o.MaxQueue < 0:
+		o.MaxQueue = 0
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 30 * time.Second
+	}
+	switch {
+	case o.DefaultAccuracyLoss == 0:
+		o.DefaultAccuracyLoss = 0.05
+	case o.DefaultAccuracyLoss < 0:
+		o.DefaultAccuracyLoss = 0
+	}
+	return o
+}
+
+// Server is the HTTP query service. Build with New, attach with Handler or
+// run with Serve/ListenAndServe.
+type Server struct {
+	db   *vdb.DB
+	opts Options
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	stats serverStats
+	hs    *http.Server
+	mux   *http.ServeMux
+}
+
+// New builds a server over an open DB. When opts.RepCache is set it becomes
+// the DB's cross-query representation cache.
+func New(db *vdb.DB, opts Options) *Server {
+	opts = opts.normalized()
+	if opts.RepCache != nil {
+		db.SetRepCache(opts.RepCache)
+	}
+	s := &Server{
+		db:   db,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the service's HTTP handler, for embedding into an existing
+// mux or test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown or a listener error.
+func (s *Server) Serve(ln net.Listener) error { return s.hs.Serve(ln) }
+
+// ListenAndServe binds addr and serves until Shutdown or an error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: in-flight queries finish, new
+// connections are refused.
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+// errOverloaded rejects a request the admission layer cannot queue.
+var errOverloaded = errors.New("server overloaded: query queue full")
+
+// acquire admits one query: it takes a worker slot, queueing up to
+// Options.MaxQueue waiters for at most Options.QueueTimeout.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if int(s.queued.Add(1)) > s.opts.MaxQueue {
+		s.queued.Add(-1)
+		return nil, errOverloaded
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, errOverloaded
+	}
+}
+
+// QueryRequest is the POST /query body (JSON). A raw-SQL text body with the
+// options in query parameters is accepted too.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// MaxAccuracyLoss and MinThroughput are the paper's Uacc/Uthru cascade-
+	// selection constraints. MaxAccuracyLoss is a pointer so an explicit 0
+	// ("no accuracy loss") is distinguishable from absent ("server
+	// default").
+	MaxAccuracyLoss *float64 `json:"max_accuracy_loss,omitempty"`
+	MinThroughput   float64  `json:"min_throughput,omitempty"`
+	// NDJSON streams the response as newline-delimited JSON: a columns
+	// header object, one array per row, then a trailer object with the
+	// counts — the shape to consume for large results.
+	NDJSON bool `json:"ndjson,omitempty"`
+}
+
+// QueryResponse is the non-streaming POST /query response, and the NDJSON
+// trailer (without Rows).
+type QueryResponse struct {
+	Columns []string `json:"columns,omitempty"`
+	// Rows hold int64s as JSON numbers and strings as JSON strings.
+	Rows             [][]any `json:"rows,omitempty"`
+	Count            int     `json:"count"`
+	UDFCalls         int     `json:"udf_calls"`
+	Fused            bool    `json:"fused,omitempty"`
+	RepsMaterialized int     `json:"reps_materialized"`
+	RepHits          int     `json:"rep_hits"`
+	WallMS           float64 `json:"wall_ms"`
+}
+
+// errorResponse is every endpoint's failure body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// parseQueryRequest extracts the SQL and options from a request: a JSON
+// body, or raw SQL text with URL query parameters.
+func (s *Server) parseQueryRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return req, fmt.Errorf("reading body: %w", err)
+		}
+		trimmed := strings.TrimSpace(string(body))
+		if strings.HasPrefix(trimmed, "{") {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return req, fmt.Errorf("decoding JSON body: %w", err)
+			}
+		} else {
+			req.SQL = trimmed
+		}
+	}
+	q := r.URL.Query()
+	if req.SQL == "" {
+		req.SQL = q.Get("sql")
+	}
+	if v := q.Get("max_accuracy_loss"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("max_accuracy_loss: %w", err)
+		}
+		req.MaxAccuracyLoss = &f
+	}
+	if v := q.Get("min_throughput"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("min_throughput: %w", err)
+		}
+		req.MinThroughput = f
+	}
+	if v := q.Get("ndjson"); v == "1" || v == "true" {
+		req.NDJSON = true
+	}
+	if req.SQL == "" {
+		return req, errors.New("missing sql")
+	}
+	return req, nil
+}
+
+func (s *Server) constraints(req QueryRequest) core.Constraints {
+	loss := s.opts.DefaultAccuracyLoss
+	if req.MaxAccuracyLoss != nil {
+		// An explicit 0 is a real constraint — the most accurate cascade —
+		// not "use the default".
+		loss = *req.MaxAccuracyLoss
+	}
+	return core.Constraints{MaxAccuracyLoss: loss, MinThroughput: req.MinThroughput}
+}
+
+func rowValues(row []vdb.Value) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		if v.IsString {
+			out[i] = v.Str
+		} else {
+			out[i] = v.Int
+		}
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+	req, err := s.parseQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cons := s.constraints(req)
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		s.stats.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.inflight.Add(1)
+	// Validate under the admission slot (planning is cheap but must stay
+	// bounded too): a plan that cannot be built — bad SQL, unknown column
+	// or predicate, unreachable constraint — is the caller's error, 400.
+	// Failures past this point are execution-side (store I/O, engine
+	// faults) and 500.
+	if _, planErr := s.db.Explain(req.SQL, cons); planErr != nil {
+		s.inflight.Add(-1)
+		release()
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, planErr)
+		return
+	}
+	t0 := time.Now()
+	res, err := s.db.Query(req.SQL, cons)
+	wall := time.Since(t0)
+	s.inflight.Add(-1)
+	release()
+	if err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.stats.observe(res, wall)
+
+	resp := QueryResponse{
+		Columns:          res.Columns,
+		Count:            res.Count,
+		UDFCalls:         res.UDFCalls,
+		Fused:            res.Fused,
+		RepsMaterialized: res.RepsMaterialized,
+		RepHits:          res.RepHits,
+		WallMS:           float64(wall.Microseconds()) / 1e3,
+	}
+	if !req.NDJSON {
+		resp.Rows = make([][]any, len(res.Rows))
+		for i, row := range res.Rows {
+			resp.Rows[i] = rowValues(row)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// NDJSON: header, rows, trailer — flushed incrementally so a client can
+	// consume arbitrarily large results without buffering them.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(struct {
+		Columns []string `json:"columns"`
+	}{Columns: res.Columns})
+	for i, row := range res.Rows {
+		_ = enc.Encode(rowValues(row))
+		if flusher != nil && i%256 == 255 {
+			flusher.Flush()
+		}
+	}
+	resp.Columns = nil
+	_ = enc.Encode(resp)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.db.Explain(req.SQL, s.constraints(req))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, plan)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK   bool `json:"ok"`
+		Rows int  `json:"rows"`
+	}{OK: true, Rows: s.db.Count()})
+}
+
+// latencyBoundsMS are the histogram's upper bucket bounds; the final bucket
+// is unbounded.
+var latencyBoundsMS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// serverStats aggregates per-query accounting. Counter fields are atomics;
+// the histogram has its own lock.
+type serverStats struct {
+	queries  atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+
+	udfCalls atomic.Int64
+	fused    atomic.Int64
+	repsMat  atomic.Int64
+	repHits  atomic.Int64
+
+	mu      sync.Mutex
+	counts  []int64 // len(latencyBoundsMS)+1
+	sum     time.Duration
+	max     time.Duration
+	samples int64
+}
+
+func (st *serverStats) observe(res *vdb.Result, wall time.Duration) {
+	st.queries.Add(1)
+	st.udfCalls.Add(int64(res.UDFCalls))
+	if res.Fused {
+		st.fused.Add(1)
+	}
+	st.repsMat.Add(int64(res.RepsMaterialized))
+	st.repHits.Add(int64(res.RepHits))
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.counts == nil {
+		st.counts = make([]int64, len(latencyBoundsMS)+1)
+	}
+	ms := float64(wall.Microseconds()) / 1e3
+	b := len(latencyBoundsMS)
+	for i, le := range latencyBoundsMS {
+		if ms <= le {
+			b = i
+			break
+		}
+	}
+	st.counts[b]++
+	st.sum += wall
+	st.samples++
+	if wall > st.max {
+		st.max = wall
+	}
+}
+
+// CacheStats mirrors exec.CacheStats on the wire.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	EvictedBytes  int64 `json:"evicted_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+func wireCache(c exec.CacheStats) *CacheStats {
+	return &CacheStats{Hits: c.Hits, Misses: c.Misses, EvictedBytes: c.EvictedBytes, ResidentBytes: c.ResidentBytes}
+}
+
+// LatencyBucket is one histogram cell: queries that finished in at most LEMS
+// milliseconds (the final bucket has LEMS 0 = unbounded).
+type LatencyBucket struct {
+	LEMS  float64 `json:"le_ms,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// Latency is the per-query wall-time distribution since the server started.
+type Latency struct {
+	Count   int64           `json:"count"`
+	MeanMS  float64         `json:"mean_ms"`
+	MaxMS   float64         `json:"max_ms"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Queries  int64 `json:"queries"`
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+
+	Rows       int      `json:"rows"`
+	Predicates []string `json:"predicates"`
+
+	UDFCalls         int64 `json:"udf_calls"`
+	FusedQueries     int64 `json:"fused_queries"`
+	RepsMaterialized int64 `json:"reps_materialized"`
+	// RepHits counts representation-slot loads served without a transform —
+	// from the representation store or, cross-query, from the shared rep
+	// cache.
+	RepHits int64 `json:"rep_hits"`
+
+	// SharedRepCache is the cross-query representation cache's counters
+	// (present when the server was built with one); StoreCache is the
+	// store-backed corpus's decode cache (present for store corpora).
+	SharedRepCache *CacheStats `json:"shared_rep_cache,omitempty"`
+	StoreCache     *CacheStats `json:"store_cache,omitempty"`
+
+	Latency Latency `json:"latency"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		Queries:          s.stats.queries.Load(),
+		Errors:           s.stats.errors.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		InFlight:         s.inflight.Load(),
+		Queued:           s.queued.Load(),
+		Rows:             s.db.Count(),
+		Predicates:       s.db.Predicates(),
+		UDFCalls:         s.stats.udfCalls.Load(),
+		FusedQueries:     s.stats.fused.Load(),
+		RepsMaterialized: s.stats.repsMat.Load(),
+		RepHits:          s.stats.repHits.Load(),
+	}
+	if s.opts.RepCache != nil {
+		resp.SharedRepCache = wireCache(s.opts.RepCache.CacheStats())
+	}
+	if st, ok := s.db.RepCacheStats(); ok {
+		resp.StoreCache = wireCache(st)
+	}
+	s.stats.mu.Lock()
+	resp.Latency.Count = s.stats.samples
+	if s.stats.samples > 0 {
+		resp.Latency.MeanMS = float64(s.stats.sum.Microseconds()) / 1e3 / float64(s.stats.samples)
+		resp.Latency.MaxMS = float64(s.stats.max.Microseconds()) / 1e3
+	}
+	for i, c := range s.stats.counts {
+		if c == 0 {
+			continue
+		}
+		b := LatencyBucket{Count: c}
+		if i < len(latencyBoundsMS) {
+			b.LEMS = latencyBoundsMS[i]
+		}
+		resp.Latency.Buckets = append(resp.Latency.Buckets, b)
+	}
+	s.stats.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

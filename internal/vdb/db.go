@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
@@ -185,8 +186,16 @@ func (r *repSource) CacheStats() exec.CacheStats {
 	return exec.CacheStats{Hits: st.Hits, Misses: st.Misses, EvictedBytes: st.EvictedBytes, ResidentBytes: st.ResidentBytes}
 }
 
-// DB is a visual analytics database over one images table.
+// DB is a visual analytics database over one images table. It is safe for
+// concurrent use: queries, EXPLAINs and Append may overlap freely. Each query
+// takes a snapshot of the catalog and the materialized-column state under the
+// lock, classifies lock-free against a fixed-length corpus view, and merges
+// freshly computed labels back under the lock — so concurrent results are
+// bit-identical to serial runs (classification is deterministic per row), and
+// rows ingested mid-query become visible to the queries that start after the
+// Append's catalog update.
 type DB struct {
+	mu         sync.RWMutex
 	corpus     Corpus
 	meta       []Metadata
 	costModel  scenario.CostModel
@@ -195,13 +204,18 @@ type DB struct {
 	execOpts   exec.Options
 	fusionOff  bool
 	serveReps  bool
-	reps       *repSource // built with the store-backed corpus
+	reps       *repSource    // built with the store-backed corpus
+	repCache   exec.RepCache // cross-query representation cache (SetRepCache)
 }
 
 // SetExecOptions sizes the batched execution engine used for content
 // predicates (query-time and trigger-time classification). The zero value
 // means GOMAXPROCS workers and the engine's default batch size.
-func (db *DB) SetExecOptions(o exec.Options) { db.execOpts = o }
+func (db *DB) SetExecOptions(o exec.Options) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.execOpts = o
+}
 
 // SetFusion toggles fused multi-predicate execution (default on): when a
 // query has two or more content predicates with uncached rows, their
@@ -209,7 +223,11 @@ func (db *DB) SetExecOptions(o exec.Options) { db.execOpts = o }
 // is materialized once per frame for the whole query. Off, predicates run
 // sequentially, each narrowing the row set for the next — today's labels
 // either way, since per-predicate decisions are independent.
-func (db *DB) SetFusion(on bool) { db.fusionOff = !on }
+func (db *DB) SetFusion(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.fusionOff = !on
+}
 
 // ServeReps toggles loading pre-materialized representations straight from
 // a store-backed corpus during content-predicate execution (default off).
@@ -218,7 +236,25 @@ func (db *DB) SetFusion(on bool) { db.fusionOff = !on }
 // ONGOING cost models price — so labels may differ slightly from
 // recomputing representations out of the decoded source. No-op for
 // in-memory corpora.
-func (db *DB) ServeReps(on bool) { db.serveReps = on }
+func (db *DB) ServeReps(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.serveReps = on
+}
+
+// SetRepCache installs a cross-query representation cache (typically a
+// *SharedRepCache): content-predicate execution consults it before
+// transforming and publishes what it transforms, so a representation
+// materialized for one query is a RepHit for every concurrent or later query.
+// Cached pixels are bit-identical to the transform output, so labels never
+// change. The cache is keyed by row index — install a fresh one per corpus
+// (LoadCorpus and LoadCorpusFromStore drop the installed cache). nil
+// uninstalls.
+func (db *DB) SetRepCache(rc exec.RepCache) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.repCache = rc
+}
 
 // RepCacheStats returns the store-backed corpus's decoded-record cache
 // counters, cumulative since load (ok is false for in-memory corpora and
@@ -226,6 +262,8 @@ func (db *DB) ServeReps(on bool) { db.serveReps = on }
 // representation loads when ServeReps is on; callers diff two snapshots to
 // attribute traffic to one query.
 func (db *DB) RepCacheStats() (stats exec.CacheStats, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.reps == nil || db.reps.sc.cache == nil {
 		return exec.CacheStats{}, false
 	}
@@ -233,12 +271,15 @@ func (db *DB) RepCacheStats() (stats exec.CacheStats, ok bool) {
 }
 
 // contentExecOpts resolves the engine options for one content-predicate
-// phase, attaching the corpus-backed RepSource when rep serving is on.
+// phase, attaching the corpus-backed RepSource when rep serving is on and
+// the cross-query representation cache when one is installed. Caller holds
+// db.mu.
 func (db *DB) contentExecOpts() exec.Options {
 	opts := db.execOpts
 	if db.serveReps && db.reps != nil {
 		opts.RepSource = db.reps
 	}
+	opts.RepCache = db.repCache
 	return opts
 }
 
@@ -259,8 +300,11 @@ func (db *DB) LoadCorpus(images []*img.Image, meta []Metadata) error {
 	if len(images) != len(meta) {
 		return fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.corpus = &memoryCorpus{images: images}
 	db.reps = nil
+	db.repCache = nil // keyed by row index; stale for the new corpus
 	db.meta = meta
 	db.resetMaterialized()
 	return nil
@@ -281,21 +325,33 @@ func (db *DB) LoadCorpusFromStore(store *repstore.Store, cacheBytes int64, meta 
 		}
 		sc.cache = cache
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.corpus = sc
 	db.reps = sc.repSource()
+	db.repCache = nil // keyed by row index; stale for the new corpus
 	db.meta = meta
 	db.resetMaterialized()
 	return nil
 }
 
 // Count returns the number of rows.
-func (db *DB) Count() int { return len(db.meta) }
+func (db *DB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.meta)
+}
 
 // InstallPredicate evaluates the system's cascade set under the DB's cost
-// model and registers the category for use in queries.
+// model and registers the category for use in queries. Evaluation — the
+// expensive part — runs outside the lock, so installation does not stall
+// in-flight queries over other predicates.
 func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) error {
 	category = strings.ToLower(category)
-	if _, ok := db.predicates[category]; ok {
+	db.mu.RLock()
+	_, dup := db.predicates[category]
+	db.mu.RUnlock()
+	if dup {
 		return fmt.Errorf("vdb: predicate %q already installed", category)
 	}
 	results, err := sys.EvaluateCascades(sys.BuildOptions(maxDepth), db.costModel)
@@ -303,6 +359,11 @@ func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) 
 		return fmt.Errorf("vdb: installing %q: %w", category, err)
 	}
 	frontier := pareto.Frontier(core.Points(results))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.predicates[category]; ok {
+		return fmt.Errorf("vdb: predicate %q already installed", category)
+	}
 	db.predicates[category] = &Predicate{
 		Category:     category,
 		System:       sys,
@@ -315,6 +376,13 @@ func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) 
 
 // Predicates lists installed categories.
 func (db *DB) Predicates() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.predicateNames()
+}
+
+// predicateNames lists installed categories. Caller holds db.mu.
+func (db *DB) predicateNames() []string {
 	var out []string
 	for c := range db.predicates {
 		out = append(out, c)
@@ -341,22 +409,44 @@ type Result struct {
 	RepsMaterialized int
 	RepHits          int
 	// RepCache, when HasRepCache, is the per-query delta of the rep
-	// cache's own hit/miss/eviction counters.
+	// cache's own hit/miss/eviction counters. The counters are
+	// cache-global: the delta is exact for a query running alone and
+	// approximate when concurrent queries share the cache (RepHits above
+	// stays exact either way — it is engine-local).
 	RepCache    exec.CacheStats
 	HasRepCache bool
 }
 
-// Query parses, plans and executes sql under the user's constraints.
+// Query parses, plans and executes sql under the user's constraints. Safe
+// for concurrent use: planning and the column-state snapshot happen under
+// the lock, classification runs lock-free over a fixed-length corpus view,
+// and freshly computed labels merge back at the end. Results are
+// bit-identical to a serial run over the same rows.
 func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	// The write lock (not RLock): snapshotForPlan may create and grow the
+	// shared materialized columns. Both steps are cheap — no inference.
+	db.mu.Lock()
 	plan, err := db.plan(q, constraints)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	snap := db.snapshotForPlan(plan)
+	db.mu.Unlock()
+
+	res, err := executeQuery(plan, snap)
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(plan)
+
+	db.mu.Lock()
+	snap.merge()
+	db.mu.Unlock()
+	return res, nil
 }
 
 // Explain returns the plan description without executing it.
@@ -365,6 +455,8 @@ func (db *DB) Explain(sql string, constraints core.Constraints) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	plan, err := db.plan(q, constraints)
 	if err != nil {
 		return "", err

@@ -23,36 +23,76 @@ type TriggerPolicy struct {
 }
 
 // SetTriggerPolicy installs the ingest-time materialization policy.
-func (db *DB) SetTriggerPolicy(p TriggerPolicy) { db.trigger = p }
+func (db *DB) SetTriggerPolicy(p TriggerPolicy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.trigger = p
+}
+
+// triggerJob is one predicate's planned ingest-time classification: the
+// rows still missing from its trigger column, classified outside the lock
+// into a private copy and merged back when done.
+type triggerJob struct {
+	category string
+	spec     cascade.Spec
+	rt       *cascade.Runtime
+	shared   *column
+	priv     *column
+	missing  []int
+}
 
 // Append adds rows to the corpus. Under an enabled trigger policy, every
 // installed predicate classifies the new rows immediately with its
 // ingest-time cascade, extending the materialized virtual columns so that
 // later queries pay no inference for these rows.
+//
+// Append coexists with in-flight queries: the catalog update (corpus + meta)
+// happens under the DB lock, but trigger classification runs lock-free
+// against a fixed-length corpus view and merges its labels at the end, the
+// same snapshot discipline queries use. Queries snapshotted before the
+// catalog update simply do not see the new rows.
 func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err error) {
 	if len(images) != len(meta) {
 		return 0, fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
 	}
+	db.mu.Lock()
 	app, ok := db.corpus.(appender)
 	if !ok {
+		db.mu.Unlock()
 		return 0, fmt.Errorf("vdb: corpus does not accept new rows")
 	}
 	if err := app.appendImages(images); err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
 	db.meta = append(db.meta, meta...)
 
 	if !db.trigger.Enabled {
 		// Without triggers, existing materialized columns no longer cover
-		// the corpus; drop them so queries recompute.
+		// the corpus; drop them so queries recompute. In-flight queries
+		// merge into the orphaned columns, which is harmless.
 		db.resetMaterialized()
+		db.mu.Unlock()
 		return 0, nil
 	}
 
+	// Plan the trigger work under the lock: select each predicate's ingest
+	// cascade, grow its column, and copy the rows still missing.
+	n := len(db.meta)
+	view := corpusView(db.corpus, n)
+	// Plain exec options only: the streaming path numbers frames by stream
+	// position, not corpus row, so the row-keyed RepSource/RepCache fast
+	// paths must stay out of trigger classification — including any the
+	// caller put into SetExecOptions directly.
+	opts := db.execOpts
+	opts.RepSource = nil
+	opts.RepCache = nil
+	var jobs []*triggerJob
 	for _, pred := range db.predicates {
-		point, err := core.Select(pred.Frontier, db.trigger.Constraints)
-		if err != nil {
-			return udfCalls, fmt.Errorf("vdb: trigger cascade for %q: %w", pred.Category, err)
+		point, serr := core.Select(pred.Frontier, db.trigger.Constraints)
+		if serr != nil {
+			db.mu.Unlock()
+			return 0, fmt.Errorf("vdb: trigger cascade for %q: %w", pred.Category, serr)
 		}
 		res := pred.Results[point.Index]
 		key := res.Spec.ID()
@@ -63,30 +103,51 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 			col = &column{}
 			pred.materialized[key] = col
 		}
-		col.grow(db.corpus.Len())
-		missing := col.invalid()
+		col.grow(n)
+		priv := col.copyN(n)
+		missing := priv.invalid()
 		if len(missing) == 0 {
 			continue
 		}
-		rt, err := cascade.NewRuntime(res.Spec, pred.System.Models, pred.System.Thresholds)
-		if err != nil {
-			return udfCalls, err
+		rt, rerr := cascade.NewRuntime(res.Spec, pred.System.Models, pred.System.Thresholds)
+		if rerr != nil {
+			db.mu.Unlock()
+			return 0, rerr
 		}
+		jobs = append(jobs, &triggerJob{
+			category: pred.Category, spec: res.Spec, rt: rt,
+			shared: col, priv: priv, missing: missing,
+		})
+	}
+	db.mu.Unlock()
+
+	// Classify outside the lock; merge whatever finished — even on a
+	// mid-stream failure — so reported udfCalls always matches the labels
+	// actually published.
+	defer func() {
+		db.mu.Lock()
+		for _, jb := range jobs {
+			mergeColumn(jb.priv, jb.shared)
+		}
+		db.mu.Unlock()
+	}()
+	for _, jb := range jobs {
+		jb := jb
 		// Newly ingested rows flow through the streaming classification
 		// path: frames are batched through the execution engine as they
 		// accumulate, the ONGOING/CAMERA ingest shape. udfCalls counts
 		// emitted labels so work done before a mid-stream failure is still
 		// reported.
-		stream, err := cascade.NewStream(rt, db.execOpts, func(j int, label bool) {
-			col.labels[missing[j]] = label
-			col.valid[missing[j]] = true
+		stream, err := cascade.NewStream(jb.rt, opts, func(j int, label bool) {
+			jb.priv.labels[jb.missing[j]] = label
+			jb.priv.valid[jb.missing[j]] = true
 			udfCalls++
 		})
 		if err != nil {
 			return udfCalls, err
 		}
-		for _, idx := range missing {
-			im, err := db.corpus.Image(idx)
+		for _, idx := range jb.missing {
+			im, err := view.Image(idx)
 			if err != nil {
 				return udfCalls, fmt.Errorf("vdb: trigger load row %d: %w", idx, err)
 			}
@@ -95,7 +156,7 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 			}
 		}
 		if _, err := stream.Close(); err != nil {
-			return udfCalls, fmt.Errorf("vdb: trigger classify for %q: %w", pred.Category, err)
+			return udfCalls, fmt.Errorf("vdb: trigger classify for %q: %w", jb.category, err)
 		}
 	}
 	return udfCalls, nil
@@ -104,6 +165,8 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 // TriggerCascade reports the cascade the trigger policy would select for a
 // category, for EXPLAIN-style introspection.
 func (db *DB) TriggerCascade(category string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pred, ok := db.predicates[category]
 	if !ok {
 		return "", fmt.Errorf("vdb: no classifier installed for %q", category)

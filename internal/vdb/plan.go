@@ -46,7 +46,7 @@ func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
 		pred, ok := db.predicates[cc.Category]
 		if !ok {
 			return nil, fmt.Errorf("vdb: no classifier installed for category %q (installed: %s)",
-				cc.Category, strings.Join(db.Predicates(), ", "))
+				cc.Category, strings.Join(db.predicateNames(), ", "))
 		}
 		point, err := core.Select(pred.Frontier, constraints)
 		if err != nil {
@@ -62,9 +62,10 @@ func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
 	return plan, nil
 }
 
+// describe renders the plan. Caller holds db.mu (read).
 func (p *queryPlan) describe(db *DB) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Scan images (%d rows)\n", db.Count())
+	fmt.Fprintf(&b, "Scan images (%d rows)\n", len(db.meta))
 	for _, mc := range p.query.Meta {
 		fmt.Fprintf(&b, "  Filter: %s %s %s\n", mc.Column, mc.Op, mc.Val)
 	}
@@ -78,10 +79,10 @@ func (p *queryPlan) describe(db *DB) string {
 		fmt.Fprintf(&b, "       est. accuracy %.3f, est. throughput %.0f imgs/sec (%s)\n",
 			cs.expected.Accuracy, cs.expected.Throughput, db.costModel.Name())
 		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok {
-			if n := col.coverage(); n == db.Count() {
+			if n := col.coverage(); n == len(db.meta) {
 				b.WriteString("       (materialized: no inference needed)\n")
 			} else if n > 0 {
-				fmt.Fprintf(&b, "       (partially materialized: %d/%d rows cached)\n", n, db.Count())
+				fmt.Fprintf(&b, "       (partially materialized: %d/%d rows cached)\n", n, len(db.meta))
 			}
 		}
 	}
@@ -102,11 +103,14 @@ func (p *queryPlan) describe(db *DB) string {
 	return b.String()
 }
 
-func (db *DB) execute(plan *queryPlan) (*Result, error) {
+// executeQuery runs a planned query against its snapshot. It touches no DB
+// state: classification reads the snapshot's fixed corpus view and fills the
+// snapshot's private columns, which Query merges back under the lock.
+func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
 	q := plan.query
 	// 1. Metadata filters over all rows.
 	var live []int
-	for i, m := range db.meta {
+	for i, m := range snap.meta {
 		keep := true
 		for _, mc := range q.Meta {
 			v, err := metaValue(m, mc.Column)
@@ -133,21 +137,15 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 	// rows classified under a metadata filter are cached too, so a later
 	// broader query only pays for the rows it has not yet seen.
 	res := &Result{}
-	execOpts := db.contentExecOpts()
-	ccols := make([]*column, len(plan.content))
+	execOpts := snap.opts
+	// The snapshot's private columns; steps sharing a live column (the same
+	// predicate referenced twice, e.g. X AND NOT X) share the private copy
+	// too, so they are one classification, not two.
+	ccols := snap.cols
 	pending := 0
 	seenCols := make(map[*column]bool, len(plan.content))
-	for si, cs := range plan.content {
-		key := cs.spec.ID()
-		col := cs.pred.materialized[key]
-		if col == nil {
-			col = &column{}
-			cs.pred.materialized[key] = col
-		}
-		col.grow(db.corpus.Len())
-		ccols[si] = col
-		// Steps sharing a column (the same predicate referenced twice, e.g.
-		// X AND NOT X) are one classification, not two.
+	for si := range plan.content {
+		col := ccols[si]
 		if !seenCols[col] && len(col.missing(live)) > 0 {
 			pending++
 		}
@@ -166,7 +164,7 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 	// fully disjoint rep grids (nothing to share, so the sequential loop's
 	// predicate narrowing is the better trade), execution falls back to
 	// the sequential path instead.
-	if pending >= 2 && !db.fusionOff {
+	if pending >= 2 && !snap.fusionOff {
 		// Gate on the distinct still-pending predicates only: a duplicate
 		// mention of one predicate, or a fully-cached predicate whose grid
 		// overlaps a pending one, must not manufacture slot sharing.
@@ -202,18 +200,19 @@ func (db *DB) execute(plan *queryPlan) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return db.executeFused(plan, res, ccols, live, fe, execOpts, q)
+			return executeFused(plan, snap, res, ccols, live, fe, execOpts, q)
 		}
 	}
 
-	return db.executeSequential(plan, res, ccols, live, execOpts, q)
+	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
 }
 
-// fusionPreview mirrors execute's fusion gate for EXPLAIN: the number of
-// distinct not-fully-materialized predicate columns, and whether the
+// fusionPreview mirrors executeQuery's fusion gate for EXPLAIN: the number
+// of distinct not-fully-materialized predicate columns, and whether the
 // planned cascades share any representation slot. Coverage is judged
 // against the whole corpus (EXPLAIN does not evaluate metadata filters),
-// so it is the plan-time estimate of what execute will decide.
+// so it is the plan-time estimate of what execution will decide. Caller
+// holds db.mu (read).
 func (db *DB) fusionPreview(steps []contentStep) (pending int, shares bool) {
 	if db.fusionOff || len(steps) < 2 {
 		return 0, false
@@ -226,7 +225,7 @@ func (db *DB) fusionPreview(steps []contentStep) (pending int, shares bool) {
 			continue
 		}
 		seen[key] = true
-		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok && col.coverage() >= db.Count() {
+		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok && col.coverage() >= len(db.meta) {
 			continue
 		}
 		rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
@@ -269,7 +268,7 @@ func fusedContentEngine(rts []*cascade.Runtime) (*exec.Fused, bool, error) {
 // column for every live row in one shared-representation engine run — and
 // then delegates to the sequential tail, which finds nothing left to
 // classify and only filters and projects.
-func (db *DB) executeFused(plan *queryPlan, res *Result, ccols []*column, live []int, fe *exec.Fused, execOpts exec.Options, q *Query) (*Result, error) {
+func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, fe *exec.Fused, execOpts exec.Options, q *Query) (*Result, error) {
 	var union []int
 	for _, idx := range live {
 		for si := range plan.content {
@@ -292,7 +291,7 @@ func (db *DB) executeFused(plan *queryPlan, res *Result, ccols []*column, live [
 			fusedCols[ccols[si]] = true
 		}
 	}
-	frep, err := fe.Run(db.corpus, union, need, execOpts)
+	frep, err := fe.Run(snap.corpus, union, need, execOpts)
 	if err != nil {
 		return nil, fmt.Errorf("vdb: fused content predicates: %w", err)
 	}
@@ -313,13 +312,13 @@ func (db *DB) executeFused(plan *queryPlan, res *Result, ccols []*column, live [
 		res.HasRepCache = true
 		res.RepCache = frep.Cache
 	}
-	return db.executeSequential(plan, res, ccols, live, execOpts, q)
+	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
 }
 
 // executeSequential classifies whatever is still uncached (everything when
 // the fused pre-pass did not run, nothing when it did), narrows the live
 // set predicate by predicate, and applies limit + projection.
-func (db *DB) executeSequential(plan *queryPlan, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
+func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
 	for si, cs := range plan.content {
 		col := ccols[si]
 		if missing := col.missing(live); len(missing) > 0 {
@@ -331,7 +330,7 @@ func (db *DB) executeSequential(plan *queryPlan, res *Result, ccols []*column, l
 			if err != nil {
 				return nil, err
 			}
-			rep, err := eng.Run(db.corpus, missing, execOpts)
+			rep, err := eng.Run(snap.corpus, missing, execOpts)
 			if err != nil {
 				return nil, fmt.Errorf("vdb: classifying %q: %w", cs.cond.Category, err)
 			}
@@ -377,7 +376,7 @@ func (db *DB) executeSequential(plan *queryPlan, res *Result, ccols []*column, l
 	for _, idx := range live {
 		row := make([]Value, len(cols))
 		for c, col := range cols {
-			v, err := metaValue(db.meta[idx], col)
+			v, err := metaValue(snap.meta[idx], col)
 			if err != nil {
 				return nil, err
 			}

@@ -31,7 +31,9 @@ import (
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
 	"tahoma/internal/scenario"
+	"tahoma/internal/server"
 	"tahoma/internal/synth"
+	"tahoma/internal/vdb"
 	"tahoma/internal/zoo"
 )
 
@@ -76,6 +78,36 @@ type (
 	// CacheStats is a RepSource cache's hit/miss/eviction accounting as
 	// surfaced on execution reports.
 	CacheStats = exec.CacheStats
+
+	// DB is the visual analytics database: a SQL-queryable images table
+	// with installed contains_object predicates. Safe for concurrent use —
+	// the substrate `tahoma serve` exposes over HTTP.
+	DB = vdb.DB
+	// Metadata is the relational half of one image row.
+	Metadata = vdb.Metadata
+	// QueryResult is one query's rows and execution accounting.
+	QueryResult = vdb.Result
+	// TriggerPolicy controls ingest-time predicate materialization.
+	TriggerPolicy = vdb.TriggerPolicy
+	// SharedRepCache is the cross-query representation cache: concurrent
+	// queries publish the representations they materialize and rehit each
+	// other's, without changing any label.
+	SharedRepCache = vdb.SharedRepCache
+
+	// Server is the concurrent HTTP query service over one open DB
+	// (POST /query, GET /explain, GET /stats), with a bounded admission
+	// pool. See cmd/tahoma's serve subcommand for the CLI front end.
+	Server = server.Server
+	// ServerOptions size the server's admission pool and defaults.
+	ServerOptions = server.Options
+	// Client talks to a running Server.
+	Client = server.Client
+	// ClientQueryOptions are a client request's cascade constraints.
+	ClientQueryOptions = server.QueryOptions
+	// QueryResponse is the server's query answer (rows + accounting).
+	QueryResponse = server.QueryResponse
+	// ServerStats is the GET /stats payload.
+	ServerStats = server.StatsResponse
 )
 
 // Deployment scenarios (Section VII-A of the paper).
@@ -308,6 +340,35 @@ func (p *Predicate) ClassifyBatch(c Constraints, ims []*Image, opts ExecOptions)
 // System exposes the underlying initialized system for advanced use
 // alongside the internal packages (cmd/ and the benchmarks do this).
 func (p *Predicate) System() *core.System { return p.sys }
+
+// NewDB creates an empty visual analytics database priced under a deployment
+// scenario. Load a corpus (DB.LoadCorpus), install predicates
+// (DB.InstallPredicate with Predicate.System()), then Query — or hand it to
+// NewServer to serve concurrent clients.
+func NewDB(sc Scenario, params CostParams) (*DB, error) {
+	cm, err := scenario.NewAnalytic(sc, params)
+	if err != nil {
+		return nil, err
+	}
+	return vdb.New(cm), nil
+}
+
+// NewServer wraps an open DB in the concurrent HTTP query service: a bounded
+// query-worker pool admits clients, every query shares the DB's rep cache,
+// and /stats exposes latency and cache counters. Start it with
+// Server.ListenAndServe or mount Server.Handler.
+func NewServer(db *DB, opts ServerOptions) *Server { return server.New(db, opts) }
+
+// NewClient builds a client for a running server's base URL, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client { return server.NewClient(base) }
+
+// NewSharedRepCache builds a cross-query representation cache bounded at
+// capacityBytes of decoded pixels; install it with DB.SetRepCache or
+// ServerOptions.RepCache.
+func NewSharedRepCache(capacityBytes int64) (*SharedRepCache, error) {
+	return vdb.NewSharedRepCache(capacityBytes)
+}
 
 // Save persists the predicate's trained models, thresholds and evaluation
 // scores to a directory; LoadPredicate restores them without retraining.
