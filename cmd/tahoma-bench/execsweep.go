@@ -71,6 +71,19 @@ type sweepReport struct {
 		Repeats      int    `json:"repeats"`
 	} `json:"fused_config"`
 	FusedResults []fusedSweepResult `json:"fused_results"`
+	// PlannerConfig and PlannerResults are the cost-based planner sweep:
+	// skewed-selectivity AND-chains executed with survivor narrowing under
+	// static (cheapest-first) vs rank (cost/(1-selectivity)) ordering, plus
+	// the same workload against a cold and a warm cross-run representation
+	// cache (PlannerRepCache) with the planner's adjusted cost estimates.
+	PlannerConfig struct {
+		Frames     int    `json:"frames"`
+		SourceSize int    `json:"source_size"`
+		Transform  string `json:"transform"`
+		Repeats    int    `json:"repeats"`
+	} `json:"planner_config"`
+	PlannerResults  []plannerSweepResult `json:"planner_results"`
+	PlannerRepCache []plannerCacheResult `json:"planner_rep_cache"`
 	// RepServed measures the 2-predicate shared-grid fused run against a
 	// representation store serving every slot (transforms skipped), with
 	// the rep cache's own counters for the measured run.
@@ -193,6 +206,9 @@ func runExecSweep(path string) error {
 	}
 
 	if err := runFusedSweep(&rep); err != nil {
+		return err
+	}
+	if err := runPlannerSweep(&rep); err != nil {
 		return err
 	}
 

@@ -11,9 +11,12 @@
 // use (seconds).
 //
 // -json runs the execution-engine throughput sweeps — level-major vs
-// frame-major at several batch sizes, and fused multi-predicate execution
+// frame-major at several batch sizes, fused multi-predicate execution
 // vs sequential per-predicate runs (1/2/3 predicates, shared vs disjoint
-// representation grids) — on deterministic synthetic cascades and writes
+// representation grids), and the cost-based planner sweep (skewed-
+// selectivity AND-chains under static vs rank predicate ordering, plus a
+// cold-vs-warm shared-rep-cache pair with the planner's adjusted cost
+// estimates) — on deterministic synthetic cascades and writes
 // machine-readable results, tracking the perf trajectory across PRs (the
 // committed snapshots are the BENCH_*.json files). Combine with -exp none
 // to run only the sweeps.

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/planner"
+	"tahoma/internal/repstore"
+	"tahoma/internal/scenario"
+	"tahoma/internal/xform"
+)
+
+// plannerSweepResult is one (cell, order) measurement of the planner sweep:
+// a multi-predicate AND-chain executed sequentially with survivor narrowing,
+// the predicate order chosen by the planner under the given policy.
+type plannerSweepResult struct {
+	Cell       string `json:"cell"`  // "skew2" or "skew3"
+	Order      string `json:"order"` // "static" or "rank"
+	Predicates int    `json:"predicates"`
+	// PassRates are the exact per-predicate survivor rates of the synthetic
+	// workload (textual predicate order); OrderIndices is the execution
+	// order the planner chose over them.
+	PassRates    []float64 `json:"pass_rates"`
+	OrderIndices []int     `json:"order_indices"`
+	Frames       int       `json:"frames"`
+	// ClassifiedFrames totals the frames every predicate classified — the
+	// work ordering actually changes.
+	ClassifiedFrames int     `json:"classified_frames"`
+	FramesPerSec     float64 `json:"frames_per_sec"`
+	NsPerFrame       float64 `json:"ns_per_frame"`
+	// Speedup is frames/sec over the matching static cell (rank rows only).
+	Speedup float64 `json:"speedup_vs_static,omitempty"`
+}
+
+// plannerCacheResult is one cold/warm cell of the shared-rep-cache sweep:
+// the same two-predicate workload with a cross-run representation cache,
+// measured before and after the cache holds the working set, alongside the
+// planner's residency-adjusted cost estimates for each predicate.
+type plannerCacheResult struct {
+	Cache            string  `json:"cache"` // "cold" or "warm"
+	FramesPerSec     float64 `json:"frames_per_sec"`
+	NsPerFrame       float64 `json:"ns_per_frame"`
+	RepHits          int     `json:"rep_hits"`
+	RepsMaterialized int     `json:"reps_materialized"`
+	// EstCostUSPerFrame is the planner's adjusted cost estimate per
+	// predicate (us/frame) against this cache state — what EXPLAIN would
+	// print. Warm estimates drop as residency probes find the slots.
+	EstCostUSPerFrame []float64 `json:"est_cost_us_per_frame"`
+}
+
+// plannerPred is one synthetic predicate of the sweep: a single-level
+// cascade with an exact, deterministic survivor rate. The engine does the
+// real decode/transform/inference work; the narrowing loop uses pre-drawn
+// pass bits so selectivities are exact and platform-independent.
+type plannerPred struct {
+	eng      *exec.Engine
+	cost     float64 // analytic cost (the planner's input), seconds/frame
+	repID    string
+	repCost  float64
+	inferSec float64
+	passRate float64
+	pass     []bool // per corpus row
+}
+
+// plannerWorkload builds the predicate set: same transform ladder (so costs
+// differ only through architecture width) with analytic costs strictly
+// ascending, and exact pass rates drawn from a seeded permutation.
+func plannerWorkload(frames int, rates []float64, widths []int, seed int64) ([]*plannerPred, error) {
+	t := xform.Transform{Size: 16, Color: img.Gray}
+	params := scenario.DefaultParams()
+	params.SourceW, params.SourceH = 32, 32
+	cm, err := scenario.NewAnalytic(scenario.Camera, params)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]*plannerPred, len(rates))
+	for p := range rates {
+		spec := arch.Spec{ConvLayers: 1, ConvWidth: 4, DenseWidth: widths[p], Kernel: 3}
+		m, err := model.New(spec, t, model.Basic, seed+int64(p))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := exec.New([]exec.Level{{Model: m, Last: true}})
+		if err != nil {
+			return nil, err
+		}
+		perm := rand.New(rand.NewSource(seed + 100*int64(p))).Perm(frames)
+		passN := int(rates[p]*float64(frames) + 0.5)
+		pass := make([]bool, frames)
+		for j := 0; j < frames; j++ {
+			pass[j] = perm[j] < passN
+		}
+		preds[p] = &plannerPred{
+			eng:      eng,
+			cost:     cm.RepCost(t) + cm.InferCost(m),
+			repID:    t.ID(),
+			repCost:  cm.RepCost(t),
+			inferSec: cm.InferCost(m),
+			passRate: rates[p],
+			pass:     pass,
+		}
+	}
+	for p := 1; p < len(preds); p++ {
+		if preds[p].cost <= preds[p-1].cost {
+			return nil, fmt.Errorf("planner sweep: analytic costs not ascending (%v then %v)", preds[p-1].cost, preds[p].cost)
+		}
+	}
+	return preds, nil
+}
+
+// plannerOrder asks the real planner for the execution order under a policy,
+// feeding it the same analytic costs and the exact pass rates.
+func plannerOrder(preds []*plannerPred, order planner.Order) []int {
+	steps := make([]planner.Step, len(preds))
+	for p, pr := range preds {
+		steps[p] = planner.Step{
+			Input: p, Key: fmt.Sprintf("p%d", p), CascadeID: fmt.Sprintf("p%d", p),
+			BaseCost:    pr.cost,
+			Levels:      []planner.LevelCost{{RepID: pr.repID, RepCost: pr.repCost, InferCost: pr.inferSec, Occupancy: 1}},
+			Selectivity: pr.passRate,
+			TotalRows:   len(pr.pass),
+		}
+	}
+	plan := planner.PlanContent(steps, planner.Availability{}, planner.Options{Order: order})
+	out := make([]int, len(plan.Steps))
+	for i, s := range plan.Steps {
+		out[i] = s.Input
+	}
+	return out
+}
+
+// runNarrowed executes the AND-chain in the given order: each predicate
+// classifies the current survivor set through the engine (real work), then
+// the pre-drawn pass bits narrow the set for the next predicate.
+func runNarrowed(preds []*plannerPred, order []int, frames []*img.Image, opts exec.Options) (wall time.Duration, classified int, hits, mat int, err error) {
+	live := make([]int, len(frames))
+	for i := range live {
+		live[i] = i
+	}
+	start := time.Now()
+	for _, p := range order {
+		pr := preds[p]
+		rep, rerr := pr.eng.Run(exec.Frames(frames), live, opts)
+		if rerr != nil {
+			return 0, 0, 0, 0, rerr
+		}
+		classified += rep.Frames
+		hits += rep.RepHits
+		mat += rep.RepsMaterialized
+		next := live[:0]
+		for _, idx := range live {
+			if pr.pass[idx] {
+				next = append(next, idx)
+			}
+		}
+		live = next
+	}
+	return time.Since(start), classified, hits, mat, nil
+}
+
+// runPlannerSweep measures what cost×selectivity ordering is worth: skewed
+// 2- and 3-predicate AND-chains where static (cheapest-first) ordering runs
+// a barely-selective predicate first, while rank ordering pays slightly more
+// per frame to discard almost everything immediately. A second pair of cells
+// runs the shared-transform workload against a cross-run representation
+// cache, cold and warm, with the planner's residency-adjusted estimates.
+func runPlannerSweep(rep *sweepReport) error {
+	const (
+		numFrames  = 512
+		sourceSize = 32
+		batch      = 64
+		repeats    = 3
+	)
+	rng := rand.New(rand.NewSource(47))
+	frames := make([]*img.Image, numFrames)
+	for i := range frames {
+		im := img.New(sourceSize, sourceSize, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+	opts := exec.Options{Workers: 1, Batch: batch}
+
+	rep.PlannerConfig.Frames = numFrames
+	rep.PlannerConfig.SourceSize = sourceSize
+	rep.PlannerConfig.Repeats = repeats
+	rep.PlannerConfig.Transform = xform.Transform{Size: 16, Color: img.Gray}.ID()
+
+	cells := []struct {
+		name   string
+		rates  []float64
+		widths []int
+	}{
+		// Skewed 2-predicate chain: the cheap predicate keeps 95%, the
+		// slightly costlier one keeps 2%.
+		{"skew2", []float64{0.95, 0.02}, []int{8, 16}},
+		// 3-predicate chain with a selectivity ladder inverted against the
+		// cost ladder.
+		{"skew3", []float64{0.90, 0.50, 0.05}, []int{8, 12, 16}},
+	}
+	for _, cell := range cells {
+		preds, err := plannerWorkload(numFrames, cell.rates, cell.widths, 71)
+		if err != nil {
+			return err
+		}
+		static := plannerOrder(preds, planner.OrderStatic)
+		rank := plannerOrder(preds, planner.OrderRank)
+		var staticFPS float64
+		for _, pol := range []struct {
+			name  string
+			order []int
+		}{{"static", static}, {"rank", rank}} {
+			var best time.Duration
+			classified := 0
+			for r := 0; r < repeats+1; r++ {
+				wall, cf, _, _, err := runNarrowed(preds, pol.order, frames, opts)
+				if err != nil {
+					return fmt.Errorf("planner %s/%s: %w", cell.name, pol.name, err)
+				}
+				// The first run per config is warmup (pool fill).
+				if r > 0 && (best == 0 || wall < best) {
+					best, classified = wall, cf
+				}
+			}
+			fps := float64(numFrames) / best.Seconds()
+			res := plannerSweepResult{
+				Cell: cell.name, Order: pol.name, Predicates: len(preds),
+				PassRates: cell.rates, OrderIndices: pol.order,
+				Frames: numFrames, ClassifiedFrames: classified,
+				FramesPerSec: fps,
+				NsPerFrame:   float64(best.Nanoseconds()) / numFrames,
+			}
+			if pol.name == "static" {
+				staticFPS = fps
+			} else {
+				res.Speedup = fps / staticFPS
+			}
+			rep.PlannerResults = append(rep.PlannerResults, res)
+		}
+	}
+
+	// Cold vs warm shared rep cache over the shared-transform 2-predicate
+	// chain: both predicates consume one slot, so the second predicate (and
+	// every later run) rehits what the first materialized.
+	preds, err := plannerWorkload(numFrames, []float64{0.95, 0.02}, []int{8, 16}, 71)
+	if err != nil {
+		return err
+	}
+	order := plannerOrder(preds, planner.OrderRank)
+	cache, err := repstore.NewSharedReps(64 << 20)
+	if err != nil {
+		return err
+	}
+	cachedOpts := opts
+	cachedOpts.RepCache = cache
+	estimate := func() []float64 {
+		av := planner.Availability{CachedFrac: func(id string) float64 {
+			return planner.SampleFrac(numFrames, func(i int) bool { return cache.Contains(i, id) })
+		}}
+		out := make([]float64, len(preds))
+		for p, pr := range preds {
+			plan := planner.PlanContent([]planner.Step{{
+				Input: 0, Key: "p", CascadeID: "p",
+				BaseCost:    pr.cost,
+				Levels:      []planner.LevelCost{{RepID: pr.repID, RepCost: pr.repCost, InferCost: pr.inferSec, Occupancy: 1}},
+				Selectivity: pr.passRate, TotalRows: numFrames,
+			}}, av, planner.Options{})
+			out[p] = plan.Steps[0].AdjCost * 1e6
+		}
+		return out
+	}
+	for _, state := range []string{"cold", "warm"} {
+		est := estimate()
+		wall, _, hits, mat, err := runNarrowed(preds, order, frames, cachedOpts)
+		if err != nil {
+			return fmt.Errorf("planner rep-cache %s: %w", state, err)
+		}
+		rep.PlannerRepCache = append(rep.PlannerRepCache, plannerCacheResult{
+			Cache:             state,
+			FramesPerSec:      float64(numFrames) / wall.Seconds(),
+			NsPerFrame:        float64(wall.Nanoseconds()) / numFrames,
+			RepHits:           hits,
+			RepsMaterialized:  mat,
+			EstCostUSPerFrame: est,
+		})
+	}
+	return nil
+}

@@ -16,8 +16,13 @@
 // reuse each other's transform work. Multiple -zoo directories
 // (comma-separated) install one predicate each.
 //
-// query/explain execution flags: multi-predicate queries fuse their cascades
-// into one shared representation plan (-fused=false for sequential
+// query/explain execution flags: content predicates are ordered by the
+// cost-based planner — rank = cost/(1-selectivity) against the adaptive
+// selectivity catalog, with representation-cache-aware cost discounts —
+// and -order=static restores the cheapest-expected-cascade-first ordering
+// as an escape hatch (labels are bit-identical either way). Multi-predicate
+// queries fuse their cascades into one shared representation plan when the
+// planner's cost comparison favors it (-fused=false for sequential
 // predicate-at-a-time execution); -store-corpus queries straight out of the
 // representation store through a -cache-mb LRU instead of loading every
 // source into memory; -serve-reps additionally loads pre-materialized
@@ -39,6 +44,7 @@ import (
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
+	"tahoma/internal/planner"
 	"tahoma/internal/profile"
 	"tahoma/internal/repstore"
 	"tahoma/internal/scenario"
@@ -271,6 +277,7 @@ func cmdQuery(mode string, args []string) error {
 	workers := fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "frames per execution-engine batch (0 = engine default)")
 	fused := fs.Bool("fused", true, "fuse multi-predicate queries into one shared representation-slot plan")
+	order := fs.String("order", "rank", "content-predicate ordering: rank (cost/(1-selectivity), adaptive) or static (cheapest expected cascade first)")
 	prefetch := fs.Int("prefetch", 0, "async ingest ring depth for fused queries (0 = auto, <0 = synchronous)")
 	storeCorpus := fs.Bool("store-corpus", false, "query straight out of the representation store through an LRU cache instead of loading sources into memory")
 	cacheMB := fs.Int("cache-mb", 64, "decoded-record LRU cache budget in MiB for -store-corpus")
@@ -302,9 +309,14 @@ func cmdQuery(mode string, args []string) error {
 	if err != nil {
 		return err
 	}
+	ord, err := planner.ParseOrder(*order)
+	if err != nil {
+		return err
+	}
 	db := vdb.New(cm)
 	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
 	db.SetFusion(*fused)
+	db.SetPlanOptions(vdb.PlanOptions{Order: ord})
 	if *serveReps {
 		*storeCorpus = true
 	}

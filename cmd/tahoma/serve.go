@@ -14,6 +14,7 @@ import (
 
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
+	"tahoma/internal/planner"
 	"tahoma/internal/repstore"
 	"tahoma/internal/scenario"
 	"tahoma/internal/server"
@@ -34,6 +35,7 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "classification worker goroutines per query (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "frames per execution-engine batch (0 = engine default)")
 	fused := fs.Bool("fused", true, "fuse multi-predicate queries into one shared representation-slot plan")
+	order := fs.String("order", "rank", "content-predicate ordering: rank (cost/(1-selectivity), adaptive) or static (cheapest expected cascade first)")
 	prefetch := fs.Int("prefetch", 0, "async ingest ring depth for fused queries (0 = auto, <0 = synchronous)")
 	storeCorpus := fs.Bool("store-corpus", false, "serve straight out of the representation store through an LRU cache instead of loading sources into memory")
 	cacheMB := fs.Int("cache-mb", 64, "decoded-record LRU cache budget in MiB for -store-corpus")
@@ -65,9 +67,14 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	ord, err := planner.ParseOrder(*order)
+	if err != nil {
+		return err
+	}
 	db := vdb.New(cm)
 	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
 	db.SetFusion(*fused)
+	db.SetPlanOptions(vdb.PlanOptions{Order: ord})
 	if *serveReps {
 		*storeCorpus = true
 	}

@@ -283,10 +283,18 @@ func (s *System) BuildOptions(maxDepth int) cascade.BuildOptions {
 		}
 	}
 	finals := append(append([]int(nil), basic...), s.DeepIdx)
+	// NumThresh comes from the calibrated thresholds themselves, not the
+	// config: a system restored from a persisted repository (FromRepo) may
+	// carry a different caller-supplied Config than the one it was trained
+	// with, and the enumeration must match what is actually calibrated.
+	numThresh := len(s.Config.PrecisionTargets)
+	if len(s.Thresholds) > 0 {
+		numThresh = len(s.Thresholds[0])
+	}
 	return cascade.BuildOptions{
 		LevelModels: basic,
 		FinalModels: finals,
-		NumThresh:   len(s.Config.PrecisionTargets),
+		NumThresh:   numThresh,
 		MaxDepth:    maxDepth,
 		AppendDeep:  true,
 		DeepModel:   s.DeepIdx,

@@ -94,6 +94,17 @@ type RepCache interface {
 	PutRep(i int, id string, im *img.Image)
 }
 
+// RepContainser is optionally implemented by RepCaches that can report
+// residency without promoting entries or counting hits and misses. The
+// query planner probes it to price cascades against the live cache state;
+// a probe that perturbed LRU order or the counters would distort the very
+// signal it is reading.
+type RepContainser interface {
+	// ContainsRep reports whether the representation of source frame i
+	// under transform id is resident.
+	ContainsRep(i int, id string) bool
+}
+
 // CacheStats snapshots a caching RepSource's own accounting. In a Report the
 // Hits/Misses/EvictedBytes fields are per-run deltas and ResidentBytes is
 // the footprint when the run finished; repstore.Cache is the canonical
@@ -210,6 +221,10 @@ type Report struct {
 	LevelsRun        int
 	RepsMaterialized int
 	RepHits          int
+	// Positives counts the true labels — the run's observed pass rate is
+	// Positives/Frames, the adaptive-selectivity feedback signal the query
+	// planner consumes.
+	Positives int
 	// Batches reports per-batch work in frame order.
 	Batches []BatchStats
 	// Cache carries the run's delta of the RepSource's own cache
@@ -753,6 +768,11 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 		rep.LevelsRun += st.LevelsRun
 		rep.RepsMaterialized += st.RepsMaterialized
 		rep.RepHits += st.RepHits
+	}
+	for _, l := range rep.Labels {
+		if l {
+			rep.Positives++
+		}
 	}
 	if cacher != nil {
 		after := cacher.CacheStats()

@@ -125,6 +125,10 @@ type FusedReport struct {
 	LevelsRun        []int
 	RepsMaterialized int
 	RepHits          int
+	// Positives[c] counts cascade c's true labels over the positions it was
+	// asked to classify (masked-out positions never count) — the observed
+	// pass rates the query planner's selectivity feedback consumes.
+	Positives []int
 	// Batches reports per-batch work in frame order.
 	Batches []FusedBatchStats
 	// Cache carries the run's delta of the RepSource's own cache counters
@@ -469,6 +473,7 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 	rep := &FusedReport{
 		Labels:    make([][]bool, len(f.cascades)),
 		LevelsRun: make([]int, len(f.cascades)),
+		Positives: make([]int, len(f.cascades)),
 	}
 	for c := range rep.Labels {
 		rep.Labels[c] = make([]bool, len(indices))
@@ -511,6 +516,13 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 		rep.RepHits += st.RepHits
 		for c, lr := range st.LevelsRun {
 			rep.LevelsRun[c] += lr
+		}
+	}
+	for c := range f.cascades {
+		for j := range indices {
+			if run.needs(c, j) && rep.Labels[c][j] {
+				rep.Positives[c]++
+			}
 		}
 	}
 	if cacher != nil {

@@ -1,0 +1,496 @@
+// Package planner is TAHOMA's cost-based, representation-aware query
+// planner. Given one costed candidate cascade per content predicate, it
+// orders the predicates by classic rank — expected cost divided by expected
+// filtering power, cost / (1 − selectivity) — instead of cost alone, prices
+// each cascade against the live physical-representation state (slots a
+// representation store serves, or a shared rep cache already holds, are
+// discounted because execution will take them as RepHits), and decides
+// fused-vs-sequential content execution from estimated shared-slot overlap
+// and survivor sets rather than a fixed gate.
+//
+// Selectivities are adaptive: the Catalog (catalog.go) folds every executed
+// query's survivor counts into per-predicate EWMA pass rates, seeded from
+// install-time estimates, so plans improve as the workload runs.
+//
+// The package is deliberately free of execution machinery: callers (the vdb
+// layer) describe each predicate as plain costed data (Step) plus a
+// plan-time residency snapshot (Availability), and get back an ordered,
+// explainable Plan. Every estimate the plan prints is the one the decision
+// used — EXPLAIN is the cost model, not a paraphrase of it.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Order selects the content-predicate ordering policy.
+type Order int
+
+const (
+	// OrderRank (the default) orders by rank = adjusted cost / (1 − pass
+	// rate), ascending: the cheapest way to discard the most rows first.
+	OrderRank Order = iota
+	// OrderStatic orders by the evaluator's AvgCost ascending — the seed
+	// behaviour, kept as the parity oracle and escape hatch.
+	OrderStatic
+)
+
+// String renders the policy name as the -order flag spells it.
+func (o Order) String() string {
+	if o == OrderStatic {
+		return "static"
+	}
+	return "rank"
+}
+
+// ParseOrder parses an -order flag value.
+func ParseOrder(s string) (Order, error) {
+	switch strings.ToLower(s) {
+	case "rank":
+		return OrderRank, nil
+	case "static":
+		return OrderStatic, nil
+	default:
+		return OrderRank, fmt.Errorf("planner: unknown order %q (rank, static)", s)
+	}
+}
+
+// FusionPolicy selects how the fused-vs-sequential decision is made once it
+// is live (fusion enabled, two or more pending predicates).
+type FusionPolicy int
+
+const (
+	// FusionCost (the default) fuses only when the estimated fused cost
+	// beats sequential narrowing.
+	FusionCost FusionPolicy = iota
+	// FusionShared fuses whenever the pending cascades share a
+	// representation slot — the pre-cost-model gate, kept as an escape
+	// hatch and as the oracle for tests that pin the fused executor.
+	FusionShared
+)
+
+// Options configure one planning call.
+type Options struct {
+	// Order is the content-predicate ordering policy.
+	Order Order
+	// Fusion is the fused-vs-sequential decision policy.
+	Fusion FusionPolicy
+	// FusionOff disables fused content execution regardless of cost.
+	FusionOff bool
+	// Rows is the corpus size, for rendering.
+	Rows int
+	// CostModel names the pricing source, for rendering.
+	CostModel string
+}
+
+// LevelCost prices one cascade level for planning.
+type LevelCost struct {
+	// RepID is the transform identity the level consumes.
+	RepID string
+	// RepCost is the cost of materializing that representation once for one
+	// frame (seconds); charged only at the representation's first use.
+	RepCost float64
+	// InferCost is one inference at this level (seconds).
+	InferCost float64
+	// Occupancy is the expected fraction of classified frames reaching this
+	// level (level 0 is 1; deeper levels shrink as thresholds decide).
+	Occupancy float64
+}
+
+// Step is one content predicate's planning input: the chosen cascade, its
+// decomposed costs, the current selectivity estimate and the materialized-
+// column coverage.
+type Step struct {
+	// Input is the step's position in the parsed WHERE clause; the planner
+	// reports its ordering as a permutation of Input values.
+	Input int
+	// Key identifies the predicate (the category); CascadeID the chosen
+	// cascade.
+	Key       string
+	CascadeID string
+	Negated   bool
+	// BaseCost is the evaluator's AvgCost in seconds/frame — the static
+	// ordering key.
+	BaseCost float64
+	// SourceCost is the per-frame cost of loading and decoding the source
+	// (charged unless every representation is served pre-materialized).
+	SourceCost float64
+	// Levels decompose the cascade stage by stage.
+	Levels []LevelCost
+	// Selectivity is the predicted positive-label pass rate in [0,1];
+	// SelSamples counts the observed frames behind it (0 = seeded).
+	Selectivity float64
+	SelSamples  int64
+	// CachedRows / TotalRows is the materialized-column coverage: rows whose
+	// label is already known and costs nothing to reuse.
+	CachedRows, TotalRows int
+}
+
+// Availability is the plan-time snapshot of physical-representation
+// residency that the cost model discounts against. Nil funcs mean "nothing
+// resident".
+type Availability struct {
+	// Served reports whether a representation store serves transform id:
+	// served slots skip both source decode and transform entirely.
+	Served func(id string) bool
+	// CachedFrac estimates the fraction of corpus rows whose representation
+	// under id is resident in the cross-query rep cache, in [0,1]
+	// (typically a small deterministic sample of residency probes).
+	CachedFrac func(id string) float64
+	// SourceCachedFrac estimates the fraction of rows whose decoded source
+	// is resident in the decode cache.
+	SourceCachedFrac float64
+}
+
+// SampleFrac estimates a residency fraction by probing up to 16 rows evenly
+// spread over [0,n) — deterministic, cheap, and independent of corpus size.
+// It is the canonical sampling policy behind Availability estimates; every
+// caller (the vdb planner, the bench sweep) uses it so reported estimates
+// mean the same thing everywhere.
+func SampleFrac(n int, has func(int) bool) float64 {
+	k := 16
+	if n < k {
+		k = n
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for j := 0; j < k; j++ {
+		if has(j * n / k) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+func (av Availability) served(id string) bool {
+	return av.Served != nil && av.Served(id)
+}
+
+func (av Availability) cachedFrac(id string) float64 {
+	if av.CachedFrac == nil {
+		return 0
+	}
+	return clamp01(av.CachedFrac(id))
+}
+
+// PlannedStep is one content predicate with its planning verdicts attached.
+type PlannedStep struct {
+	Step
+	// FullCost is the modeled cost with nothing resident; AdjCost discounts
+	// representation and source work the run will take as RepHits. Both in
+	// seconds/frame.
+	FullCost float64
+	AdjCost  float64
+	// RepDiscount is the fraction of data-handling (source + rep) cost the
+	// residency snapshot removed, in [0,1] — what "warm" is worth.
+	RepDiscount float64
+	// PassRate is the expected survivor fraction of this step after
+	// negation, clamped away from 0 and 1 for rank stability.
+	PassRate float64
+	// Rank is AdjCost × (uncached fraction) / (1 − PassRate): seconds
+	// spent per row discarded, over the rows the step will actually
+	// classify. A fully materialized predicate is free filtering and ranks
+	// first regardless of its cascade cost.
+	Rank float64
+}
+
+// Fusion is the planner's content-phase execution decision.
+type Fusion struct {
+	// Considered is set when the decision was live: fusion enabled and at
+	// least two distinct predicates still have uncached rows.
+	Considered bool
+	// Fuse selects the fused path: every pending cascade over the union of
+	// missing rows, sharing one representation-slot plan.
+	Fuse bool
+	// Pending counts distinct predicates with uncached rows; SharedSlots the
+	// representation slots two or more of them consume; UnionSlots the
+	// distinct slots across all of them.
+	Pending     int
+	SharedSlots int
+	UnionSlots  int
+	// FusedCost and SeqCost are the estimated content-phase costs in
+	// seconds per corpus row (sequential includes survivor narrowing;
+	// fused includes slot sharing but classifies the whole union).
+	FusedCost, SeqCost float64
+}
+
+// Plan is an ordered, costed, explainable content plan.
+type Plan struct {
+	Order     Order
+	CostModel string
+	Rows      int
+	// Steps is the execution order; Steps[i].Input maps back to the parsed
+	// clause position.
+	Steps  []PlannedStep
+	Fusion Fusion
+}
+
+// PlanContent costs, orders and gates the content predicates of one query.
+func PlanContent(steps []Step, av Availability, opts Options) *Plan {
+	p := &Plan{Order: opts.Order, CostModel: opts.CostModel, Rows: opts.Rows}
+	p.Steps = make([]PlannedStep, len(steps))
+	for i, s := range steps {
+		p.Steps[i] = costStep(s, av)
+	}
+	if opts.Order == OrderStatic {
+		sort.SliceStable(p.Steps, func(i, j int) bool {
+			return p.Steps[i].BaseCost < p.Steps[j].BaseCost
+		})
+	} else {
+		sort.SliceStable(p.Steps, func(i, j int) bool {
+			return p.Steps[i].Rank < p.Steps[j].Rank
+		})
+	}
+	p.Fusion = decideFusion(p.Steps, av, opts)
+	return p
+}
+
+// costStep prices one step against the residency snapshot.
+func costStep(s Step, av Availability) PlannedStep {
+	ps := PlannedStep{Step: s}
+	// Distinct representations at first-use occupancy; the source decode is
+	// needed unless every slot is served pre-materialized.
+	type repUse struct {
+		cost, occ float64
+		id        string
+	}
+	var reps []repUse
+	seen := make(map[string]bool, len(s.Levels))
+	allServed := len(s.Levels) > 0
+	infer := 0.0
+	for _, lv := range s.Levels {
+		infer += lv.Occupancy * lv.InferCost
+		if !seen[lv.RepID] {
+			seen[lv.RepID] = true
+			reps = append(reps, repUse{cost: lv.RepCost, occ: lv.Occupancy, id: lv.RepID})
+			if !av.served(lv.RepID) {
+				allServed = false
+			}
+		}
+	}
+	srcFull := s.SourceCost
+	srcAdj := srcFull * (1 - av.SourceCachedFrac)
+	if allServed {
+		srcAdj = 0
+	}
+	repFull, repAdj := 0.0, 0.0
+	for _, r := range reps {
+		full := r.occ * r.cost
+		repFull += full
+		switch {
+		case av.served(r.id):
+			// Served slots skip the transform; the store's own load cost is
+			// already in the scenario pricing when it applies.
+		default:
+			repAdj += full * (1 - av.cachedFrac(r.id))
+		}
+	}
+	ps.FullCost = srcFull + repFull + infer
+	ps.AdjCost = srcAdj + repAdj + infer
+	if data := srcFull + repFull; data > 0 {
+		ps.RepDiscount = 1 - (srcAdj+repAdj)/data
+	}
+	pass := clamp01(s.Selectivity)
+	if s.Negated {
+		pass = 1 - pass
+	}
+	ps.PassRate = clampPass(pass)
+	// The materialized-column coverage discounts the rank the same way it
+	// discounts decideFusion's sequential estimate: cached rows are label
+	// lookups, so only the uncached fraction pays the cascade.
+	ps.Rank = ps.AdjCost * (1 - ps.cachedFrac()) / (1 - ps.PassRate)
+	return ps
+}
+
+// clampPass keeps pass rates off the poles so ranks stay finite and ordering
+// stays total.
+func clampPass(p float64) float64 {
+	const eps = 1e-4
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+func (s *PlannedStep) cachedFrac() float64 {
+	if s.TotalRows <= 0 {
+		return 1
+	}
+	return clamp01(float64(s.CachedRows) / float64(s.TotalRows))
+}
+
+func (s *PlannedStep) dedupKey() string { return s.Key + "|" + s.CascadeID }
+
+// decideFusion compares the estimated content-phase cost of sequential
+// narrowing against one fused run over the union of missing rows. Fusion is
+// worth considering only when two or more distinct predicates still have
+// uncached rows and their cascades actually share representation slots —
+// without sharing, the fused path gives up narrowing and gets nothing back.
+func decideFusion(steps []PlannedStep, av Availability, opts Options) Fusion {
+	f := Fusion{}
+
+	// Distinct pending cascades (a duplicate mention of one predicate shares
+	// its column and classifies nothing).
+	var pending []*PlannedStep
+	seenPending := make(map[string]bool, len(steps))
+	for i := range steps {
+		ps := &steps[i]
+		if seenPending[ps.dedupKey()] || ps.cachedFrac() >= 1 {
+			continue
+		}
+		seenPending[ps.dedupKey()] = true
+		pending = append(pending, ps)
+	}
+	f.Pending = len(pending)
+	if opts.FusionOff || len(pending) < 2 {
+		return f
+	}
+	f.Considered = true
+
+	// Slot overlap across the pending cascades.
+	type slotUse struct {
+		cost, occ float64
+		users     int
+	}
+	union := make(map[string]*slotUse)
+	var order []string
+	for _, p := range pending {
+		seen := make(map[string]bool, len(p.Levels))
+		for _, lv := range p.Levels {
+			if seen[lv.RepID] {
+				continue
+			}
+			seen[lv.RepID] = true
+			su, ok := union[lv.RepID]
+			if !ok {
+				su = &slotUse{cost: lv.RepCost}
+				union[lv.RepID] = su
+				order = append(order, lv.RepID)
+			}
+			su.users++
+			if lv.Occupancy > su.occ {
+				su.occ = lv.Occupancy
+			}
+		}
+	}
+	f.UnionSlots = len(union)
+	for _, su := range union {
+		if su.users >= 2 {
+			f.SharedSlots++
+		}
+	}
+
+	// Sequential estimate: steps run in plan order, each classifying the
+	// still-uncached fraction of the rows surviving the steps before it.
+	// A duplicate mention of one predicate classifies nothing (it shares
+	// the first mention's column) and — same sense — filters nothing new,
+	// so both its cost charge and its narrowing are skipped. (An
+	// opposite-sense duplicate actually filters everything; treating it as
+	// neutral keeps the estimate simple for that degenerate query.)
+	live := 1.0
+	seenSeq := make(map[string]bool, len(steps))
+	for i := range steps {
+		ps := &steps[i]
+		if seenSeq[ps.dedupKey()] {
+			continue
+		}
+		seenSeq[ps.dedupKey()] = true
+		f.SeqCost += live * (1 - ps.cachedFrac()) * ps.AdjCost
+		live *= ps.PassRate
+	}
+
+	// Fused estimate: every pending cascade classifies the union of missing
+	// rows (no cross-predicate narrowing), but each distinct representation
+	// is materialized once for the whole set and the source decodes once.
+	unionFrac := 0.0
+	srcNeeded := false
+	srcCost := 0.0
+	inferSum := 0.0
+	for _, p := range pending {
+		if frac := 1 - p.cachedFrac(); frac > unionFrac {
+			unionFrac = frac
+		}
+		if p.SourceCost > srcCost {
+			srcCost = p.SourceCost
+		}
+		for _, lv := range p.Levels {
+			inferSum += lv.Occupancy * lv.InferCost
+			if !av.served(lv.RepID) {
+				srcNeeded = true
+			}
+		}
+	}
+	perFrame := inferSum
+	if srcNeeded {
+		perFrame += srcCost * (1 - av.SourceCachedFrac)
+	}
+	for _, id := range order {
+		su := union[id]
+		if av.served(id) {
+			continue
+		}
+		perFrame += su.occ * su.cost * (1 - av.cachedFrac(id))
+	}
+	f.FusedCost = unionFrac * perFrame
+
+	f.Fuse = f.SharedSlots > 0 && (opts.Fusion == FusionShared || f.FusedCost < f.SeqCost)
+	return f
+}
+
+// us renders seconds as microseconds for EXPLAIN.
+func us(sec float64) string { return fmt.Sprintf("%.1f us", sec*1e6) }
+
+// CostLine renders the step's planning verdicts for EXPLAIN: the modeled
+// cost, its residency-adjusted form when they differ, the selectivity
+// estimate with its provenance, and the rank the ordering used.
+func (s *PlannedStep) CostLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost %s/frame", us(s.FullCost))
+	if s.RepDiscount > 0.005 {
+		fmt.Fprintf(&b, " (rep-adjusted %s/frame, %.0f%% of data handling cached)", us(s.AdjCost), s.RepDiscount*100)
+	}
+	prov := "seeded"
+	if s.SelSamples > 0 {
+		prov = fmt.Sprintf("observed, n=%d", s.SelSamples)
+	}
+	fmt.Fprintf(&b, ", selectivity %.2f (%s), rank %s", s.PassRate, prov, us(s.Rank))
+	return b.String()
+}
+
+// OrderLine renders the chosen ordering for EXPLAIN; empty below two steps,
+// where ordering is moot.
+func (p *Plan) OrderLine() string {
+	if len(p.Steps) < 2 {
+		return ""
+	}
+	keys := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		keys[i] = s.Key
+	}
+	policy := "rank — cost / (1 - selectivity), ascending"
+	if p.Order == OrderStatic {
+		policy = "static — evaluator cheapest-first"
+	}
+	return fmt.Sprintf("Content order: %s (%s)", strings.Join(keys, ", "), policy)
+}
+
+// Line renders the fusion decision for EXPLAIN; empty when the decision was
+// not live (fusion off, or fewer than two pending predicates).
+func (f Fusion) Line() string {
+	if !f.Considered {
+		return ""
+	}
+	if f.Fuse {
+		return fmt.Sprintf("Fused: %d content predicates share %d/%d representation slots (est. %s/row vs %s/row sequential)",
+			f.Pending, f.SharedSlots, f.UnionSlots, us(f.FusedCost), us(f.SeqCost))
+	}
+	return fmt.Sprintf("Sequential: narrowing beats fusion (est. %s/row vs %s/row fused; %d/%d slots shared)",
+		us(f.SeqCost), us(f.FusedCost), f.SharedSlots, f.UnionSlots)
+}

@@ -91,6 +91,15 @@ func (c *Cache) Has(t xform.Transform) bool {
 	return ok
 }
 
+// HasSource reports whether the decoded source of image i is resident,
+// without promoting it or counting a hit or miss — the query planner's
+// decode-cache probe.
+func (c *Cache) HasSource(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.contains(cacheKey{rep: "", idx: i})
+}
+
 // Len returns the number of cached records.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -72,6 +72,14 @@ func (c *lruCore) insert(key cacheKey, im *img.Image) *img.Image {
 	return im
 }
 
+// contains reports residency without promoting the entry or touching the
+// hit/miss counters — the planner's probe, which must not perturb the very
+// state it is estimating.
+func (c *lruCore) contains(key cacheKey) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
 func (c *lruCore) stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses, EvictedBytes: c.evicted, ResidentBytes: c.bytes}
 }

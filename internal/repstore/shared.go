@@ -56,6 +56,15 @@ func (s *SharedReps) PutRep(i int, id string, im *img.Image) {
 	s.lru.insert(cacheKey{rep: id, idx: i}, im)
 }
 
+// Contains reports whether the representation of source frame i under
+// transform id is resident, without promoting it in the LRU or counting a
+// hit or miss — the query planner's residency probe.
+func (s *SharedReps) Contains(i int, id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.contains(cacheKey{rep: id, idx: i})
+}
+
 // Stats reports cache effectiveness. Hits/Misses count GetRep outcomes;
 // EvictedBytes is cumulative, ResidentBytes the current footprint.
 func (s *SharedReps) Stats() CacheStats {

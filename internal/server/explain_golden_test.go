@@ -1,0 +1,53 @@
+package server
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestExplainGolden pins GET /explain byte for byte, so plan-format drift —
+// the cost line, selectivity provenance, ordering and fusion verdicts — is a
+// deliberate diff, not an accident. Regenerate with:
+//
+//	go test ./internal/server -run TestExplainGolden -update
+//
+// The fixture is fully deterministic (fixed seeds, analytic costs); the
+// golden bytes are produced and checked on the CI architecture.
+func TestExplainGolden(t *testing.T) {
+	db := buildTestDB(t)
+	_, client := startServer(t, db, Options{})
+
+	for _, tc := range []struct {
+		name, sql string
+	}{
+		{"single", "SELECT id FROM images WHERE ts >= 100 AND contains_object('cloak') LIMIT 5"},
+		{"multi", "SELECT id, ts FROM images WHERE contains_object('cloak') AND NOT contains_object('cloakb')"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := client.Explain(tc.sql, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "explain_"+tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(plan), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if plan != string(want) {
+				t.Errorf("explain drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, plan, want)
+			}
+		})
+	}
+}

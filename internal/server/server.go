@@ -493,7 +493,34 @@ type StatsResponse struct {
 	SharedRepCache *CacheStats `json:"shared_rep_cache,omitempty"`
 	StoreCache     *CacheStats `json:"store_cache,omitempty"`
 
+	// Planner reports the cost-based planner: plan-choice counters and the
+	// adaptive selectivity catalog.
+	Planner PlannerStats `json:"planner"`
+
 	Latency Latency `json:"latency"`
+}
+
+// PlannerStats is the /stats planner section.
+type PlannerStats struct {
+	// RankPlans/StaticPlans count executed content queries by ordering
+	// policy; FusedPlans/SequentialPlans their content-phase execution
+	// choice.
+	RankPlans       int64 `json:"rank_plans"`
+	StaticPlans     int64 `json:"static_plans"`
+	FusedPlans      int64 `json:"fused_plans"`
+	SequentialPlans int64 `json:"sequential_plans"`
+	// Selectivity is the adaptive catalog: per predicate, the current
+	// pass-rate estimate, the observed frames behind it (0 = still the
+	// install-time seed) and that seed.
+	Selectivity []SelectivityEntry `json:"selectivity,omitempty"`
+}
+
+// SelectivityEntry is one predicate's adaptive selectivity state.
+type SelectivityEntry struct {
+	Predicate string  `json:"predicate"`
+	PassRate  float64 `json:"pass_rate"`
+	Samples   int64   `json:"samples"`
+	Seed      float64 `json:"seed"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -515,6 +542,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if st, ok := s.db.RepCacheStats(); ok {
 		resp.StoreCache = wireCache(st)
+	}
+	pl := s.db.PlannerStats()
+	resp.Planner = PlannerStats{
+		RankPlans:       pl.RankPlans,
+		StaticPlans:     pl.StaticPlans,
+		FusedPlans:      pl.FusedPlans,
+		SequentialPlans: pl.SequentialPlans,
+	}
+	for _, e := range pl.Selectivity {
+		resp.Planner.Selectivity = append(resp.Planner.Selectivity, SelectivityEntry{
+			Predicate: e.Key, PassRate: e.PassRate, Samples: e.Samples, Seed: e.Seed,
+		})
 	}
 	s.stats.mu.Lock()
 	resp.Latency.Count = s.stats.samples

@@ -11,6 +11,7 @@ import (
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
 	"tahoma/internal/pareto"
+	"tahoma/internal/planner"
 	"tahoma/internal/repstore"
 	"tahoma/internal/scenario"
 	"tahoma/internal/xform"
@@ -202,10 +203,91 @@ type DB struct {
 	predicates map[string]*Predicate
 	trigger    TriggerPolicy
 	execOpts   exec.Options
+	planOpts   PlanOptions
 	fusionOff  bool
 	serveReps  bool
 	reps       *repSource    // built with the store-backed corpus
 	repCache   exec.RepCache // cross-query representation cache (SetRepCache)
+	// catalog is the adaptive selectivity store: seeded at predicate
+	// install, updated from every executed query's survivor counts, read at
+	// plan time. It has its own lock.
+	catalog *planner.Catalog
+	// Plan-choice counters (under mu): executed content queries by ordering
+	// policy and by content-phase execution choice.
+	planRank, planStatic int64
+	planFused, planSeq   int64
+}
+
+// PlanOrder selects the content-predicate ordering policy; see the planner
+// package for semantics.
+type PlanOrder = planner.Order
+
+// Ordering policies: rank (cost / (1 − selectivity), the default) and
+// static (evaluator cheapest-first, the parity oracle).
+const (
+	OrderRank   = planner.OrderRank
+	OrderStatic = planner.OrderStatic
+)
+
+// FusionPolicy selects how the planner decides fused-vs-sequential content
+// execution; see the planner package for semantics.
+type FusionPolicy = planner.FusionPolicy
+
+// Fusion policies: cost-based (default) and the legacy slot-sharing gate.
+const (
+	FusionCost   = planner.FusionCost
+	FusionShared = planner.FusionShared
+)
+
+// PlanOptions control query planning.
+type PlanOptions struct {
+	// Order selects content-predicate ordering. The zero value is
+	// OrderRank: order by expected cost over expected filtering power,
+	// using the adaptive selectivity catalog. OrderStatic keeps the
+	// cheapest-expected-cascade-first ordering as an escape hatch and
+	// parity oracle — both orders produce bit-identical labels, only the
+	// work to reach them differs.
+	Order PlanOrder
+	// Fusion selects the fused-vs-sequential decision policy. The zero
+	// value is FusionCost: fuse only when the estimated fused cost beats
+	// sequential narrowing. FusionShared restores the pre-cost-model gate
+	// (fuse whenever pending cascades share a representation slot);
+	// SetFusion(false) still disables fusion entirely.
+	Fusion FusionPolicy
+}
+
+// SetPlanOptions installs the planning policy for subsequent queries.
+func (db *DB) SetPlanOptions(po PlanOptions) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.planOpts = po
+}
+
+// PlannerStats is the planner's observability snapshot: plan-choice
+// counters and the adaptive selectivity catalog.
+type PlannerStats struct {
+	// RankPlans and StaticPlans count executed content queries by ordering
+	// policy; FusedPlans and SequentialPlans count their content-phase
+	// execution choice.
+	RankPlans, StaticPlans      int64
+	FusedPlans, SequentialPlans int64
+	// Selectivity lists every installed predicate's current pass-rate
+	// estimate, sample count and install-time seed.
+	Selectivity []planner.CatalogEntry
+}
+
+// PlannerStats snapshots the plan-choice counters and selectivity catalog.
+func (db *DB) PlannerStats() PlannerStats {
+	db.mu.RLock()
+	ps := PlannerStats{
+		RankPlans:       db.planRank,
+		StaticPlans:     db.planStatic,
+		FusedPlans:      db.planFused,
+		SequentialPlans: db.planSeq,
+	}
+	db.mu.RUnlock()
+	ps.Selectivity = db.catalog.Snapshot()
+	return ps
 }
 
 // SetExecOptions sizes the batched execution engine used for content
@@ -285,7 +367,12 @@ func (db *DB) contentExecOpts() exec.Options {
 
 // New creates an empty database priced under the given deployment scenario.
 func New(cm scenario.CostModel) *DB {
-	return &DB{costModel: cm, predicates: make(map[string]*Predicate), corpus: &memoryCorpus{}}
+	return &DB{
+		costModel:  cm,
+		predicates: make(map[string]*Predicate),
+		corpus:     &memoryCorpus{},
+		catalog:    planner.NewCatalog(),
+	}
 }
 
 func (db *DB) resetMaterialized() {
@@ -307,6 +394,8 @@ func (db *DB) LoadCorpus(images []*img.Image, meta []Metadata) error {
 	db.repCache = nil // keyed by row index; stale for the new corpus
 	db.meta = meta
 	db.resetMaterialized()
+	// Observed pass rates describe the old corpus; fall back to the seeds.
+	db.catalog.Reset()
 	return nil
 }
 
@@ -332,6 +421,8 @@ func (db *DB) LoadCorpusFromStore(store *repstore.Store, cacheBytes int64, meta 
 	db.repCache = nil // keyed by row index; stale for the new corpus
 	db.meta = meta
 	db.resetMaterialized()
+	// Observed pass rates describe the old corpus; fall back to the seeds.
+	db.catalog.Reset()
 	return nil
 }
 
@@ -371,6 +462,20 @@ func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) 
 		Frontier:     frontier,
 		materialized: make(map[string]*column),
 	}
+	// Seed the adaptive selectivity catalog with the evaluation-set
+	// positive rate — the install-time estimate every plan starts from
+	// until real queries report observed pass rates.
+	positives := 0
+	for _, t := range sys.EvalTruth {
+		if t {
+			positives++
+		}
+	}
+	seed := 0.5
+	if len(sys.EvalTruth) > 0 {
+		seed = float64(positives) / float64(len(sys.EvalTruth))
+	}
+	db.catalog.Seed(category, seed)
 	return nil
 }
 
@@ -415,6 +520,21 @@ type Result struct {
 	// stays exact either way — it is engine-local).
 	RepCache    exec.CacheStats
 	HasRepCache bool
+	// Observed reports, per content predicate that classified anything, the
+	// freshly classified frames and how many carried the positive label —
+	// the adaptive-selectivity feedback the DB folds into its catalog so
+	// every query improves the next plan.
+	Observed []ObservedSelectivity
+}
+
+// ObservedSelectivity is one content predicate's survivor accounting for a
+// single query: Positives/Frames is the observed pass rate over the rows it
+// classified (cached rows are not re-observed).
+type ObservedSelectivity struct {
+	Category  string
+	Cascade   string // cascade spec ID that produced the labels
+	Frames    int
+	Positives int
 }
 
 // Query parses, plans and executes sql under the user's constraints. Safe
@@ -445,7 +565,24 @@ func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
 
 	db.mu.Lock()
 	snap.merge()
+	if len(plan.content) > 0 {
+		if plan.pp.Order == planner.OrderStatic {
+			db.planStatic++
+		} else {
+			db.planRank++
+		}
+		if res.Fused {
+			db.planFused++
+		} else {
+			db.planSeq++
+		}
+	}
 	db.mu.Unlock()
+	// Feed the observed pass rates back into the catalog (its own lock):
+	// the adaptive half of cost-based planning.
+	for _, ob := range res.Observed {
+		db.catalog.Observe(ob.Category, ob.Frames, ob.Positives)
+	}
 	return res, nil
 }
 

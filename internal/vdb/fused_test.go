@@ -83,6 +83,12 @@ func buildFusedDB(t *testing.T) *DB {
 			t.Fatal(err)
 		}
 	}
+	// These tests pin the fused executor (labels, need masks, rep
+	// accounting), not the planner's cost decision — the tiny fixture is
+	// inference-dominated, where the cost model legitimately prefers
+	// sequential narrowing. The legacy slot-sharing gate forces the path
+	// under test; TestFusionCostDecision covers the default policy.
+	db.SetPlanOptions(PlanOptions{Fusion: FusionShared})
 	return db
 }
 
@@ -274,6 +280,10 @@ func TestServeRepsFromStore(t *testing.T) {
 			}
 		}
 		db.ServeReps(true)
+		// With every slot served, there is no rep work left to share, so
+		// the cost model prefers narrowing; the gate policy keeps this
+		// test on the fused path it exercises.
+		db.SetPlanOptions(PlanOptions{Fusion: FusionShared})
 		return db
 	}
 	cons := core.Constraints{MaxAccuracyLoss: 0.05}

@@ -39,6 +39,10 @@ type triggerJob struct {
 	shared   *column
 	priv     *column
 	missing  []int
+	// frames/positives count emitted labels, feeding the adaptive
+	// selectivity catalog alongside the query path.
+	frames    int
+	positives int
 }
 
 // Append adds rows to the corpus. Under an enabled trigger policy, every
@@ -130,6 +134,11 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 			mergeColumn(jb.priv, jb.shared)
 		}
 		db.mu.Unlock()
+		// Trigger classifications are observations too: ingest-time labels
+		// tune the selectivity catalog just like query-time ones.
+		for _, jb := range jobs {
+			db.catalog.Observe(jb.category, jb.frames, jb.positives)
+		}
 	}()
 	for _, jb := range jobs {
 		jb := jb
@@ -141,6 +150,10 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 		stream, err := cascade.NewStream(jb.rt, opts, func(j int, label bool) {
 			jb.priv.labels[jb.missing[j]] = label
 			jb.priv.valid[jb.missing[j]] = true
+			jb.frames++
+			if label {
+				jb.positives++
+			}
 			udfCalls++
 		})
 		if err != nil {

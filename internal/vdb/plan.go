@@ -2,12 +2,12 @@ package vdb
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
 	"tahoma/internal/exec"
+	"tahoma/internal/planner"
 )
 
 // contentStep is one planned content-predicate evaluation.
@@ -20,11 +20,15 @@ type contentStep struct {
 
 // queryPlan is the executable form of a query: metadata filters first (in
 // selectivity-free textual order — the corpus is in memory, so ordering
-// within the metadata set is immaterial), then content predicates, cheapest
-// expected cascade first, each only over surviving rows.
+// within the metadata set is immaterial), then content predicates in the
+// order the cost-based planner chose (rank = cost / (1 − selectivity) by
+// default, evaluator-cheapest-first under OrderStatic), each only over
+// surviving rows. pp is the planner's costed, explainable view of the same
+// content steps, including the fused-vs-sequential decision.
 type queryPlan struct {
 	query   *Query
-	content []contentStep
+	content []contentStep // planner execution order
+	pp      *planner.Plan // parallel to content
 }
 
 func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
@@ -42,7 +46,9 @@ func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
 		}
 	}
 	plan := &queryPlan{query: q}
-	for _, cc := range q.Content {
+	var textual []contentStep
+	var steps []planner.Step
+	for i, cc := range q.Content {
 		pred, ok := db.predicates[cc.Category]
 		if !ok {
 			return nil, fmt.Errorf("vdb: no classifier installed for category %q (installed: %s)",
@@ -53,13 +59,85 @@ func (db *DB) plan(q *Query, constraints core.Constraints) (*queryPlan, error) {
 			return nil, fmt.Errorf("vdb: selecting cascade for %q: %w", cc.Category, err)
 		}
 		res := pred.Results[point.Index]
-		plan.content = append(plan.content, contentStep{cond: cc, pred: pred, spec: res.Spec, expected: res})
+		textual = append(textual, contentStep{cond: cc, pred: pred, spec: res.Spec, expected: res})
+		st, err := db.plannerStep(i, cc, pred, res)
+		if err != nil {
+			return nil, fmt.Errorf("vdb: costing cascade for %q: %w", cc.Category, err)
+		}
+		steps = append(steps, st)
 	}
-	// Cheapest content predicate first: fewer expensive calls downstream.
-	sort.SliceStable(plan.content, func(i, j int) bool {
-		return plan.content[i].expected.AvgCost < plan.content[j].expected.AvgCost
+	plan.pp = planner.PlanContent(steps, db.availability(), planner.Options{
+		Order:     db.planOpts.Order,
+		Fusion:    db.planOpts.Fusion,
+		FusionOff: db.fusionOff,
+		Rows:      len(db.meta),
+		CostModel: db.costModel.Name(),
 	})
+	plan.content = make([]contentStep, len(plan.pp.Steps))
+	for k, ps := range plan.pp.Steps {
+		plan.content[k] = textual[ps.Input]
+	}
 	return plan, nil
+}
+
+// plannerStep decomposes one chosen cascade into the planner's costed form:
+// per-level representation and inference costs at the evaluator's exact
+// level occupancies, the adaptive selectivity estimate, and the
+// materialized-column coverage. Caller holds db.mu.
+func (db *DB) plannerStep(input int, cc ContentCond, pred *Predicate, res cascade.Result) (planner.Step, error) {
+	st := planner.Step{
+		Input:      input,
+		Key:        pred.Category,
+		CascadeID:  res.Spec.ID(),
+		Negated:    cc.Negated,
+		BaseCost:   res.AvgCost,
+		SourceCost: db.costModel.SourceCost(),
+		TotalRows:  len(db.meta),
+	}
+	occ, err := pred.System.Evaluator.Occupancy(res.Spec)
+	if err != nil {
+		return st, err
+	}
+	evalN := float64(pred.System.Evaluator.N())
+	for i, ref := range res.Spec.Levels() {
+		m := pred.System.Models[ref.Model]
+		st.Levels = append(st.Levels, planner.LevelCost{
+			RepID:     m.Xform.ID(),
+			RepCost:   db.costModel.RepCost(m.Xform),
+			InferCost: db.costModel.InferCost(m),
+			Occupancy: float64(occ[i].Reached) / evalN,
+		})
+	}
+	st.Selectivity, st.SelSamples = db.catalog.Selectivity(pred.Category)
+	if col, ok := pred.materialized[res.Spec.ID()]; ok {
+		st.CachedRows = col.coverage()
+	}
+	return st, nil
+}
+
+// availability snapshots plan-time physical-representation residency: the
+// store-backed RepSource's transform coverage, a sampled residency estimate
+// over the cross-query rep cache, and a sampled decode-cache estimate for
+// sources. Caller holds db.mu; the caches have their own locks and never
+// take db.mu, so probing under the plan lock is safe.
+func (db *DB) availability() planner.Availability {
+	av := planner.Availability{}
+	if db.serveReps && db.reps != nil {
+		av.Served = db.reps.HasRep
+	}
+	n := len(db.meta)
+	if n == 0 {
+		return av
+	}
+	if rc, ok := db.repCache.(exec.RepContainser); ok {
+		av.CachedFrac = func(id string) float64 {
+			return planner.SampleFrac(n, func(i int) bool { return rc.ContainsRep(i, id) })
+		}
+	}
+	if db.reps != nil && db.reps.sc.cache != nil {
+		av.SourceCachedFrac = planner.SampleFrac(n, db.reps.sc.cache.HasSource)
+	}
+	return av
 }
 
 // describe renders the plan. Caller holds db.mu (read).
@@ -69,7 +147,8 @@ func (p *queryPlan) describe(db *DB) string {
 	for _, mc := range p.query.Meta {
 		fmt.Fprintf(&b, "  Filter: %s %s %s\n", mc.Column, mc.Op, mc.Val)
 	}
-	for _, cs := range p.content {
+	for k, cs := range p.content {
+		ps := &p.pp.Steps[k]
 		neg := ""
 		if cs.cond.Negated {
 			neg = "NOT "
@@ -78,6 +157,7 @@ func (p *queryPlan) describe(db *DB) string {
 			cs.spec.Describe(cs.pred.System.Models))
 		fmt.Fprintf(&b, "       est. accuracy %.3f, est. throughput %.0f imgs/sec (%s)\n",
 			cs.expected.Accuracy, cs.expected.Throughput, db.costModel.Name())
+		fmt.Fprintf(&b, "       %s\n", ps.CostLine())
 		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok {
 			if n := col.coverage(); n == len(db.meta) {
 				b.WriteString("       (materialized: no inference needed)\n")
@@ -86,8 +166,11 @@ func (p *queryPlan) describe(db *DB) string {
 			}
 		}
 	}
-	if n, shares := db.fusionPreview(p.content); n >= 2 && shares {
-		fmt.Fprintf(&b, "  Fused: %d content predicates share one representation-slot plan\n", n)
+	if line := p.pp.OrderLine(); line != "" {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	if line := p.pp.Fusion.Line(); line != "" {
+		fmt.Fprintf(&b, "  %s\n", line)
 	}
 	if p.query.Limit > 0 {
 		fmt.Fprintf(&b, "  Limit %d\n", p.query.Limit)
@@ -140,128 +223,66 @@ func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
 	execOpts := snap.opts
 	// The snapshot's private columns; steps sharing a live column (the same
 	// predicate referenced twice, e.g. X AND NOT X) share the private copy
-	// too, so they are one classification, not two.
+	// too, so they are one classification, not two. shares re-checks slot
+	// sharing over the cascades actually pending on the live rows: the
+	// planner judged sharing corpus-wide, but a metadata filter can leave a
+	// pending set (say the two disjoint cascades of three) that shares
+	// nothing — fusing those would give up narrowing for no rep savings.
 	ccols := snap.cols
-	pending := 0
+	pending, shares := 0, false
+	slotUsers := make(map[string]int)
 	seenCols := make(map[*column]bool, len(plan.content))
-	for si := range plan.content {
+	for si, cs := range plan.content {
 		col := ccols[si]
 		if !seenCols[col] && len(col.missing(live)) > 0 {
 			pending++
+			seenSlots := make(map[string]bool)
+			for _, ref := range cs.spec.Levels() {
+				id := cs.pred.System.Models[ref.Model].Xform.ID()
+				if seenSlots[id] {
+					continue
+				}
+				seenSlots[id] = true
+				slotUsers[id]++
+				if slotUsers[id] >= 2 {
+					shares = true
+				}
+			}
 		}
 		seenCols[col] = true
 	}
 
-	// 2a. Fused pre-pass: when two or more predicates still have uncached
-	// rows and their cascades actually share representations, run all of
-	// them at once over the union of those rows through one shared
-	// representation-slot plan — each distinct transform is materialized
-	// once per frame for the whole query instead of once per predicate.
-	// Per-cascade need masks keep predicates with different cached
-	// coverage from re-classifying rows they already know, and the columns
-	// end up covering every live row, so later queries (and the filtering
-	// below) are all cache reads. With a single pending predicate, or with
-	// fully disjoint rep grids (nothing to share, so the sequential loop's
-	// predicate narrowing is the better trade), execution falls back to
-	// the sequential path instead.
-	if pending >= 2 && !snap.fusionOff {
-		// Gate on the distinct still-pending predicates only: a duplicate
-		// mention of one predicate, or a fully-cached predicate whose grid
-		// overlaps a pending one, must not manufacture slot sharing.
-		var gateRts []*cascade.Runtime
-		gateSeen := make(map[*column]bool, len(plan.content))
+	// 2a. Fused pre-pass: the planner priced one fused run of every pending
+	// cascade over the union of their missing rows (each distinct transform
+	// materialized once per frame for the whole query) against sequential
+	// narrowing, and chose fusion. The plan-time decision is re-guarded
+	// against this snapshot's live rows: with fewer than two predicates
+	// still pending here, or no slot shared among those actually pending —
+	// a metadata filter can shrink coverage gaps the planner judged
+	// corpus-wide — the fused pre-pass has nothing to amortize, so
+	// execution falls back to the sequential loop. Per-cascade need masks
+	// keep predicates with different cached coverage from re-classifying
+	// rows they already know, and the columns end up covering every live
+	// row, so later queries (and the filtering below) are all cache reads.
+	if pending >= 2 && shares && !snap.fusionOff && plan.pp.Fusion.Fuse {
+		// The executed engine spans every step (need masks zero out
+		// duplicates) so Labels indexing stays per content step.
+		rts := make([]*cascade.Runtime, len(plan.content))
 		for si, cs := range plan.content {
-			if gateSeen[ccols[si]] || len(ccols[si].missing(live)) == 0 {
-				continue
-			}
-			gateSeen[ccols[si]] = true
 			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
 			if err != nil {
 				return nil, err
 			}
-			gateRts = append(gateRts, rt)
+			rts[si] = rt
 		}
-		_, shares, err := fusedContentEngine(gateRts)
+		fe, err := cascade.FusedEngine(rts...)
 		if err != nil {
 			return nil, err
 		}
-		if shares {
-			// The executed engine spans every step (need masks zero out
-			// duplicates) so Labels indexing stays per content step.
-			rts := make([]*cascade.Runtime, len(plan.content))
-			for si, cs := range plan.content {
-				rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
-				if err != nil {
-					return nil, err
-				}
-				rts[si] = rt
-			}
-			fe, err := cascade.FusedEngine(rts...)
-			if err != nil {
-				return nil, err
-			}
-			return executeFused(plan, snap, res, ccols, live, fe, execOpts, q)
-		}
+		return executeFused(plan, snap, res, ccols, live, fe, execOpts, q)
 	}
 
 	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
-}
-
-// fusionPreview mirrors executeQuery's fusion gate for EXPLAIN: the number
-// of distinct not-fully-materialized predicate columns, and whether the
-// planned cascades share any representation slot. Coverage is judged
-// against the whole corpus (EXPLAIN does not evaluate metadata filters),
-// so it is the plan-time estimate of what execution will decide. Caller
-// holds db.mu (read).
-func (db *DB) fusionPreview(steps []contentStep) (pending int, shares bool) {
-	if db.fusionOff || len(steps) < 2 {
-		return 0, false
-	}
-	seen := make(map[string]bool, len(steps))
-	rts := make([]*cascade.Runtime, 0, len(steps))
-	for _, cs := range steps {
-		key := cs.pred.Category + "|" + cs.spec.ID()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok && col.coverage() >= len(db.meta) {
-			continue
-		}
-		rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
-		if err != nil {
-			return 0, false
-		}
-		rts = append(rts, rt)
-		pending++
-	}
-	if pending < 2 {
-		return pending, false
-	}
-	_, shares, err := fusedContentEngine(rts)
-	if err != nil {
-		return 0, false
-	}
-	return pending, shares
-}
-
-// fusedContentEngine builds the fused engine over the planned runtimes and
-// reports whether any representation slot is actually shared across
-// cascades — the gate for taking the fused path.
-func fusedContentEngine(rts []*cascade.Runtime) (*exec.Fused, bool, error) {
-	fe, err := cascade.FusedEngine(rts...)
-	if err != nil {
-		return nil, false, err
-	}
-	total := 0
-	for _, rt := range rts {
-		eng, err := rt.Engine()
-		if err != nil {
-			return nil, false, err
-		}
-		total += len(eng.Reps())
-	}
-	return fe, len(fe.Reps()) < total, nil
 }
 
 // executeFused runs the fused content pre-pass — filling every predicate's
@@ -297,12 +318,22 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 	}
 	for si := range plan.content {
 		col := ccols[si]
+		frames := 0
 		for j, idx := range union {
 			if need[si][j] {
 				col.labels[idx] = frep.Labels[si][j]
 				col.valid[idx] = true
 				res.UDFCalls++
+				frames++
 			}
+		}
+		if frames > 0 {
+			res.Observed = append(res.Observed, ObservedSelectivity{
+				Category:  plan.content[si].pred.Category,
+				Cascade:   plan.content[si].spec.ID(),
+				Frames:    frames,
+				Positives: frep.Positives[si],
+			})
 		}
 	}
 	res.Fused = true
@@ -341,6 +372,12 @@ func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols 
 			res.UDFCalls += rep.Frames
 			res.RepsMaterialized += rep.RepsMaterialized
 			res.RepHits += rep.RepHits
+			res.Observed = append(res.Observed, ObservedSelectivity{
+				Category:  cs.pred.Category,
+				Cascade:   cs.spec.ID(),
+				Frames:    rep.Frames,
+				Positives: rep.Positives,
+			})
 			if rep.HasCache {
 				res.HasRepCache = true
 				res.RepCache.Hits += rep.Cache.Hits

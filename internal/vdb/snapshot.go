@@ -161,6 +161,12 @@ func (c *SharedRepCache) GetRep(i int, id string) *img.Image { return c.reps.Get
 // PutRep implements exec.RepCache.
 func (c *SharedRepCache) PutRep(i int, id string, im *img.Image) { c.reps.PutRep(i, id, im) }
 
+// ContainsRep implements exec.RepContainser: a residency probe that touches
+// neither the LRU order nor the hit/miss counters. The query planner samples
+// it to discount cascade costs by what is already materialized — how the
+// same query plans differently against a cold and a warm cache.
+func (c *SharedRepCache) ContainsRep(i int, id string) bool { return c.reps.Contains(i, id) }
+
 // CacheStats implements exec.CacheStatser: cumulative lookup counters and
 // the current resident footprint.
 func (c *SharedRepCache) CacheStats() exec.CacheStats {

@@ -93,6 +93,23 @@ type (
 	// queries publish the representations they materialize and rehit each
 	// other's, without changing any label.
 	SharedRepCache = vdb.SharedRepCache
+	// PlanOptions control query planning: content-predicate ordering
+	// (rank — cost/(1−selectivity) against the adaptive selectivity
+	// catalog — or static cheapest-first) and the fused-vs-sequential
+	// decision policy. Install with DB.SetPlanOptions.
+	PlanOptions = vdb.PlanOptions
+	// PlanOrder is the content-predicate ordering policy (OrderRank,
+	// OrderStatic).
+	PlanOrder = vdb.PlanOrder
+	// FusionPolicy is the fused-vs-sequential decision policy (FusionCost,
+	// FusionShared).
+	FusionPolicy = vdb.FusionPolicy
+	// PlannerStats is the planner's observability snapshot: plan-choice
+	// counters plus the adaptive selectivity catalog (DB.PlannerStats).
+	PlannerStats = vdb.PlannerStats
+	// ObservedSelectivity is one query's per-predicate survivor accounting
+	// (QueryResult.Observed) — the signal the adaptive catalog learns from.
+	ObservedSelectivity = vdb.ObservedSelectivity
 
 	// Server is the concurrent HTTP query service over one open DB
 	// (POST /query, GET /explain, GET /stats), with a bounded admission
@@ -116,6 +133,15 @@ const (
 	Archive   = scenario.Archive
 	Ongoing   = scenario.Ongoing
 	Camera    = scenario.Camera
+)
+
+// Planning policies (PlanOptions): content-predicate ordering and the
+// fused-vs-sequential decision.
+const (
+	OrderRank    = vdb.OrderRank
+	OrderStatic  = vdb.OrderStatic
+	FusionCost   = vdb.FusionCost
+	FusionShared = vdb.FusionShared
 )
 
 // DefaultConfig returns the paper-shaped design space scaled to 64×64
