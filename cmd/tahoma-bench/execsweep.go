@@ -84,6 +84,19 @@ type sweepReport struct {
 	} `json:"planner_config"`
 	PlannerResults  []plannerSweepResult `json:"planner_results"`
 	PlannerRepCache []plannerCacheResult `json:"planner_rep_cache"`
+	// MatConfig / MatResults / MatMixed are the label-materialization sweep:
+	// 1/2/3-predicate AND-chains on the real query path, each measured cold
+	// (first query, full inference), warm (materialization off, repeat pays
+	// inference again) and materialized (repeat served as word-parallel
+	// bitmap AND over the label columns), plus hot/cold mixes pinning the
+	// planner's materialized-first ordering.
+	MatConfig struct {
+		Rows       int `json:"rows"`
+		Predicates int `json:"predicates"`
+		Repeats    int `json:"repeats"`
+	} `json:"mat_config"`
+	MatResults []matSweepResult `json:"mat_results"`
+	MatMixed   []matMixedResult `json:"mat_mixed"`
 	// RepServed measures the 2-predicate shared-grid fused run against a
 	// representation store serving every slot (transforms skipped), with
 	// the rep cache's own counters for the measured run.
@@ -209,6 +222,9 @@ func runExecSweep(path string) error {
 		return err
 	}
 	if err := runPlannerSweep(&rep); err != nil {
+		return err
+	}
+	if err := runMatSweep(&rep); err != nil {
 		return err
 	}
 

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tahoma/internal/core"
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+	"tahoma/internal/vdb"
+)
+
+// matSweepResult is one (predicates, phase) cell of the label-materialization
+// sweep: the same AND-chain served cold (first query, full inference), warm
+// (repeat with materialization off — inference again, reps resident) and
+// materialized (repeat with the label columns covering the chain — pure
+// bitmap algebra).
+type matSweepResult struct {
+	Predicates int     `json:"predicates"`
+	Phase      string  `json:"phase"` // "cold", "warm" or "materialized"
+	Rows       int     `json:"rows"`
+	UDFCalls   int     `json:"udf_calls"`
+	MatHits    int     `json:"mat_hits"`
+	Bitmap     bool    `json:"bitmap"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	// SpeedupVsCold is rows/sec over the cold cell of the same chain (warm
+	// and materialized rows only); BitIdentical confirms the materialized
+	// result matched the cold result byte for byte.
+	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+	BitIdentical  bool    `json:"bit_identical,omitempty"`
+}
+
+// matMixedResult is one hot/cold mix cell: a 2-predicate query where one
+// predicate is already fully materialized and the other has never run. The
+// planner must order the covered predicate first (its adjusted rank is ~0),
+// so the cold predicate classifies only the hot one's survivors.
+type matMixedResult struct {
+	Hot               string   `json:"hot"`
+	Cold              string   `json:"cold"`
+	Order             []string `json:"order"`
+	MaterializedFirst bool     `json:"materialized_first"`
+	Rows              int      `json:"rows"`
+	UDFCalls          int      `json:"udf_calls"`
+	RowsPerSec        float64  `json:"rows_per_sec"`
+}
+
+// matFingerprint summarizes a result for bit-identity checks.
+func matFingerprint(res *vdb.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cols=%v count=%d rows:", res.Columns, res.Count)
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.String())
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// matCorpus builds a DB over `rows` frames (the trained system's eval split,
+// tiled) with the system installed under the given categories.
+func matCorpus(sys *core.System, splits synth.Splits, categories []string, rows int) (*vdb.DB, error) {
+	cm, err := scenario.NewAnalytic(scenario.Camera, scenario.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	db := vdb.New(cm)
+	db.SetExecOptions(exec.Options{Workers: 1, Batch: 64})
+	var images []*img.Image
+	var meta []vdb.Metadata
+	pool := splits.Eval.Examples
+	for i := 0; i < rows; i++ {
+		images = append(images, pool[i%len(pool)].Image)
+		meta = append(meta, vdb.Metadata{ID: int64(i), Location: "corpus", Camera: "cam-0", TS: int64(i * 10)})
+	}
+	if err := db.LoadCorpus(images, meta); err != nil {
+		return nil, err
+	}
+	for _, cat := range categories {
+		if err := db.InstallPredicate(cat, sys, 2); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// runMatSweep measures what label materialization is worth on the real query
+// path: 1/2/3-predicate AND-chains, each served cold (fresh DB, full
+// inference), warm (materialization off, so a repeat pays inference again)
+// and materialized (repeat on the same DB — the content phase is bitmap
+// AND over the label columns, zero inference). The mixed cells then pair a
+// pre-materialized predicate with a cold one and record the planner's
+// ordering: the covered predicate must come first.
+func runMatSweep(rep *sweepReport) error {
+	const (
+		rows    = 256
+		repeats = 3
+	)
+	cat, err := synth.CategoryByName("cloak")
+	if err != nil {
+		return err
+	}
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 40, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := core.Initialize("cloak", splits, core.TinyConfig())
+	if err != nil {
+		return err
+	}
+	categories := []string{"obja", "objb", "objc"}
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+
+	rep.MatConfig.Rows = rows
+	rep.MatConfig.Repeats = repeats
+	rep.MatConfig.Predicates = len(categories)
+
+	for preds := 1; preds <= len(categories); preds++ {
+		var terms []string
+		for _, c := range categories[:preds] {
+			terms = append(terms, fmt.Sprintf("contains_object('%s')", c))
+		}
+		sql := "SELECT id FROM images WHERE " + strings.Join(terms, " AND ")
+
+		// Cold: first query on a fresh DB — inference + transform work.
+		db, err := matCorpus(sys, splits, categories, rows)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		cold, err := db.Query(sql, cons)
+		if err != nil {
+			return fmt.Errorf("mat cold %d-pred: %w", preds, err)
+		}
+		coldWall := time.Since(t0)
+		coldFPS := float64(rows) / coldWall.Seconds()
+		rep.MatResults = append(rep.MatResults, matSweepResult{
+			Predicates: preds, Phase: "cold", Rows: rows,
+			UDFCalls: cold.UDFCalls, MatHits: cold.MatHits,
+			RowsPerSec: coldFPS,
+			NsPerRow:   float64(coldWall.Nanoseconds()) / rows,
+		})
+
+		// Warm: same chain with materialization off — every repeat pays
+		// inference again. Best of repeats.
+		wdb, err := matCorpus(sys, splits, categories, rows)
+		if err != nil {
+			return err
+		}
+		wdb.SetMaterialization(vdb.MatOff)
+		var warmBest time.Duration
+		var warm *vdb.Result
+		for r := 0; r < repeats+1; r++ {
+			t0 := time.Now()
+			res, err := wdb.Query(sql, cons)
+			if err != nil {
+				return fmt.Errorf("mat warm %d-pred: %w", preds, err)
+			}
+			wall := time.Since(t0)
+			// The first run per config is warmup (pool fill).
+			if r > 0 && (warmBest == 0 || wall < warmBest) {
+				warmBest, warm = wall, res
+			}
+		}
+		warmFPS := float64(rows) / warmBest.Seconds()
+		rep.MatResults = append(rep.MatResults, matSweepResult{
+			Predicates: preds, Phase: "warm", Rows: rows,
+			UDFCalls: warm.UDFCalls, MatHits: warm.MatHits,
+			RowsPerSec:    warmFPS,
+			NsPerRow:      float64(warmBest.Nanoseconds()) / rows,
+			SpeedupVsCold: warmFPS / coldFPS,
+		})
+
+		// Materialized: repeat on the cold DB — the chain's columns cover
+		// their own survivor sets, so the content phase is bitmap algebra.
+		var matBest time.Duration
+		var mat *vdb.Result
+		for r := 0; r < repeats+1; r++ {
+			t0 := time.Now()
+			res, err := db.Query(sql, cons)
+			if err != nil {
+				return fmt.Errorf("mat materialized %d-pred: %w", preds, err)
+			}
+			wall := time.Since(t0)
+			if r > 0 && (matBest == 0 || wall < matBest) {
+				matBest, mat = wall, res
+			}
+		}
+		if !mat.Bitmap || mat.UDFCalls != 0 {
+			return fmt.Errorf("mat sweep %d-pred repeat did not hit the bitmap path (bitmap=%v udf=%d)",
+				preds, mat.Bitmap, mat.UDFCalls)
+		}
+		matFPS := float64(rows) / matBest.Seconds()
+		rep.MatResults = append(rep.MatResults, matSweepResult{
+			Predicates: preds, Phase: "materialized", Rows: rows,
+			UDFCalls: mat.UDFCalls, MatHits: mat.MatHits, Bitmap: mat.Bitmap,
+			RowsPerSec:    matFPS,
+			NsPerRow:      float64(matBest.Nanoseconds()) / rows,
+			SpeedupVsCold: matFPS / coldFPS,
+			BitIdentical:  matFingerprint(mat) == matFingerprint(cold),
+		})
+	}
+
+	// Mixed hot/cold: objb fully materialized by a standalone query, obja
+	// never run. The planner's rank folds coverage in, so the EXPLAIN order
+	// must put the hot predicate first and the cold one classifies only its
+	// survivors.
+	mdb, err := matCorpus(sys, splits, categories, rows)
+	if err != nil {
+		return err
+	}
+	if _, err := mdb.Query("SELECT COUNT(*) FROM images WHERE contains_object('objb')", cons); err != nil {
+		return err
+	}
+	mixedSQL := "SELECT id FROM images WHERE contains_object('obja') AND contains_object('objb')"
+	explain, err := mdb.Explain(mixedSQL, cons)
+	if err != nil {
+		return err
+	}
+	var order []string
+	for _, line := range strings.Split(explain, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Content order: "); ok {
+			names := strings.SplitN(rest, " (", 2)[0]
+			for _, n := range strings.Split(names, ",") {
+				order = append(order, strings.TrimSpace(n))
+			}
+		}
+	}
+	t0 := time.Now()
+	mixed, err := mdb.Query(mixedSQL, cons)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+	rep.MatMixed = append(rep.MatMixed, matMixedResult{
+		Hot: "objb", Cold: "obja",
+		Order:             order,
+		MaterializedFirst: len(order) > 0 && order[0] == "objb",
+		Rows:              rows,
+		UDFCalls:          mixed.UDFCalls,
+		RowsPerSec:        float64(rows) / wall.Seconds(),
+	})
+	return nil
+}

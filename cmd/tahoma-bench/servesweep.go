@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +60,42 @@ type serveSweepReport struct {
 		ShareRepsMB      int      `json:"share_reps_mb"`
 	} `json:"config"`
 	Cells []serveCell `json:"cells"`
+	// MatRounds replays the full query mix against ONE server, round after
+	// round: round 1 is cold inference, later rounds serve from the label
+	// columns — qps turns superlinear as the working set materializes and
+	// queries collapse to bitmap lookups.
+	MatRounds []matRoundCell `json:"mat_rounds"`
+	// AnalyzerCells run identical closed-loop load with the background
+	// analyzer off and on (gated on admission-pool idleness): the on-cell's
+	// p99 must stay close to off — the analyzer never steals foreground time.
+	AnalyzerCells []analyzerCell `json:"analyzer_cells"`
+}
+
+// matRoundCell is one repeat-round of the materialization serving sweep.
+type matRoundCell struct {
+	Round   int     `json:"round"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	// UDFCalls is the classifications this round added (cumulative delta);
+	// BitmapQueries counts responses served on the pure-bitmap path.
+	UDFCalls      int64   `json:"udf_calls"`
+	BitmapQueries int     `json:"bitmap_queries"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// analyzerCell is one analyzer-off/on cell at equal load.
+type analyzerCell struct {
+	Analyzer     string  `json:"analyzer"` // "off" or "on"
+	Clients      int     `json:"clients"`
+	Queries      int     `json:"queries"`
+	QPS          float64 `json:"qps"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	AnalyzerRows int64   `json:"analyzer_rows"`
+	CoveredRows  int64   `json:"covered_rows"`
+	BitIdentical bool    `json:"bit_identical"`
 }
 
 var serveSweepQueries = []string{
@@ -238,10 +276,186 @@ func runServeSweep(path string) error {
 		rep.Cells = append(rep.Cells, cell)
 	}
 
+	if err := runMatRounds(&rep, sys, splits, want); err != nil {
+		return err
+	}
+	if err := runAnalyzerCells(&rep, sys, splits, want); err != nil {
+		return err
+	}
+
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	blob = append(blob, '\n')
 	return os.WriteFile(path, blob, 0o644)
+}
+
+// serveLoad drives a closed loop of `clients` × `perClient` requests over the
+// query mix, with optional per-request think time, returning per-request
+// latencies (ms), the count of bitmap-path responses, and baseline identity.
+func serveLoad(client *server.Client, clients, perClient int, think time.Duration, want map[string]string) (lats []float64, bitmap int, identical bool, err error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	identical = true
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				sql := serveSweepQueries[(c+i)%len(serveSweepQueries)]
+				t0 := time.Now()
+				resp, rerr := client.Query(sql, server.QueryOptions{})
+				d := time.Since(t0)
+				mu.Lock()
+				if rerr != nil {
+					if err == nil {
+						err = fmt.Errorf("client %d %q: %w", c, sql, rerr)
+					}
+					mu.Unlock()
+					return
+				}
+				lats = append(lats, float64(d.Microseconds())/1e3)
+				if resp.Bitmap {
+					bitmap++
+				}
+				if serveRespKey(resp) != want[sql] {
+					identical = false
+				}
+				mu.Unlock()
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return lats, bitmap, identical, err
+}
+
+func percentile(lats []float64, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	return s[int(p*float64(len(s)-1)+0.5)]
+}
+
+// runMatRounds replays the mix round after round against one server: the
+// superlinear-qps trajectory as the working set materializes.
+func runMatRounds(rep *serveSweepReport, sys *core.System, splits synth.Splits, want map[string]string) error {
+	const (
+		clients   = 4
+		perClient = 12
+		rounds    = 4
+	)
+	db, err := buildServeDB(sys, splits)
+	if err != nil {
+		return err
+	}
+	rc, err := vdb.NewSharedRepCache(64 << 20)
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.Options{DefaultAccuracyLoss: 0.05, RepCache: rc})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+	client := server.NewClient("http://" + ln.Addr().String())
+
+	var prevUDF int64
+	for round := 1; round <= rounds; round++ {
+		t0 := time.Now()
+		lats, bitmap, identical, err := serveLoad(client, clients, perClient, 0, want)
+		wall := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("mat round %d: %w", round, err)
+		}
+		st, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		total := clients * perClient
+		rep.MatRounds = append(rep.MatRounds, matRoundCell{
+			Round:         round,
+			Queries:       total,
+			QPS:           float64(total) / wall.Seconds(),
+			UDFCalls:      st.UDFCalls - prevUDF,
+			BitmapQueries: bitmap,
+			P50MS:         percentile(lats, 0.50),
+			P99MS:         percentile(lats, 0.99),
+			BitIdentical:  identical,
+		})
+		prevUDF = st.UDFCalls
+	}
+	return nil
+}
+
+// runAnalyzerCells measures foreground isolation: identical closed-loop load
+// with the background analyzer off and on. The analyzer only classifies when
+// the admission pool is idle, so the on-cell's tail latency stays with the
+// off-cell's. Think time between requests leaves real idle gaps for the
+// analyzer to use.
+func runAnalyzerCells(rep *serveSweepReport, sys *core.System, splits synth.Splits, want map[string]string) error {
+	const (
+		clients   = 4
+		perClient = 24
+		think     = time.Millisecond
+	)
+	for _, analyzer := range []string{"off", "on"} {
+		db, err := buildServeDB(sys, splits)
+		if err != nil {
+			return err
+		}
+		rc, err := vdb.NewSharedRepCache(64 << 20)
+		if err != nil {
+			return err
+		}
+		srv := server.New(db, server.Options{DefaultAccuracyLoss: 0.05, RepCache: rc})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		client := server.NewClient("http://" + ln.Addr().String())
+		if analyzer == "on" {
+			db.SetMaterialization(vdb.MatBg)
+			stop, err := db.StartAnalyzer(context.Background(), vdb.AnalyzerOptions{Idle: srv.Idle})
+			if err != nil {
+				ln.Close()
+				return err
+			}
+			defer stop()
+		}
+
+		t0 := time.Now()
+		lats, _, identical, err := serveLoad(client, clients, perClient, think, want)
+		wall := time.Since(t0)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("analyzer %s: %w", analyzer, err)
+		}
+		st, err := client.Stats()
+		ln.Close()
+		if err != nil {
+			return err
+		}
+		total := clients * perClient
+		rep.AnalyzerCells = append(rep.AnalyzerCells, analyzerCell{
+			Analyzer:     analyzer,
+			Clients:      clients,
+			Queries:      total,
+			QPS:          float64(total) / wall.Seconds(),
+			P50MS:        percentile(lats, 0.50),
+			P99MS:        percentile(lats, 0.99),
+			AnalyzerRows: st.Materialization.AnalyzerRows,
+			CoveredRows:  st.Materialization.CoveredRows,
+			BitIdentical: identical,
+		})
+	}
+	return nil
 }

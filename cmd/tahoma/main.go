@@ -282,6 +282,8 @@ func cmdQuery(mode string, args []string) error {
 	storeCorpus := fs.Bool("store-corpus", false, "query straight out of the representation store through an LRU cache instead of loading sources into memory")
 	cacheMB := fs.Int("cache-mb", 64, "decoded-record LRU cache budget in MiB for -store-corpus")
 	serveReps := fs.Bool("serve-reps", false, "load pre-materialized representations from the store (implies -store-corpus); skips decode+transform for covered transforms")
+	materialize := fs.String("materialize", "on", "label materialization: on (cache classified labels as bitmap columns), off (re-infer every query), bg (on + background analyzer pre-materializes hot predicates)")
+	matMB := fs.Int("mat-mb", 0, "materialized-label byte budget in MiB (0 = unbounded); coldest columns are evicted over budget")
 	fs.Parse(args)
 	if *zooDir == "" || *corpusDir == "" || *sql == "" {
 		return fmt.Errorf("%s: -zoo, -corpus and -sql are required", mode)
@@ -313,10 +315,16 @@ func cmdQuery(mode string, args []string) error {
 	if err != nil {
 		return err
 	}
+	matMode, err := vdb.ParseMatMode(*materialize)
+	if err != nil {
+		return err
+	}
 	db := vdb.New(cm)
 	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
 	db.SetFusion(*fused)
 	db.SetPlanOptions(vdb.PlanOptions{Order: ord})
+	db.SetMaterialization(matMode)
+	db.SetMatBudget(int64(*matMB) << 20)
 	if *serveReps {
 		*storeCorpus = true
 	}
@@ -370,6 +378,13 @@ func cmdQuery(mode string, args []string) error {
 		fusedTag = " (fused)"
 	}
 	fmt.Printf("-- %d rows, %d classifier invocations%s\n", res.Count, res.UDFCalls, fusedTag)
+	if res.MatHits > 0 {
+		bitmapTag := ""
+		if res.Bitmap {
+			bitmapTag = " (bitmap path, zero inference)"
+		}
+		fmt.Printf("-- materialized: %d labels served from bitmap columns%s\n", res.MatHits, bitmapTag)
+	}
 	if res.UDFCalls > 0 {
 		fmt.Printf("-- reps: %d transformed, %d served from store\n", res.RepsMaterialized, res.RepHits)
 	}

@@ -44,6 +44,8 @@ func cmdServe(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "queries executing at once (0 = GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "queries waiting for a worker (0 = 4x max-concurrent, <0 = no queue)")
 	queueTimeout := fs.Duration("queue-timeout", 30*time.Second, "how long a query may wait for a worker before a 503")
+	materialize := fs.String("materialize", "on", "label materialization: on (cache classified labels as bitmap columns), off (re-infer every query), bg (on + background analyzer pre-materializes hot predicates while the admission pool is idle)")
+	matMB := fs.Int("mat-mb", 0, "materialized-label byte budget in MiB (0 = unbounded); coldest columns are evicted over budget")
 	fs.Parse(args)
 	if *zooDirs == "" || *corpusDir == "" {
 		return fmt.Errorf("serve: -zoo and -corpus are required")
@@ -71,10 +73,16 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	matMode, err := vdb.ParseMatMode(*materialize)
+	if err != nil {
+		return err
+	}
 	db := vdb.New(cm)
 	db.SetExecOptions(exec.Options{Workers: *workers, Batch: *batch, Prefetch: *prefetch})
 	db.SetFusion(*fused)
 	db.SetPlanOptions(vdb.PlanOptions{Order: ord})
+	db.SetMaterialization(matMode)
+	db.SetMatBudget(int64(*matMB) << 20)
 	if *serveReps {
 		*storeCorpus = true
 	}
@@ -132,6 +140,20 @@ func cmdServe(args []string) error {
 	}
 	srv := server.New(db, opts)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if matMode == vdb.MatBg {
+		// The analyzer gates on the admission pool: it only classifies when
+		// no query is executing or queued, so foreground latency is never
+		// spent on pre-materialization.
+		stopAnalyzer, err := db.StartAnalyzer(ctx, vdb.AnalyzerOptions{Idle: srv.Idle})
+		if err != nil {
+			return err
+		}
+		defer stopAnalyzer()
+		log.Printf("background analyzer on: hot predicates pre-materialize while the admission pool is idle")
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -139,8 +161,6 @@ func cmdServe(args []string) error {
 	log.Printf("serving %d rows, predicates [%s] on http://%s (POST /query, GET /explain, GET /stats)",
 		db.Count(), strings.Join(db.Predicates(), ", "), ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	select {

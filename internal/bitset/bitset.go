@@ -27,6 +27,38 @@ func New(n int) *Set {
 // Len returns the number of bits.
 func (s *Set) Len() int { return s.n }
 
+// Grow extends the set to n bits, appending clear bits. Growing never
+// disturbs existing bits; shrinking is not supported (n below Len is a
+// no-op). Appends are amortized, so materialized label columns can track an
+// append-only corpus without quadratic copying.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	words := (n + 63) / 64
+	for len(s.words) < words {
+		s.words = append(s.words, 0)
+	}
+	s.n = n
+}
+
+// AppendMembers appends the index of every set bit to dst in ascending
+// order and returns the extended slice, word-skipping over empty regions.
+func (s *Set) AppendMembers(dst []int) []int {
+	for w, word := range s.words {
+		for word != 0 {
+			dst = append(dst, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Words exposes the backing words (64 bits each, little-endian bit order;
+// bits at or beyond Len are zero). Callers that mutate words directly — the
+// matstore's word-parallel merges — must preserve the zero-tail invariant.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Set sets bit i.
 func (s *Set) Set(i int) {
 	s.check(i)

@@ -207,3 +207,38 @@ func TestStringSmall(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestGrow(t *testing.T) {
+	for _, tc := range []struct{ from, to int }{
+		{0, 1}, {1, 64}, {64, 65}, {63, 64}, {40, 200}, {128, 128}, {100, 7},
+	} {
+		s := New(tc.from)
+		for i := 0; i < tc.from; i += 3 {
+			s.Set(i)
+		}
+		want := s.Count()
+		s.Grow(tc.to)
+		wantLen := tc.to
+		if wantLen < tc.from {
+			wantLen = tc.from // shrinking is a no-op
+		}
+		if s.Len() != wantLen {
+			t.Fatalf("Grow(%d→%d): Len = %d, want %d", tc.from, tc.to, s.Len(), wantLen)
+		}
+		if s.Count() != want {
+			t.Fatalf("Grow(%d→%d): Count = %d, want %d (grown bits must be clear)", tc.from, tc.to, s.Count(), want)
+		}
+		for i := 0; i < s.Len(); i++ {
+			wantBit := i < tc.from && i%3 == 0
+			if s.Get(i) != wantBit {
+				t.Fatalf("Grow(%d→%d): bit %d = %v, want %v", tc.from, tc.to, i, s.Get(i), wantBit)
+			}
+		}
+		// The zero-tail invariant must survive growth: Not+Count only works
+		// if bits beyond Len stayed zero before the grow.
+		s.SetAll()
+		if s.Count() != s.Len() {
+			t.Fatalf("Grow(%d→%d): SetAll count %d != len %d", tc.from, tc.to, s.Count(), s.Len())
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package matstore implements the label materialization layer: persistable
+// per-(predicate, cascade) label bitmaps with row-range validity, plus the
+// usage accounting that drives the background analyzer. Tahoma's cascades
+// are deterministic, so a predicate's labels over a fixed corpus are a
+// materializable column — once a (cascade, row) pair has been classified,
+// every later query can serve it as a bitmap lookup instead of inference.
+//
+// Columns are backed by two bitsets (labels and per-row validity) so that
+// fully covered predicates reduce to word-parallel AND/ANDNOT, and the
+// store keeps a TiDB-style usage table (per-key touch counts) so background
+// capacity is spent only on the predicates queries actually ask about.
+//
+// The Store is NOT internally synchronized: it is owned by vdb.DB and every
+// access — queries, ingest triggers, the analyzer, stats — happens under the
+// DB's lock. The store never calls back into its owner, so no lock ordering
+// issue can arise.
+package matstore
+
+import (
+	"math/bits"
+	"sort"
+
+	"tahoma/internal/bitset"
+)
+
+// Key identifies one materialized column: the predicate category plus the
+// identity of the cascade that produced the labels. Different cascades of
+// the same predicate (say, selected under different accuracy constraints)
+// materialize independently — their labels can legitimately differ.
+type Key struct {
+	Category string
+	Cascade  string
+}
+
+// Column is a partially materialized virtual predicate column: a label
+// bitmap plus a per-row validity bitmap, extended lazily as rows are
+// classified or appended. A label bit is meaningful only where the validity
+// bit is set; invalid rows keep their label bit zero.
+type Column struct {
+	labels *bitset.Set
+	valid  *bitset.Set
+	prefix int // rows [0,prefix) are all valid (ingest watermark)
+}
+
+// NewColumn returns an empty column.
+func NewColumn() *Column {
+	return &Column{labels: bitset.New(0), valid: bitset.New(0)}
+}
+
+// Len returns the number of rows the column spans (valid or not).
+func (c *Column) Len() int { return c.valid.Len() }
+
+// Grow extends the column with invalid rows up to n.
+func (c *Column) Grow(n int) {
+	c.labels.Grow(n)
+	c.valid.Grow(n)
+}
+
+// Label returns row i's label. Only meaningful when Valid(i).
+func (c *Column) Label(i int) bool { return c.labels.Get(i) }
+
+// Valid reports whether row i has a cached label.
+func (c *Column) Valid(i int) bool { return c.valid.Get(i) }
+
+// SetLabel caches row i's label, marking the row valid.
+func (c *Column) SetLabel(i int, label bool) {
+	if label {
+		c.labels.Set(i)
+	} else {
+		c.labels.Clear(i)
+	}
+	c.valid.Set(i)
+}
+
+// Missing returns the subset of rows with no cached label.
+func (c *Column) Missing(rows []int) []int {
+	var out []int
+	for _, idx := range rows {
+		if !c.valid.Get(idx) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Invalid returns every row with no cached label, advancing the all-valid
+// prefix watermark first so steady-state ingest scans only the new tail
+// instead of the whole corpus.
+func (c *Column) Invalid() []int { return c.invalidMax(-1) }
+
+// InvalidN returns up to max rows with no cached label, lowest first — the
+// analyzer's bounded batch. max < 0 means unbounded.
+func (c *Column) InvalidN(max int) []int { return c.invalidMax(max) }
+
+func (c *Column) invalidMax(max int) []int {
+	n := c.valid.Len()
+	for c.prefix < n && c.valid.Get(c.prefix) {
+		c.prefix++
+	}
+	var out []int
+	for i := c.prefix; i < n; i++ {
+		if max >= 0 && len(out) >= max {
+			break
+		}
+		if !c.valid.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Coverage counts the valid rows.
+func (c *Column) Coverage() int { return c.valid.Count() }
+
+// Bytes reports the column's resident footprint (both bitmaps).
+func (c *Column) Bytes() int64 {
+	return int64(len(c.labels.Words())+len(c.valid.Words())) * 8
+}
+
+// CopyN clones the first n rows of the column — a query's private snapshot.
+func (c *Column) CopyN(n int) *Column {
+	cp := &Column{labels: bitset.New(n), valid: bitset.New(n), prefix: c.prefix}
+	if cp.prefix > n {
+		cp.prefix = n
+	}
+	copyPrefixInto(cp.labels, c.labels, n)
+	copyPrefixInto(cp.valid, c.valid, n)
+	return cp
+}
+
+// copyPrefixInto copies the first n bits of src into dst (dst.Len() == n,
+// src.Len() >= n), word-parallel with the tail masked.
+func copyPrefixInto(dst, src *bitset.Set, n int) {
+	dw, sw := dst.Words(), src.Words()
+	copy(dw, sw[:len(dw)])
+	if n%64 != 0 && len(dw) > 0 {
+		dw[len(dw)-1] &= (1 << (uint(n) & 63)) - 1
+	}
+}
+
+// Merge folds a private column's valid labels into c, first-writer-wins:
+// rows c already validated keep their labels. c may have grown past the
+// private length (Append during the query); only the common prefix merges.
+// Classification is deterministic per (cascade, row), so the values are
+// identical either way and merge order cannot change any result. Returns
+// the number of newly adopted rows.
+func (c *Column) Merge(priv *Column) int {
+	n := priv.Len()
+	if n > c.Len() {
+		n = c.Len()
+	}
+	words := (n + 63) / 64
+	cv, cl := c.valid.Words(), c.labels.Words()
+	pv, pl := priv.valid.Words(), priv.labels.Words()
+	adopted := 0
+	for w := 0; w < words; w++ {
+		mask := ^uint64(0)
+		if w == words-1 && n%64 != 0 {
+			mask = (1 << (uint(n) & 63)) - 1
+		}
+		adopt := pv[w] &^ cv[w] & mask
+		if adopt == 0 {
+			continue
+		}
+		adopted += bits.OnesCount64(adopt)
+		cv[w] |= adopt
+		cl[w] |= pl[w] & adopt
+	}
+	return adopted
+}
+
+// Narrow intersects live with the column's labels, word-parallel: the
+// fully-covered fast path where a predicate is a bitmap AND (or ANDNOT for
+// a negated condition). Precondition: every set bit of live is a valid row
+// of the column, and live.Len() <= Len(); rows the column has not
+// classified would otherwise read as label=false.
+// Covers reports whether every member of live has a valid label — the
+// word-parallel precondition for Narrow serving a query step exactly.
+func (c *Column) Covers(live *bitset.Set) bool {
+	lw, vw := live.Words(), c.valid.Words()
+	for w, word := range lw {
+		if w >= len(vw) {
+			if word != 0 {
+				return false
+			}
+			continue
+		}
+		if word&^vw[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Column) Narrow(live *bitset.Set, negated bool) {
+	lw, cw := live.Words(), c.labels.Words()
+	if negated {
+		for w := range lw {
+			lw[w] &^= cw[w]
+		}
+		return
+	}
+	for w := range lw {
+		lw[w] &= cw[w]
+	}
+}
+
+// usage is one key's TiDB-style predicate-usage row: how often queries
+// touched it and a recency clock for LRU eviction.
+type usage struct {
+	touches int64
+	last    int64 // store clock at most recent touch
+}
+
+// Store owns the materialized columns for one DB: get-or-create access,
+// usage tracking, a byte budget with LRU eviction of cold columns, and
+// corpus-generation invalidation. Not internally synchronized — see the
+// package comment.
+type Store struct {
+	budget int64 // bytes; 0 means unbounded
+	gen    int64 // bumped on Invalidate; labels are per-generation
+	clock  int64 // logical touch clock
+
+	cols map[Key]*Column
+	use  map[Key]*usage
+
+	hits, misses    int64 // label lookups served / classified
+	evictedBytes    int64
+	evictedCols     int64
+	analyzerBatches int64
+	analyzerRows    int64
+}
+
+// New returns an empty store with the given byte budget (0 = unbounded).
+func New(budgetBytes int64) *Store {
+	return &Store{
+		budget: budgetBytes,
+		cols:   make(map[Key]*Column),
+		use:    make(map[Key]*usage),
+	}
+}
+
+// SetBudget installs a new byte budget (0 = unbounded). Enforce applies it.
+func (s *Store) SetBudget(b int64) { s.budget = b }
+
+// Budget returns the byte budget (0 = unbounded).
+func (s *Store) Budget() int64 { return s.budget }
+
+// Generation returns the corpus generation the resident columns describe.
+func (s *Store) Generation() int64 { return s.gen }
+
+// Column returns the column for k, creating it empty if absent.
+func (s *Store) Column(k Key) *Column {
+	col, ok := s.cols[k]
+	if !ok {
+		col = NewColumn()
+		s.cols[k] = col
+	}
+	return col
+}
+
+// Lookup returns the column for k without creating it.
+func (s *Store) Lookup(k Key) (*Column, bool) {
+	col, ok := s.cols[k]
+	return col, ok
+}
+
+// Coverage returns the number of valid rows in k's column (0 if absent).
+func (s *Store) Coverage(k Key) int {
+	if col, ok := s.cols[k]; ok {
+		return col.Coverage()
+	}
+	return 0
+}
+
+// Touch records one query touching k — the usage signal the analyzer ranks
+// by — and refreshes k's LRU recency.
+func (s *Store) Touch(k Key) {
+	s.clock++
+	u, ok := s.use[k]
+	if !ok {
+		u = &usage{}
+		s.use[k] = u
+	}
+	u.touches++
+	u.last = s.clock
+}
+
+// RecordLookup accumulates label-lookup accounting: hits are rows served
+// from materialized columns, misses rows that had to be classified.
+func (s *Store) RecordLookup(hits, misses int64) {
+	s.hits += hits
+	s.misses += misses
+}
+
+// RecordAnalyzer accumulates one background-analyzer batch of rows.
+func (s *Store) RecordAnalyzer(rows int) {
+	s.analyzerBatches++
+	s.analyzerRows += int64(rows)
+}
+
+// Hottest returns the most-touched key whose column does not yet cover rows
+// — the analyzer's next target. Ties break by recency, then by key for
+// determinism. ok is false when every touched key is fully covered.
+func (s *Store) Hottest(rows int) (Key, bool) {
+	var best Key
+	var bestUse *usage
+	for k, u := range s.use {
+		if s.Coverage(k) >= rows {
+			continue
+		}
+		if bestUse == nil || u.touches > bestUse.touches ||
+			(u.touches == bestUse.touches && (u.last > bestUse.last ||
+				(u.last == bestUse.last && keyLess(k, best)))) {
+			best, bestUse = k, u
+		}
+	}
+	return best, bestUse != nil
+}
+
+func keyLess(a, b Key) bool {
+	if a.Category != b.Category {
+		return a.Category < b.Category
+	}
+	return a.Cascade < b.Cascade
+}
+
+// Invalidate drops every column and bumps the corpus generation — corpus
+// swap and zoo reinstall both make resident labels meaningless. Usage
+// counts survive: they describe the query workload, not the corpus, and
+// keep steering the analyzer after a swap. In-flight queries merging into
+// orphaned columns is harmless; they are unreachable.
+func (s *Store) Invalidate() {
+	s.gen++
+	s.cols = make(map[Key]*Column)
+}
+
+// Bytes reports the resident footprint of every column — the uniform cache
+// accessor shared with repstore.Cache and repstore.SharedReps.
+func (s *Store) Bytes() int64 {
+	var b int64
+	for _, col := range s.cols {
+		b += col.Bytes()
+	}
+	return b
+}
+
+// Evicted reports cumulative bytes evicted by budget enforcement — the
+// uniform cache accessor shared with the repstore caches.
+func (s *Store) Evicted() int64 { return s.evictedBytes }
+
+// Enforce applies the byte budget, evicting the least-recently-touched
+// columns until the store fits. The single hottest column always survives,
+// even over budget, so a budget smaller than one column cannot thrash.
+// Returns the number of columns evicted.
+func (s *Store) Enforce() int {
+	if s.budget <= 0 {
+		return 0
+	}
+	evicted := 0
+	for s.Bytes() > s.budget && len(s.cols) > 1 {
+		coldest, ok := s.coldest()
+		if !ok {
+			break
+		}
+		col := s.cols[coldest]
+		s.evictedBytes += col.Bytes()
+		s.evictedCols++
+		delete(s.cols, coldest)
+		evicted++
+	}
+	return evicted
+}
+
+// coldest returns the resident key with the oldest touch (never-touched
+// columns are coldest of all), key order breaking ties.
+func (s *Store) coldest() (Key, bool) {
+	var best Key
+	found := false
+	var bestLast int64
+	for k := range s.cols {
+		var last int64
+		if u, ok := s.use[k]; ok {
+			last = u.last
+		}
+		if !found || last < bestLast || (last == bestLast && keyLess(k, best)) {
+			best, bestLast, found = k, last, true
+		}
+	}
+	return best, found
+}
+
+// UsageEntry is one key's row in the stats snapshot.
+type UsageEntry struct {
+	Category string `json:"category"`
+	Cascade  string `json:"cascade"`
+	Touches  int64  `json:"touches"`
+	Covered  int    `json:"covered_rows"`
+	Rows     int    `json:"rows"`
+}
+
+// Stats is the store's observability snapshot.
+type Stats struct {
+	Columns         int          `json:"columns"`
+	CoveredRows     int64        `json:"covered_rows"`
+	Bytes           int64        `json:"bytes"`
+	BudgetBytes     int64        `json:"budget_bytes"`
+	EvictedBytes    int64        `json:"evicted_bytes"`
+	ColumnsEvicted  int64        `json:"columns_evicted"`
+	Hits            int64        `json:"hits"`
+	Misses          int64        `json:"misses"`
+	AnalyzerBatches int64        `json:"analyzer_batches"`
+	AnalyzerRows    int64        `json:"analyzer_rows"`
+	Generation      int64        `json:"generation"`
+	Usage           []UsageEntry `json:"usage,omitempty"`
+}
+
+// Stats snapshots the store: coverage, footprint, lookup and analyzer
+// counters, and the usage table sorted hottest-first.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Columns:         len(s.cols),
+		Bytes:           s.Bytes(),
+		BudgetBytes:     s.budget,
+		EvictedBytes:    s.evictedBytes,
+		ColumnsEvicted:  s.evictedCols,
+		Hits:            s.hits,
+		Misses:          s.misses,
+		AnalyzerBatches: s.analyzerBatches,
+		AnalyzerRows:    s.analyzerRows,
+		Generation:      s.gen,
+	}
+	for _, col := range s.cols {
+		st.CoveredRows += int64(col.Coverage())
+	}
+	for k, u := range s.use {
+		e := UsageEntry{Category: k.Category, Cascade: k.Cascade, Touches: u.touches}
+		if col, ok := s.cols[k]; ok {
+			e.Covered, e.Rows = col.Coverage(), col.Len()
+		}
+		st.Usage = append(st.Usage, e)
+	}
+	sort.Slice(st.Usage, func(i, j int) bool {
+		a, b := st.Usage[i], st.Usage[j]
+		if a.Touches != b.Touches {
+			return a.Touches > b.Touches
+		}
+		return keyLess(Key{a.Category, a.Cascade}, Key{b.Category, b.Cascade})
+	})
+	return st
+}

@@ -1,0 +1,329 @@
+package matstore
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tahoma/internal/bitset"
+)
+
+func TestColumnBasics(t *testing.T) {
+	c := NewColumn()
+	c.Grow(100)
+	if c.Len() != 100 || c.Coverage() != 0 {
+		t.Fatalf("fresh column: len %d coverage %d", c.Len(), c.Coverage())
+	}
+	c.SetLabel(3, true)
+	c.SetLabel(64, false)
+	if !c.Valid(3) || !c.Valid(64) || c.Valid(4) {
+		t.Fatal("validity bits wrong")
+	}
+	if !c.Label(3) || c.Label(64) {
+		t.Fatal("label bits wrong")
+	}
+	if c.Coverage() != 2 {
+		t.Fatalf("coverage %d, want 2", c.Coverage())
+	}
+	miss := c.Missing([]int{2, 3, 4, 64})
+	if len(miss) != 2 || miss[0] != 2 || miss[1] != 4 {
+		t.Fatalf("missing %v", miss)
+	}
+	if got := c.InvalidN(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("InvalidN(3) = %v", got)
+	}
+	if got := len(c.Invalid()); got != 98 {
+		t.Fatalf("Invalid() returned %d rows, want 98", got)
+	}
+}
+
+func TestColumnPrefixWatermark(t *testing.T) {
+	c := NewColumn()
+	c.Grow(64)
+	for i := 0; i < 64; i++ {
+		c.SetLabel(i, i%2 == 0)
+	}
+	if got := c.Invalid(); len(got) != 0 {
+		t.Fatalf("Invalid on full column: %v", got)
+	}
+	c.Grow(80)
+	got := c.Invalid()
+	if len(got) != 16 || got[0] != 64 {
+		t.Fatalf("Invalid after grow: %v", got)
+	}
+	if c.prefix != 64 {
+		t.Fatalf("prefix %d, want 64", c.prefix)
+	}
+}
+
+func TestColumnMergeFirstWriterWins(t *testing.T) {
+	shared := NewColumn()
+	shared.Grow(130)
+	shared.SetLabel(5, true)
+	shared.SetLabel(70, false)
+
+	priv := shared.CopyN(130)
+	priv.SetLabel(5, false) // conflicting write must NOT win
+	priv.SetLabel(6, true)
+	priv.SetLabel(129, true)
+
+	// Shared grew past the snapshot meanwhile (Append during the query).
+	shared.Grow(200)
+	shared.SetLabel(150, true)
+
+	if got := shared.Merge(priv); got != 2 {
+		t.Fatalf("Merge adopted %d rows, want 2", got)
+	}
+	if !shared.Label(5) {
+		t.Fatal("first writer lost row 5")
+	}
+	if !shared.Valid(6) || !shared.Label(6) || !shared.Valid(129) || !shared.Label(129) {
+		t.Fatal("fresh labels not adopted")
+	}
+	if !shared.Valid(150) || !shared.Label(150) {
+		t.Fatal("post-snapshot row corrupted by merge")
+	}
+	if shared.Coverage() != 5 {
+		t.Fatalf("coverage %d, want 5", shared.Coverage())
+	}
+}
+
+// TestColumnMergeMatchesRowLoop cross-checks the word-parallel merge against
+// a row-by-row reference on random columns.
+func TestColumnMergeMatchesRowLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		privN := 1 + rng.Intn(n)
+		shared, priv := NewColumn(), NewColumn()
+		shared.Grow(n)
+		priv.Grow(privN)
+		refLabels, refValid := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				shared.SetLabel(i, rng.Intn(2) == 0)
+				refLabels[i], refValid[i] = shared.Label(i), true
+			}
+		}
+		for i := 0; i < privN; i++ {
+			if rng.Intn(3) == 0 {
+				priv.SetLabel(i, rng.Intn(2) == 0)
+				if !refValid[i] {
+					refLabels[i], refValid[i] = priv.Label(i), true
+				}
+			}
+		}
+		shared.Merge(priv)
+		for i := 0; i < n; i++ {
+			if shared.Valid(i) != refValid[i] || (refValid[i] && shared.Label(i) != refLabels[i]) {
+				t.Fatalf("trial %d row %d: got (%v,%v) want (%v,%v)",
+					trial, i, shared.Valid(i), shared.Label(i), refValid[i], refLabels[i])
+			}
+		}
+	}
+}
+
+func TestColumnNarrow(t *testing.T) {
+	c := NewColumn()
+	c.Grow(10)
+	for i := 0; i < 10; i++ {
+		c.SetLabel(i, i%3 == 0)
+	}
+	live := bitset.New(10)
+	for i := 0; i < 10; i++ {
+		live.Set(i)
+	}
+	c.Narrow(live, false)
+	if live.Count() != 4 || !live.Get(0) || !live.Get(9) || live.Get(1) {
+		t.Fatalf("AND narrow: %v", live)
+	}
+	neg := bitset.New(10)
+	for i := 0; i < 10; i++ {
+		neg.Set(i)
+	}
+	c.Narrow(neg, true)
+	if neg.Count() != 6 || neg.Get(0) || !neg.Get(1) {
+		t.Fatalf("ANDNOT narrow: %v", neg)
+	}
+}
+
+func TestStoreUsageAndHottest(t *testing.T) {
+	s := New(0)
+	a := Key{"cloak", "c1"}
+	b := Key{"fence", "c2"}
+	s.Touch(a)
+	s.Touch(b)
+	s.Touch(b)
+	col := s.Column(b)
+	col.Grow(40)
+	for i := 0; i < 40; i++ {
+		col.SetLabel(i, true)
+	}
+	// b is hotter but fully covered; a is the analyzer target.
+	k, ok := s.Hottest(40)
+	if !ok || k != a {
+		t.Fatalf("Hottest = %v/%v, want %v", k, ok, a)
+	}
+	s.Column(a).Grow(40)
+	for i := 0; i < 40; i++ {
+		s.Column(a).SetLabel(i, false)
+	}
+	if _, ok := s.Hottest(40); ok {
+		t.Fatal("Hottest found a target with everything covered")
+	}
+}
+
+func TestStoreEnforceEvictsColdest(t *testing.T) {
+	s := New(1) // absurd budget: everything but the hottest must go
+	hot, cold := Key{"hot", "c"}, Key{"cold", "c"}
+	for _, k := range []Key{cold, hot} {
+		col := s.Column(k)
+		col.Grow(1024)
+		for i := 0; i < 1024; i++ {
+			col.SetLabel(i, true)
+		}
+	}
+	s.Touch(cold)
+	s.Touch(hot) // hot touched last → cold is LRU
+	if got := s.Enforce(); got != 1 {
+		t.Fatalf("Enforce evicted %d columns, want 1", got)
+	}
+	if _, ok := s.Lookup(cold); ok {
+		t.Fatal("cold column survived eviction")
+	}
+	if _, ok := s.Lookup(hot); !ok {
+		t.Fatal("hot column evicted — the last column must always survive")
+	}
+	if s.Evicted() == 0 || s.Stats().ColumnsEvicted != 1 {
+		t.Fatalf("eviction accounting: %+v", s.Stats())
+	}
+	// Still over budget with one column left: Enforce must not loop.
+	if got := s.Enforce(); got != 0 {
+		t.Fatalf("second Enforce evicted %d, want 0", got)
+	}
+}
+
+func TestStoreInvalidate(t *testing.T) {
+	s := New(0)
+	k := Key{"cloak", "c1"}
+	s.Touch(k)
+	s.Column(k).Grow(8)
+	s.Column(k).SetLabel(0, true)
+	gen := s.Generation()
+	s.Invalidate()
+	if s.Generation() != gen+1 {
+		t.Fatalf("generation %d, want %d", s.Generation(), gen+1)
+	}
+	if s.Coverage(k) != 0 {
+		t.Fatal("columns survived invalidation")
+	}
+	if st := s.Stats(); len(st.Usage) != 1 || st.Usage[0].Touches != 1 {
+		t.Fatalf("usage table lost on invalidate: %+v", st.Usage)
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := New(4096)
+	a, b := Key{"a", "c1"}, Key{"b", "c2"}
+	s.Touch(a)
+	s.Touch(b)
+	s.Touch(b)
+	col := s.Column(b)
+	col.Grow(100)
+	for i := 0; i < 30; i++ {
+		col.SetLabel(i, true)
+	}
+	s.RecordLookup(7, 3)
+	s.RecordAnalyzer(16)
+	st := s.Stats()
+	if st.Columns != 1 || st.CoveredRows != 30 || st.Hits != 7 || st.Misses != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.AnalyzerBatches != 1 || st.AnalyzerRows != 16 {
+		t.Fatalf("analyzer stats: %+v", st)
+	}
+	if len(st.Usage) != 2 || st.Usage[0].Category != "b" || st.Usage[0].Covered != 30 {
+		t.Fatalf("usage ordering: %+v", st.Usage)
+	}
+	if st.Bytes != s.Bytes() || st.BudgetBytes != 4096 {
+		t.Fatalf("footprint: %+v", st)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	s := New(0)
+	rng := rand.New(rand.NewSource(3))
+	keys := []Key{{"cloak", "c1"}, {"cloak", "c2"}, {"fence", "c9"}}
+	for _, k := range keys {
+		col := s.Column(k)
+		n := 50 + rng.Intn(200)
+		col.Grow(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				col.SetLabel(i, rng.Intn(2) == 0)
+			}
+		}
+		col.Invalid() // advance the watermark so prefix round-trips too
+	}
+	s.Invalidate()
+	for _, k := range keys { // rebuild after gen bump so gen=1 persists
+		col := s.Column(k)
+		col.Grow(64)
+		for i := 0; i < 64; i++ {
+			col.SetLabel(i, i%5 == 0)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := New(0)
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Generation() != s.Generation() {
+		t.Fatalf("generation %d, want %d", loaded.Generation(), s.Generation())
+	}
+	for _, k := range keys {
+		orig, _ := s.Lookup(k)
+		got, ok := loaded.Lookup(k)
+		if !ok || got.Len() != orig.Len() || got.prefix != orig.prefix {
+			t.Fatalf("%v: shape mismatch", k)
+		}
+		for i := 0; i < orig.Len(); i++ {
+			if got.Valid(i) != orig.Valid(i) || (orig.Valid(i) && got.Label(i) != orig.Label(i)) {
+				t.Fatalf("%v row %d differs", k, i)
+			}
+		}
+	}
+
+	// File-level helpers.
+	path := filepath.Join(t.TempDir(), "labels.bin")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile := New(0)
+	if err := fromFile.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Stats().CoveredRows != s.Stats().CoveredRows {
+		t.Fatal("file round-trip lost coverage")
+	}
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	s := New(0)
+	if err := s.Load(bytes.NewReader([]byte("definitely not a matstore file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if err := s.Load(bytes.NewReader(trunc[:8])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}

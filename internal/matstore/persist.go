@@ -1,0 +1,168 @@
+package matstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Persistence: a store's columns serialize to a flat binary image so a
+// process restart over the same corpus can resume with warm labels instead
+// of re-running inference. The file records the corpus generation; labels
+// are only meaningful against the exact corpus they were computed over, so
+// the caller is responsible for loading only when the corpus is unchanged
+// (vdb documents this on DB.LoadMaterialized).
+
+const persistMagic = "TAHMAT1\n"
+
+// Save serializes the resident columns (usage and counters are workload
+// state, not corpus state; they are not persisted).
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	keys := make([]Key, 0, len(s.cols))
+	for k := range s.cols {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	hdr := []int64{s.gen, int64(len(keys))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		col := s.cols[k]
+		if err := writeString(bw, k.Category); err != nil {
+			return err
+		}
+		if err := writeString(bw, k.Cascade); err != nil {
+			return err
+		}
+		meta := []int64{int64(col.Len()), int64(col.prefix)}
+		if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, col.labels.Words()); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, col.valid.Words()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the resident columns with a previously saved image and
+// restores the saved generation. Usage and counters are untouched.
+func (s *Store) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("matstore: reading header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return fmt.Errorf("matstore: not a materialized-label file (magic %q)", magic)
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("matstore: reading header: %w", err)
+	}
+	gen, count := hdr[0], hdr[1]
+	if count < 0 {
+		return fmt.Errorf("matstore: corrupt column count %d", count)
+	}
+	cols := make(map[Key]*Column, count)
+	for i := int64(0); i < count; i++ {
+		cat, err := readString(br)
+		if err != nil {
+			return fmt.Errorf("matstore: column %d: %w", i, err)
+		}
+		casc, err := readString(br)
+		if err != nil {
+			return fmt.Errorf("matstore: column %d: %w", i, err)
+		}
+		var meta [2]int64
+		if err := binary.Read(br, binary.LittleEndian, &meta); err != nil {
+			return fmt.Errorf("matstore: column %d: %w", i, err)
+		}
+		n, prefix := int(meta[0]), int(meta[1])
+		if n < 0 || prefix < 0 || prefix > n {
+			return fmt.Errorf("matstore: column %d: corrupt length %d / prefix %d", i, n, prefix)
+		}
+		col := NewColumn()
+		col.Grow(n)
+		col.prefix = prefix
+		if err := binary.Read(br, binary.LittleEndian, col.labels.Words()); err != nil {
+			return fmt.Errorf("matstore: column %d labels: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, col.valid.Words()); err != nil {
+			return fmt.Errorf("matstore: column %d validity: %w", i, err)
+		}
+		// Re-establish the column invariants against a damaged file: bits
+		// beyond Len stay zero (Count depends on it) and a label is only
+		// set where the row is valid (Narrow depends on it).
+		lw, vw := col.labels.Words(), col.valid.Words()
+		if n%64 != 0 && len(vw) > 0 {
+			mask := uint64(1)<<(uint(n)&63) - 1
+			lw[len(lw)-1] &= mask
+			vw[len(vw)-1] &= mask
+		}
+		for w := range lw {
+			lw[w] &= vw[w]
+		}
+		cols[Key{Category: cat, Cascade: casc}] = col
+	}
+	s.cols = cols
+	s.gen = gen
+	return nil
+}
+
+// SaveFile writes the store image to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile replaces the resident columns from path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -460,7 +460,13 @@ func (s *PlannedStep) CostLine() string {
 	if s.SelSamples > 0 {
 		prov = fmt.Sprintf("observed, n=%d", s.SelSamples)
 	}
-	fmt.Fprintf(&b, ", selectivity %.2f (%s), rank %s", s.PassRate, prov, us(s.Rank))
+	fmt.Fprintf(&b, ", selectivity %.2f (%s)", s.PassRate, prov)
+	if s.CachedRows > 0 {
+		// Materialized coverage is rank provenance: the covered fraction
+		// pays ~0 (a bitmap lookup), which is what moves this step ahead.
+		fmt.Fprintf(&b, ", materialized %.0f%%", s.cachedFrac()*100)
+	}
+	fmt.Fprintf(&b, ", rank %s", us(s.Rank))
 	return b.String()
 }
 

@@ -84,6 +84,23 @@ func (c *Cache) Stats() CacheStats {
 	return c.lru.stats()
 }
 
+// Bytes reports the resident footprint — the uniform accessor every label
+// or representation cache exposes (SharedReps and matstore.Store match), so
+// /stats can sum the caches without knowing their shapes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.bytes
+}
+
+// Evicted reports cumulative bytes pushed out by the LRU policy — the
+// uniform accessor paired with Bytes.
+func (c *Cache) Evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.evicted
+}
+
 // Has reports whether the underlying store materializes transform t, i.e.
 // whether Rep(i, t) can serve without transforming anything.
 func (c *Cache) Has(t xform.Transform) bool {

@@ -73,6 +73,22 @@ func (s *SharedReps) Stats() CacheStats {
 	return s.lru.stats()
 }
 
+// Bytes reports the resident footprint — the uniform accessor every label
+// or representation cache exposes (Cache and matstore.Store match).
+func (s *SharedReps) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.bytes
+}
+
+// Evicted reports cumulative bytes pushed out by the LRU policy — the
+// uniform accessor paired with Bytes.
+func (s *SharedReps) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.evicted
+}
+
 // Len returns the number of cached representations.
 func (s *SharedReps) Len() int {
 	s.mu.Lock()

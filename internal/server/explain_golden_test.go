@@ -22,12 +22,23 @@ func TestExplainGolden(t *testing.T) {
 	_, client := startServer(t, db, Options{})
 
 	for _, tc := range []struct {
-		name, sql string
+		name, warm, sql string
 	}{
-		{"single", "SELECT id FROM images WHERE ts >= 100 AND contains_object('cloak') LIMIT 5"},
-		{"multi", "SELECT id, ts FROM images WHERE contains_object('cloak') AND NOT contains_object('cloakb')"},
+		{"single", "", "SELECT id FROM images WHERE ts >= 100 AND contains_object('cloak') LIMIT 5"},
+		{"multi", "", "SELECT id, ts FROM images WHERE contains_object('cloak') AND NOT contains_object('cloakb')"},
+		// The warming query fully materializes cloakb, so the explain must
+		// show its `materialized 100%` provenance and order it first: a
+		// covered predicate costs nothing to evaluate, whatever its rank
+		// was cold. Last in the table — warming mutates catalog + columns.
+		{"materialized", "SELECT COUNT(*) FROM images WHERE contains_object('cloakb')",
+			"SELECT id FROM images WHERE contains_object('cloak') AND contains_object('cloakb')"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			if tc.warm != "" {
+				if _, err := client.Query(tc.warm, QueryOptions{}); err != nil {
+					t.Fatal(err)
+				}
+			}
 			plan, err := client.Explain(tc.sql, QueryOptions{})
 			if err != nil {
 				t.Fatal(err)

@@ -142,6 +142,14 @@ func (s *Server) ListenAndServe(addr string) error {
 // connections are refused.
 func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
 
+// Idle reports whether the admission pool is quiet: no query executing and
+// none queued. The background analyzer gates on it (vdb.AnalyzerOptions.Idle)
+// so pre-materialization only ever uses capacity foreground queries are not
+// asking for — the admission pool has strict priority.
+func (s *Server) Idle() bool {
+	return s.inflight.Load() == 0 && s.queued.Load() == 0
+}
+
 // errOverloaded rejects a request the admission layer cannot queue.
 var errOverloaded = errors.New("server overloaded: query queue full")
 
@@ -192,10 +200,15 @@ type QueryRequest struct {
 type QueryResponse struct {
 	Columns []string `json:"columns,omitempty"`
 	// Rows hold int64s as JSON numbers and strings as JSON strings.
-	Rows             [][]any `json:"rows,omitempty"`
-	Count            int     `json:"count"`
-	UDFCalls         int     `json:"udf_calls"`
-	Fused            bool    `json:"fused,omitempty"`
+	Rows     [][]any `json:"rows,omitempty"`
+	Count    int     `json:"count"`
+	UDFCalls int     `json:"udf_calls"`
+	Fused    bool    `json:"fused,omitempty"`
+	// MatHits counts labels served from the materialized columns; Bitmap
+	// reports the fully-covered fast path (content phase was pure bitmap
+	// AND/ANDNOT, zero inference).
+	MatHits          int     `json:"mat_hits"`
+	Bitmap           bool    `json:"bitmap,omitempty"`
 	RepsMaterialized int     `json:"reps_materialized"`
 	RepHits          int     `json:"rep_hits"`
 	WallMS           float64 `json:"wall_ms"`
@@ -331,6 +344,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Count:            res.Count,
 		UDFCalls:         res.UDFCalls,
 		Fused:            res.Fused,
+		MatHits:          res.MatHits,
+		Bitmap:           res.Bitmap,
 		RepsMaterialized: res.RepsMaterialized,
 		RepHits:          res.RepHits,
 		WallMS:           float64(wall.Microseconds()) / 1e3,
@@ -441,6 +456,15 @@ func (st *serverStats) observe(res *vdb.Result, wall time.Duration) {
 	}
 }
 
+// cacheFootprint is the uniform accessor pair every cache layer exposes —
+// repstore.Cache (decode), vdb.SharedRepCache (shared reps) and the
+// materialized-label store — so /stats sums them without knowing their
+// individual stats shapes.
+type cacheFootprint interface {
+	Bytes() int64
+	Evicted() int64
+}
+
 // CacheStats mirrors exec.CacheStats on the wire.
 type CacheStats struct {
 	Hits          int64 `json:"hits"`
@@ -493,6 +517,18 @@ type StatsResponse struct {
 	SharedRepCache *CacheStats `json:"shared_rep_cache,omitempty"`
 	StoreCache     *CacheStats `json:"store_cache,omitempty"`
 
+	// CacheBytes / CacheEvictedBytes sum resident and cumulative-evicted
+	// bytes across the decode cache, the shared rep cache and the
+	// materialized-label store, through the uniform Bytes()/Evicted()
+	// accessors all three expose.
+	CacheBytes        int64 `json:"cache_bytes"`
+	CacheEvictedBytes int64 `json:"cache_evicted_bytes"`
+
+	// Materialization is the label-materialization layer: mode, coverage,
+	// lookup hit/miss, byte budget and evictions, analyzer progress, and
+	// the per-predicate usage table driving the background analyzer.
+	Materialization vdb.MatStats `json:"materialization"`
+
 	// Planner reports the cost-based planner: plan-choice counters and the
 	// adaptive selectivity catalog.
 	Planner PlannerStats `json:"planner"`
@@ -543,6 +579,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if st, ok := s.db.RepCacheStats(); ok {
 		resp.StoreCache = wireCache(st)
 	}
+	// The three caches report their footprint through one interface; no
+	// per-cache shape knowledge here.
+	caches := []cacheFootprint{s.db.MatFootprint()}
+	if s.opts.RepCache != nil {
+		caches = append(caches, s.opts.RepCache)
+	}
+	if dc, ok := s.db.DecodeCache(); ok {
+		caches = append(caches, dc)
+	}
+	for _, c := range caches {
+		resp.CacheBytes += c.Bytes()
+		resp.CacheEvictedBytes += c.Evicted()
+	}
+	resp.Materialization = s.db.MatStats()
 	pl := s.db.PlannerStats()
 	resp.Planner = PlannerStats{
 		RankPlans:       pl.RankPlans,

@@ -305,3 +305,55 @@ func TestExplainStatsHealth(t *testing.T) {
 		t.Fatal("cancelled request did not error")
 	}
 }
+
+// TestStatsMaterialization: repeat queries over HTTP flip to the bitmap
+// path, and GET /stats reports the materialization layer (coverage, hit and
+// miss counters, usage table) plus the uniform cache footprint sum that
+// includes the label columns.
+func TestStatsMaterialization(t *testing.T) {
+	db := buildTestDB(t)
+	rc, err := vdb.NewSharedRepCache(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := startServer(t, db, Options{RepCache: rc})
+
+	const sql = "SELECT id FROM images WHERE contains_object('cloak')"
+	cold, err := client.Query(sql, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Bitmap || cold.UDFCalls == 0 {
+		t.Fatalf("cold query: bitmap=%v udf=%d", cold.Bitmap, cold.UDFCalls)
+	}
+	warm, err := client.Query(sql, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Bitmap || warm.UDFCalls != 0 || warm.MatHits != 40 {
+		t.Fatalf("warm query: bitmap=%v udf=%d mat_hits=%d, want bitmap with 40 hits", warm.Bitmap, warm.UDFCalls, warm.MatHits)
+	}
+	if respKey(cold.Columns, cold.Rows, cold.Count) != respKey(warm.Columns, warm.Rows, warm.Count) {
+		t.Fatal("bitmap path changed the result")
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.Materialization
+	if m.Mode != "on" || m.Columns != 1 || m.CoveredRows != 40 {
+		t.Fatalf("materialization stats: %+v", m)
+	}
+	if m.Hits < 40 || m.Misses == 0 {
+		t.Fatalf("lookup counters: hits=%d misses=%d", m.Hits, m.Misses)
+	}
+	if len(m.Usage) == 0 || m.Usage[0].Category != "cloak" || m.Usage[0].Touches < 2 {
+		t.Fatalf("usage table: %+v", m.Usage)
+	}
+	// The footprint sum spans all caches uniformly; the label column alone
+	// guarantees it is non-zero.
+	if st.CacheBytes < m.Bytes || m.Bytes == 0 {
+		t.Fatalf("cache_bytes=%d materialized bytes=%d", st.CacheBytes, m.Bytes)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"tahoma/internal/core"
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
+	"tahoma/internal/matstore"
 	"tahoma/internal/pareto"
 	"tahoma/internal/planner"
 	"tahoma/internal/repstore"
@@ -34,65 +35,19 @@ type Predicate struct {
 	System   *core.System
 	Results  []cascade.Result
 	Frontier []pareto.Point
-	// materialized caches the virtual column per selected-cascade identity,
-	// so repeated queries pay zero inference. Columns carry per-row
-	// validity: a query that only classifies the survivors of a metadata
-	// filter still contributes those rows to the cache.
-	materialized map[string]*column
 }
 
-// column is a partially-materialized virtual predicate column: labels with
-// per-row validity, extended lazily as rows are classified or appended.
-type column struct {
-	labels []bool
-	valid  []bool
-	prefix int // rows [0,prefix) are all valid (ingest watermark)
-}
+// column is a partially-materialized virtual predicate column: a label
+// bitmap with per-row validity, extended lazily as rows are classified or
+// appended. The DB keys its shared columns by (category, cascade identity)
+// in the matstore, so repeated queries pay zero inference; a query that
+// only classifies the survivors of a metadata filter still contributes
+// those rows to the cache.
+type column = matstore.Column
 
-// grow extends the column with invalid rows up to n.
-func (c *column) grow(n int) {
-	for len(c.labels) < n {
-		c.labels = append(c.labels, false)
-		c.valid = append(c.valid, false)
-	}
-}
-
-// invalid returns every row with no cached label, advancing the all-valid
-// prefix watermark first so steady-state ingest scans only the new tail
-// instead of the whole corpus.
-func (c *column) invalid() []int {
-	for c.prefix < len(c.valid) && c.valid[c.prefix] {
-		c.prefix++
-	}
-	var out []int
-	for i := c.prefix; i < len(c.valid); i++ {
-		if !c.valid[i] {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// missing returns the subset of rows with no cached label.
-func (c *column) missing(rows []int) []int {
-	var out []int
-	for _, idx := range rows {
-		if !c.valid[idx] {
-			out = append(out, idx)
-		}
-	}
-	return out
-}
-
-// coverage counts the valid rows.
-func (c *column) coverage() int {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return n
+// matKey is the materialized-column identity for one content step.
+func matKey(pred *Predicate, spec cascade.Spec) matstore.Key {
+	return matstore.Key{Category: pred.Category, Cascade: spec.ID()}
 }
 
 // Corpus supplies image pixels by row index. The in-memory implementation
@@ -212,10 +167,166 @@ type DB struct {
 	// install, updated from every executed query's survivor counts, read at
 	// plan time. It has its own lock.
 	catalog *planner.Catalog
+	// mat owns the materialized label columns, their usage table and the
+	// byte budget. Not internally synchronized: every access is under mu.
+	mat        *matstore.Store
+	matMode    MatMode
+	analyzerOn bool
 	// Plan-choice counters (under mu): executed content queries by ordering
 	// policy and by content-phase execution choice.
 	planRank, planStatic int64
 	planFused, planSeq   int64
+}
+
+// MatMode selects the label-materialization policy.
+type MatMode int
+
+const (
+	// MatOn (the default) materializes content-predicate labels from query
+	// results and ingest triggers, and serves repeat queries from the
+	// bitmap columns.
+	MatOn MatMode = iota
+	// MatOff disables the materialized columns entirely: every query
+	// re-runs inference over the metadata survivors.
+	MatOff
+	// MatBg is MatOn plus eligibility for the background analyzer
+	// (StartAnalyzer), which pre-materializes the hottest uncovered
+	// predicates while the server is idle.
+	MatBg
+)
+
+// String renders the mode as its flag spelling (off|on|bg).
+func (m MatMode) String() string {
+	switch m {
+	case MatOff:
+		return "off"
+	case MatBg:
+		return "bg"
+	default:
+		return "on"
+	}
+}
+
+// ParseMatMode parses a -materialize flag value.
+func ParseMatMode(s string) (MatMode, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return MatOff, nil
+	case "on", "":
+		return MatOn, nil
+	case "bg":
+		return MatBg, nil
+	default:
+		return MatOn, fmt.Errorf("vdb: unknown materialization mode %q (off|on|bg)", s)
+	}
+}
+
+// SetMaterialization selects the label-materialization policy. Switching to
+// MatOff stops consulting and extending the columns but keeps them resident
+// — they stay valid for the current corpus, so switching back on resumes
+// where coverage left off.
+func (db *DB) SetMaterialization(m MatMode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.matMode = m
+}
+
+// SetMatBudget bounds the materialized columns at budgetBytes (0 =
+// unbounded, the default). Over budget, the least-recently-touched columns
+// are evicted; the single hottest column always survives.
+func (db *DB) SetMatBudget(budgetBytes int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mat.SetBudget(budgetBytes)
+	db.mat.Enforce()
+}
+
+// MatStats is the materialization layer's observability snapshot: the
+// current mode ("bg" while the analyzer runs), the corpus row count the
+// coverage numbers are against, and the matstore counters (coverage,
+// footprint, hit/miss, eviction and analyzer progress, plus the
+// per-predicate usage table).
+type MatStats struct {
+	Mode string `json:"mode"`
+	Rows int    `json:"rows"`
+	matstore.Stats
+}
+
+// MatUsage is one predicate's usage-table row in MatStats.
+type MatUsage = matstore.UsageEntry
+
+// MatStats snapshots the materialization layer.
+func (db *DB) MatStats() MatStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.matStatsLocked()
+}
+
+// matStatsLocked assembles MatStats. Caller holds db.mu.
+func (db *DB) matStatsLocked() MatStats {
+	mode := db.matMode
+	if db.analyzerOn && mode != MatOff {
+		mode = MatBg
+	}
+	return MatStats{Mode: mode.String(), Rows: len(db.meta), Stats: db.mat.Stats()}
+}
+
+// MatFootprint reports the materialized columns' resident and evicted
+// bytes through the same uniform accessor the repstore caches expose, so
+// /stats can sum the three caches consistently.
+type MatFootprint struct{ db *DB }
+
+// MatFootprint returns the uniform-accessor view of the matstore.
+func (db *DB) MatFootprint() MatFootprint { return MatFootprint{db: db} }
+
+// Bytes reports the resident footprint of the materialized columns.
+func (f MatFootprint) Bytes() int64 {
+	f.db.mu.RLock()
+	defer f.db.mu.RUnlock()
+	return f.db.mat.Bytes()
+}
+
+// Evicted reports cumulative bytes evicted by budget enforcement.
+func (f MatFootprint) Evicted() int64 {
+	f.db.mu.RLock()
+	defer f.db.mu.RUnlock()
+	return f.db.mat.Evicted()
+}
+
+// DecodeCache returns the store-backed corpus's decoded-record cache (ok is
+// false for in-memory corpora and cacheless stores), exposing the uniform
+// Bytes/Evicted accessors to /stats.
+func (db *DB) DecodeCache() (*repstore.Cache, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.reps == nil || db.reps.sc.cache == nil {
+		return nil, false
+	}
+	return db.reps.sc.cache, true
+}
+
+// SaveMaterialized persists the materialized label columns to path. Labels
+// are only meaningful against the exact corpus they were computed over;
+// LoadMaterialized documents the contract.
+func (db *DB) SaveMaterialized(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mat.SaveFile(path)
+}
+
+// LoadMaterialized restores columns saved by SaveMaterialized. The caller
+// is responsible for loading only against the same corpus the labels were
+// computed over — cascades are deterministic, so same corpus means
+// identical labels; any other corpus makes them garbage. Columns are
+// truncated or grown to the current corpus length on first use.
+func (db *DB) LoadMaterialized(path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.mat.LoadFile(path); err != nil {
+		return err
+	}
+	db.mat.Enforce()
+	return nil
 }
 
 // PlanOrder selects the content-predicate ordering policy; see the planner
@@ -274,9 +385,14 @@ type PlannerStats struct {
 	// Selectivity lists every installed predicate's current pass-rate
 	// estimate, sample count and install-time seed.
 	Selectivity []planner.CatalogEntry
+	// Materialization summarizes the label-materialization layer the
+	// planner prices: coverage, lookup hit/miss, evicted bytes and
+	// analyzer progress.
+	Materialization MatStats
 }
 
-// PlannerStats snapshots the plan-choice counters and selectivity catalog.
+// PlannerStats snapshots the plan-choice counters, selectivity catalog and
+// materialization state.
 func (db *DB) PlannerStats() PlannerStats {
 	db.mu.RLock()
 	ps := PlannerStats{
@@ -284,6 +400,7 @@ func (db *DB) PlannerStats() PlannerStats {
 		StaticPlans:     db.planStatic,
 		FusedPlans:      db.planFused,
 		SequentialPlans: db.planSeq,
+		Materialization: db.matStatsLocked(),
 	}
 	db.mu.RUnlock()
 	ps.Selectivity = db.catalog.Snapshot()
@@ -372,13 +489,18 @@ func New(cm scenario.CostModel) *DB {
 		predicates: make(map[string]*Predicate),
 		corpus:     &memoryCorpus{},
 		catalog:    planner.NewCatalog(),
+		mat:        matstore.New(0),
 	}
 }
 
+// resetMaterialized invalidates every materialized column: a corpus swap
+// (or trigger-less Append) makes resident labels meaningless. The usage
+// table survives — it describes the query workload, not the corpus — so the
+// analyzer keeps steering toward the same hot predicates. Caller holds
+// db.mu. In-flight queries merge into the orphaned columns, which is
+// harmless.
 func (db *DB) resetMaterialized() {
-	for _, p := range db.predicates {
-		p.materialized = make(map[string]*column)
-	}
+	db.mat.Invalidate()
 }
 
 // LoadCorpus installs an in-memory image corpus and its metadata (parallel
@@ -456,11 +578,10 @@ func (db *DB) InstallPredicate(category string, sys *core.System, maxDepth int) 
 		return fmt.Errorf("vdb: predicate %q already installed", category)
 	}
 	db.predicates[category] = &Predicate{
-		Category:     category,
-		System:       sys,
-		Results:      results,
-		Frontier:     frontier,
-		materialized: make(map[string]*column),
+		Category: category,
+		System:   sys,
+		Results:  results,
+		Frontier: frontier,
 	}
 	// Seed the adaptive selectivity catalog with the evaluation-set
 	// positive rate — the install-time estimate every plan starts from
@@ -505,6 +626,14 @@ type Result struct {
 	// UDFCalls reports how many cascade classifications ran (0 when every
 	// content predicate was served from the materialized cache).
 	UDFCalls int
+	// MatHits counts content-predicate labels served from the materialized
+	// columns over the metadata survivors, per distinct column —
+	// the lookups that would have been UDF calls without materialization.
+	MatHits int
+	// Bitmap reports that every content predicate was fully covered over
+	// the survivors, so the content phase ran as word-parallel bitmap
+	// AND/ANDNOT with zero inference.
+	Bitmap bool
 	// Fused reports whether the multi-predicate fused path executed the
 	// content phase (two or more predicates with uncached rows).
 	Fused bool
@@ -576,6 +705,20 @@ func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
 		} else {
 			db.planSeq++
 		}
+		// Materialization bookkeeping: every touched column feeds the
+		// usage table the analyzer ranks by (even under MatOff — usage
+		// describes the workload), lookup hits/misses accumulate, and the
+		// byte budget is enforced now that fresh labels have merged.
+		seen := make(map[matstore.Key]bool, len(plan.content))
+		for _, cs := range plan.content {
+			k := matKey(cs.pred, cs.spec)
+			if !seen[k] {
+				seen[k] = true
+				db.mat.Touch(k)
+			}
+		}
+		db.mat.RecordLookup(int64(res.MatHits), int64(res.UDFCalls))
+		db.mat.Enforce()
 	}
 	db.mu.Unlock()
 	// Feed the observed pass rates back into the catalog (its own lock):

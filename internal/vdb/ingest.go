@@ -71,10 +71,12 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 	}
 	db.meta = append(db.meta, meta...)
 
-	if !db.trigger.Enabled {
-		// Without triggers, existing materialized columns no longer cover
-		// the corpus; drop them so queries recompute. In-flight queries
-		// merge into the orphaned columns, which is harmless.
+	if !db.trigger.Enabled || db.matMode == MatOff {
+		// Without triggers (or with materialization off, where trigger
+		// labels would have nowhere to live), existing materialized columns
+		// no longer cover the corpus; drop them so queries recompute.
+		// In-flight queries merge into the orphaned columns, which is
+		// harmless.
 		db.resetMaterialized()
 		db.mu.Unlock()
 		return 0, nil
@@ -99,17 +101,12 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 			return 0, fmt.Errorf("vdb: trigger cascade for %q: %w", pred.Category, serr)
 		}
 		res := pred.Results[point.Index]
-		key := res.Spec.ID()
-		col := pred.materialized[key]
-		if col == nil {
-			// First materialization: the stream below backfills the whole
-			// corpus (old rows included) so the column is complete.
-			col = &column{}
-			pred.materialized[key] = col
-		}
-		col.grow(n)
-		priv := col.copyN(n)
-		missing := priv.invalid()
+		// First materialization: the stream below backfills the whole
+		// corpus (old rows included) so the column is complete.
+		col := db.mat.Column(matKey(pred, res.Spec))
+		col.Grow(n)
+		priv := col.CopyN(n)
+		missing := priv.Invalid()
 		if len(missing) == 0 {
 			continue
 		}
@@ -131,8 +128,9 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 	defer func() {
 		db.mu.Lock()
 		for _, jb := range jobs {
-			mergeColumn(jb.priv, jb.shared)
+			jb.shared.Merge(jb.priv)
 		}
+		db.mat.Enforce()
 		db.mu.Unlock()
 		// Trigger classifications are observations too: ingest-time labels
 		// tune the selectivity catalog just like query-time ones.
@@ -148,8 +146,7 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 		// emitted labels so work done before a mid-stream failure is still
 		// reported.
 		stream, err := cascade.NewStream(jb.rt, opts, func(j int, label bool) {
-			jb.priv.labels[jb.missing[j]] = label
-			jb.priv.valid[jb.missing[j]] = true
+			jb.priv.SetLabel(jb.missing[j], label)
 			jb.frames++
 			if label {
 				jb.positives++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tahoma/internal/bitset"
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
 	"tahoma/internal/exec"
@@ -109,8 +110,13 @@ func (db *DB) plannerStep(input int, cc ContentCond, pred *Predicate, res cascad
 		})
 	}
 	st.Selectivity, st.SelSamples = db.catalog.Selectivity(pred.Category)
-	if col, ok := pred.materialized[res.Spec.ID()]; ok {
-		st.CachedRows = col.coverage()
+	if db.matMode != MatOff {
+		st.CachedRows = db.mat.Coverage(matKey(pred, res.Spec))
+		if st.CachedRows > st.TotalRows {
+			// A persisted column can outlive a shrunken view of its corpus;
+			// the planner only prices the rows this query can see.
+			st.CachedRows = st.TotalRows
+		}
 	}
 	return st, nil
 }
@@ -158,8 +164,8 @@ func (p *queryPlan) describe(db *DB) string {
 		fmt.Fprintf(&b, "       est. accuracy %.3f, est. throughput %.0f imgs/sec (%s)\n",
 			cs.expected.Accuracy, cs.expected.Throughput, db.costModel.Name())
 		fmt.Fprintf(&b, "       %s\n", ps.CostLine())
-		if col, ok := cs.pred.materialized[cs.spec.ID()]; ok {
-			if n := col.coverage(); n == len(db.meta) {
+		if db.matMode != MatOff {
+			if n := db.mat.Coverage(matKey(cs.pred, cs.spec)); n >= len(db.meta) && n > 0 {
 				b.WriteString("       (materialized: no inference needed)\n")
 			} else if n > 0 {
 				fmt.Fprintf(&b, "       (partially materialized: %d/%d rows cached)\n", n, len(db.meta))
@@ -234,7 +240,15 @@ func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
 	seenCols := make(map[*column]bool, len(plan.content))
 	for si, cs := range plan.content {
 		col := ccols[si]
-		if !seenCols[col] && len(col.missing(live)) > 0 {
+		if seenCols[col] {
+			continue
+		}
+		seenCols[col] = true
+		missing := col.Missing(live)
+		// Labels already resident for this query's survivors are lookups
+		// that would have been UDF calls — the materialization hit count.
+		res.MatHits += len(live) - len(missing)
+		if len(missing) > 0 {
 			pending++
 			seenSlots := make(map[string]bool)
 			for _, ref := range cs.spec.Levels() {
@@ -249,10 +263,22 @@ func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
 				}
 			}
 		}
-		seenCols[col] = true
 	}
 
-	// 2a. Fused pre-pass: the planner priced one fused run of every pending
+	// 2a. Bitmap short-circuit: the predicate chain fully covered over its
+	// own survivor sets — the repeat-query case materialization exists for.
+	// The whole content phase collapses to word-parallel AND/ANDNOT over
+	// the label bitmaps; no engine, no runtime, no inference. pending counts
+	// gaps over the full live set, so it can be positive while the chain
+	// still qualifies (a later predicate only ever materialized over an
+	// earlier one's survivors) — tryBitmap makes the progressive check.
+	if len(plan.content) > 0 {
+		if r, ok, err := tryBitmap(plan, snap, res, ccols, live, q); ok || err != nil {
+			return r, err
+		}
+	}
+
+	// 2b. Fused pre-pass: the planner priced one fused run of every pending
 	// cascade over the union of their missing rows (each distinct transform
 	// materialized once per frame for the whole query) against sequential
 	// narrowing, and chose fusion. The plan-time decision is re-guarded
@@ -293,7 +319,7 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 	var union []int
 	for _, idx := range live {
 		for si := range plan.content {
-			if !ccols[si].valid[idx] {
+			if !ccols[si].Valid(idx) {
 				union = append(union, idx)
 				break
 			}
@@ -307,7 +333,7 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 		// the first step fills it for every union row.
 		if !fusedCols[ccols[si]] {
 			for j, idx := range union {
-				need[si][j] = !ccols[si].valid[idx]
+				need[si][j] = !ccols[si].Valid(idx)
 			}
 			fusedCols[ccols[si]] = true
 		}
@@ -321,8 +347,7 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 		frames := 0
 		for j, idx := range union {
 			if need[si][j] {
-				col.labels[idx] = frep.Labels[si][j]
-				col.valid[idx] = true
+				col.SetLabel(idx, frep.Labels[si][j])
 				res.UDFCalls++
 				frames++
 			}
@@ -346,13 +371,43 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
 }
 
+// tryBitmap attempts the content phase as pure bitmap algebra. Each step
+// needs labels only for the rows that survived the steps before it, so the
+// check is progressive: narrow a live bitset chain-style, requiring each
+// column to cover the current survivor set — not the whole corpus. A chain
+// executed sequentially once (later predicates materialized only over
+// earlier predicates' survivors) qualifies on repeat. Each qualifying step
+// is one word-parallel AND (ANDNOT when negated) of the live set against
+// the label bitmap — no cascade runtime, no engine, no pixel ever touched.
+// Returns ok=false (and leaves res untouched beyond its inputs) when some
+// step's column has a gap over its survivor set.
+func tryBitmap(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, q *Query) (*Result, bool, error) {
+	n := len(snap.meta)
+	lv := bitset.New(n)
+	for _, idx := range live {
+		lv.Set(idx)
+	}
+	for si, cs := range plan.content {
+		if !ccols[si].Covers(lv) {
+			return nil, false, nil
+		}
+		// Narrowing twice by the same column is idempotent for AND and
+		// correctly empties X AND NOT X, so no dedup is needed.
+		ccols[si].Narrow(lv, cs.cond.Negated)
+	}
+	live = lv.AppendMembers(live[:0])
+	res.Bitmap = true
+	r, err := project(snap, res, live, q)
+	return r, true, err
+}
+
 // executeSequential classifies whatever is still uncached (everything when
 // the fused pre-pass did not run, nothing when it did), narrows the live
 // set predicate by predicate, and applies limit + projection.
 func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
 	for si, cs := range plan.content {
 		col := ccols[si]
-		if missing := col.missing(live); len(missing) > 0 {
+		if missing := col.Missing(live); len(missing) > 0 {
 			rt, err := cascade.NewRuntime(cs.spec, cs.pred.System.Models, cs.pred.System.Thresholds)
 			if err != nil {
 				return nil, err
@@ -366,8 +421,7 @@ func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols 
 				return nil, fmt.Errorf("vdb: classifying %q: %w", cs.cond.Category, err)
 			}
 			for j, idx := range missing {
-				col.labels[idx] = rep.Labels[j]
-				col.valid[idx] = true
+				col.SetLabel(idx, rep.Labels[j])
 			}
 			res.UDFCalls += rep.Frames
 			res.RepsMaterialized += rep.RepsMaterialized
@@ -388,14 +442,17 @@ func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols 
 		}
 		var next []int
 		for _, idx := range live {
-			if col.labels[idx] != cs.cond.Negated {
+			if col.Label(idx) != cs.cond.Negated {
 				next = append(next, idx)
 			}
 		}
 		live = next
 	}
+	return project(snap, res, live, q)
+}
 
-	// 3. Limit + projection.
+// project applies limit + projection over the surviving rows.
+func project(snap *querySnapshot, res *Result, live []int, q *Query) (*Result, error) {
 	if q.Limit > 0 && len(live) > q.Limit {
 		live = live[:q.Limit]
 	}

@@ -5,6 +5,7 @@ import (
 
 	"tahoma/internal/exec"
 	"tahoma/internal/img"
+	"tahoma/internal/matstore"
 	"tahoma/internal/repstore"
 )
 
@@ -22,7 +23,8 @@ type querySnapshot struct {
 	// cols are private column copies, parallel to plan.content; steps that
 	// share a live column (the same predicate mentioned twice) share the
 	// private copy too, so pointer-identity dedup in the executor still
-	// holds. shared are the live columns the copies came from.
+	// holds. shared are the live columns the copies came from — nil under
+	// MatOff, where fresh labels are transient and never published.
 	cols   []*column
 	shared []*column
 }
@@ -37,18 +39,31 @@ func (db *DB) snapshotForPlan(plan *queryPlan) *querySnapshot {
 		opts:      db.contentExecOpts(),
 		fusionOff: db.fusionOff,
 	}
+	if db.matMode == MatOff {
+		// Materialization off: every query classifies into transient
+		// private columns, deduped per (category, cascade) so a predicate
+		// referenced twice is still one classification.
+		priv := make(map[matstore.Key]*column, len(plan.content))
+		for _, cs := range plan.content {
+			k := matKey(cs.pred, cs.spec)
+			p, ok := priv[k]
+			if !ok {
+				p = matstore.NewColumn()
+				p.Grow(n)
+				priv[k] = p
+			}
+			snap.cols = append(snap.cols, p)
+			snap.shared = append(snap.shared, nil)
+		}
+		return snap
+	}
 	priv := make(map[*column]*column, len(plan.content))
 	for _, cs := range plan.content {
-		key := cs.spec.ID()
-		col := cs.pred.materialized[key]
-		if col == nil {
-			col = &column{}
-			cs.pred.materialized[key] = col
-		}
-		col.grow(n)
+		col := db.mat.Column(matKey(cs.pred, cs.spec))
+		col.Grow(n)
 		p, ok := priv[col]
 		if !ok {
-			p = col.copyN(n)
+			p = col.CopyN(n)
 			priv[col] = p
 		}
 		snap.cols = append(snap.cols, p)
@@ -57,46 +72,21 @@ func (db *DB) snapshotForPlan(plan *queryPlan) *querySnapshot {
 	return snap
 }
 
-// merge publishes freshly classified labels back into the shared columns.
-// Caller holds db.mu. Rows another query validated first keep their labels —
-// classification is deterministic per (cascade, row), so the values are
-// identical either way and merge order cannot change any result.
+// merge publishes freshly classified labels back into the shared columns,
+// first-writer-wins. Caller holds db.mu. Rows another query validated first
+// keep their labels — classification is deterministic per (cascade, row),
+// so the values are identical either way and merge order cannot change any
+// result. The shared column may have grown past the private length (Append
+// during the query); only the snapshotted prefix merges.
 func (snap *querySnapshot) merge() {
 	seen := make(map[*column]bool, len(snap.cols))
 	for i, p := range snap.cols {
-		if seen[p] {
+		if seen[p] || snap.shared[i] == nil {
 			continue
 		}
 		seen[p] = true
-		mergeColumn(p, snap.shared[i])
+		snap.shared[i].Merge(p)
 	}
-}
-
-// mergeColumn folds a private column's valid labels into the shared one.
-// The shared column may have grown past the private length (Append during
-// the query); only the snapshotted prefix merges.
-func mergeColumn(priv, shared *column) {
-	n := len(priv.labels)
-	if n > len(shared.labels) {
-		n = len(shared.labels)
-	}
-	for r := 0; r < n; r++ {
-		if priv.valid[r] && !shared.valid[r] {
-			shared.labels[r] = priv.labels[r]
-			shared.valid[r] = true
-		}
-	}
-}
-
-// copyN clones the first n rows of the column.
-func (c *column) copyN(n int) *column {
-	cp := &column{labels: make([]bool, n), valid: make([]bool, n), prefix: c.prefix}
-	copy(cp.labels, c.labels[:n])
-	copy(cp.valid, c.valid[:n])
-	if cp.prefix > n {
-		cp.prefix = n
-	}
-	return cp
 }
 
 // corpusView returns a fixed-length view of the corpus: rows [0,n) keep
@@ -173,3 +163,11 @@ func (c *SharedRepCache) CacheStats() exec.CacheStats {
 	st := c.reps.Stats()
 	return exec.CacheStats{Hits: st.Hits, Misses: st.Misses, EvictedBytes: st.EvictedBytes, ResidentBytes: st.ResidentBytes}
 }
+
+// Bytes reports the resident footprint — the uniform accessor shared with
+// repstore.Cache and the matstore, so /stats sums the caches consistently.
+func (c *SharedRepCache) Bytes() int64 { return c.reps.Bytes() }
+
+// Evicted reports cumulative evicted bytes — the uniform accessor shared
+// with repstore.Cache and the matstore.
+func (c *SharedRepCache) Evicted() int64 { return c.reps.Evicted() }

@@ -110,6 +110,18 @@ type (
 	// ObservedSelectivity is one query's per-predicate survivor accounting
 	// (QueryResult.Observed) — the signal the adaptive catalog learns from.
 	ObservedSelectivity = vdb.ObservedSelectivity
+	// MatMode is the label-materialization policy (MaterializeOff/On/Bg);
+	// install with DB.SetMaterialization.
+	MatMode = vdb.MatMode
+	// MatStats is the materialization layer's observability snapshot:
+	// coverage, footprint, lookup hit/miss, evictions, analyzer progress
+	// and the per-predicate usage table (DB.MatStats).
+	MatStats = vdb.MatStats
+	// MatUsage is one predicate's usage-table row in MatStats.
+	MatUsage = vdb.MatUsage
+	// AnalyzerOptions configure the background label analyzer
+	// (DB.StartAnalyzer): idle gate, batch size, poll interval, workers.
+	AnalyzerOptions = vdb.AnalyzerOptions
 
 	// Server is the concurrent HTTP query service over one open DB
 	// (POST /query, GET /explain, GET /stats), with a bounded admission
@@ -142,6 +154,18 @@ const (
 	OrderStatic  = vdb.OrderStatic
 	FusionCost   = vdb.FusionCost
 	FusionShared = vdb.FusionShared
+)
+
+// Label-materialization modes (DB.SetMaterialization): MaterializeOn (the
+// default) caches every classified label in per-predicate bitmap columns so
+// repeat queries become bitmap lookups; MaterializeBg additionally marks
+// the DB for the background analyzer (DB.StartAnalyzer), which
+// pre-materializes the hottest predicates while the server is idle;
+// MaterializeOff re-runs inference on every query.
+const (
+	MaterializeOff = vdb.MatOff
+	MaterializeOn  = vdb.MatOn
+	MaterializeBg  = vdb.MatBg
 )
 
 // DefaultConfig returns the paper-shaped design space scaled to 64×64
