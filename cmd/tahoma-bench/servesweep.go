@@ -107,6 +107,11 @@ var serveSweepQueries = []string{
 	"SELECT id, ts FROM images WHERE ts >= 300",
 }
 
+// benchClientOpts disable retries: the sweep measures the server's raw
+// latency distribution, and a silent client-side retry would fold queueing
+// pathologies into fake tail latency instead of surfacing them.
+var benchClientOpts = server.ClientOptions{MaxRetries: -1, RequestTimeout: 5 * time.Minute}
+
 // buildServeDB assembles the sweep database: a tiny trained system over its
 // eval split, installed under two categories so distinct queries share
 // physical representations (identical cascade grids, separate virtual
@@ -176,7 +181,7 @@ func runServeSweep(path string) error {
 		return err
 	}
 	go baseSrv.Serve(baseLn)
-	baseClient := server.NewClient("http://" + baseLn.Addr().String())
+	baseClient := server.NewClientWith("http://"+baseLn.Addr().String(), benchClientOpts)
 	want := make(map[string]string, len(serveSweepQueries))
 	for _, sql := range serveSweepQueries {
 		resp, err := baseClient.Query(sql, server.QueryOptions{})
@@ -215,7 +220,7 @@ func runServeSweep(path string) error {
 			return err
 		}
 		go srv.Serve(ln)
-		client := server.NewClient("http://" + ln.Addr().String())
+		client := server.NewClientWith("http://"+ln.Addr().String(), benchClientOpts)
 
 		var wg sync.WaitGroup
 		identical := true
@@ -365,7 +370,7 @@ func runMatRounds(rep *serveSweepReport, sys *core.System, splits synth.Splits, 
 	}
 	defer ln.Close()
 	go srv.Serve(ln)
-	client := server.NewClient("http://" + ln.Addr().String())
+	client := server.NewClientWith("http://"+ln.Addr().String(), benchClientOpts)
 
 	var prevUDF int64
 	for round := 1; round <= rounds; round++ {
@@ -421,7 +426,7 @@ func runAnalyzerCells(rep *serveSweepReport, sys *core.System, splits synth.Spli
 			return err
 		}
 		go srv.Serve(ln)
-		client := server.NewClient("http://" + ln.Addr().String())
+		client := server.NewClientWith("http://"+ln.Addr().String(), benchClientOpts)
 		if analyzer == "on" {
 			db.SetMaterialization(vdb.MatBg)
 			stop, err := db.StartAnalyzer(context.Background(), vdb.AnalyzerOptions{Idle: srv.Idle})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tahoma/internal/exec"
+	"tahoma/internal/faults"
 	"tahoma/internal/img"
 	"tahoma/internal/planner"
 	"tahoma/internal/repstore"
@@ -46,9 +47,17 @@ func cmdServe(args []string) error {
 	queueTimeout := fs.Duration("queue-timeout", 30*time.Second, "how long a query may wait for a worker before a 503")
 	materialize := fs.String("materialize", "on", "label materialization: on (cache classified labels as bitmap columns), off (re-infer every query), bg (on + background analyzer pre-materializes hot predicates while the admission pool is idle)")
 	matMB := fs.Int("mat-mb", 0, "materialized-label byte budget in MiB (0 = unbounded); coldest columns are evicted over budget")
+	deadline := fs.Duration("deadline", 0, "default per-query deadline when a request carries no Deadline-Ms header (0 = none)")
+	fault := fs.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'store.rep-read=error,store.rep-slow=slow:50ms' (see internal/faults)")
 	fs.Parse(args)
 	if *zooDirs == "" || *corpusDir == "" {
 		return fmt.Errorf("serve: -zoo and -corpus are required")
+	}
+	if *fault != "" {
+		if err := faults.Parse(*fault); err != nil {
+			return fmt.Errorf("serve: -fault: %w", err)
+		}
+		log.Printf("FAULT INJECTION ARMED: %s (chaos testing only)", *fault)
 	}
 	kind, err := parseScenario(*scen)
 	if err != nil {
@@ -127,6 +136,7 @@ func cmdServe(args []string) error {
 		// server.Options uses 0 = "0.05 default", negative = "no loss";
 		// at the flag level an explicit 0 means no loss.
 		DefaultAccuracyLoss: *loss,
+		DefaultDeadline:     *deadline,
 	}
 	if *loss == 0 {
 		opts.DefaultAccuracyLoss = -1

@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -124,9 +125,17 @@ func (rt *Runtime) ClassifyAll(srcs []*img.Image) ([]bool, error) {
 // Labels are bit-identical to per-image Classify calls at every worker
 // count and batch size.
 func (rt *Runtime) ClassifyBatch(srcs []*img.Image, opts exec.Options) (*exec.Report, error) {
+	return rt.ClassifyBatchContext(context.Background(), srcs, opts)
+}
+
+// ClassifyBatchContext is ClassifyBatch with cooperative cancellation: the
+// engine checks ctx between batches and levels, and a cancelled run returns
+// ctx's error with a partial report (Cancelled set) whose labels must not be
+// used.
+func (rt *Runtime) ClassifyBatchContext(ctx context.Context, srcs []*img.Image, opts exec.Options) (*exec.Report, error) {
 	eng, err := rt.Engine()
 	if err != nil {
 		return nil, err
 	}
-	return eng.RunAll(exec.Frames(srcs), opts)
+	return eng.RunContext(ctx, exec.Frames(srcs), nil, opts)
 }

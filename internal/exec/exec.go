@@ -22,16 +22,51 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tahoma/internal/faults"
 	"tahoma/internal/img"
 	"tahoma/internal/model"
 	"tahoma/internal/thresh"
 )
+
+// PanicError is a panic contained by an engine worker (or a server handler):
+// the run fails with a descriptive error carrying the panic value and stack
+// instead of crashing the process — one wedged query must never take down
+// the serving tier.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value and the captured stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", p.Value, p.Stack)
+}
+
+// runProtected invokes fn behind a recover wall, converting a panic into a
+// *PanicError. Deferred cleanups inside fn (pooled-buffer releases) run
+// before the recover, so containment never leaks engine state.
+func runProtected(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// canceled reports whether err is a context cancellation or deadline.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Level is one executable cascade stage, resolved to a concrete model and
 // decision thresholds. The final level has Last set and accepts its model's
@@ -207,7 +242,11 @@ type BatchStats struct {
 	LevelsRun        int
 	RepsMaterialized int
 	RepHits          int // slots served by the RepSource instead of transformed
-	Wall             time.Duration
+	// RepFallbacks counts representation reads the RepSource failed that
+	// were degraded to decode + transform instead of failing the run (they
+	// also count in RepsMaterialized — a transform really ran).
+	RepFallbacks int
+	Wall         time.Duration
 }
 
 // Report is one run's accounting.
@@ -221,6 +260,15 @@ type Report struct {
 	LevelsRun        int
 	RepsMaterialized int
 	RepHits          int
+	// RepFallbacks counts RepSource read failures degraded to plain
+	// inference (see BatchStats.RepFallbacks).
+	RepFallbacks int
+	// Cancelled marks a run cut short by context cancellation or deadline.
+	// The report is partial: labels are valid only for batches that
+	// completed, and RunContext returns it alongside the context error so
+	// callers can observe how far the run got. Partial labels must never be
+	// cached or merged.
+	Cancelled bool
 	// Positives counts the true labels — the run's observed pass rate is
 	// Positives/Frames, the adaptive-selectivity feedback signal the query
 	// planner consumes.
@@ -363,15 +411,21 @@ func (e *Engine) Reps() []string { return append([]string(nil), e.repIDs...) }
 
 // classify runs the cascade on one frame. levels must be worker-local (or
 // otherwise exclusively held); slots must have len(e.repIDs) entries and is
-// clobbered. sv (optional) serves pre-materialized slots for source frame
-// idx; rc (optional) is the cross-run representation cache consulted for
-// slots sv does not serve. tr and st, when non-nil, receive per-frame and
-// aggregate accounting.
-func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv *serving, rc RepCache, idx int, tr *Trace, st *BatchStats) (bool, error) {
+// clobbered. getSrc lazily supplies the decoded source frame (it may be
+// called zero times when every slot is served). sv (optional) serves
+// pre-materialized slots for source frame idx; rc (optional) is the
+// cross-run representation cache consulted for slots sv does not serve. tr
+// and st, when non-nil, receive per-frame and aggregate accounting. A
+// RepSource read failure degrades to decode + transform instead of failing
+// the frame — the cache→inference degradation ladder.
+func (e *Engine) classify(ctx context.Context, levels []Level, slots []*img.Image, getSrc func() (*img.Image, error), sv *serving, rc RepCache, idx int, tr *Trace, st *BatchStats) (bool, error) {
 	for i := range slots {
 		slots[i] = nil
 	}
 	for li, lv := range levels {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		slot := e.repSlot[li]
 		rep := slots[slot]
 		if rep == nil {
@@ -379,12 +433,22 @@ func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv
 				var err error
 				rep, err = sv.rs.Rep(idx, e.repIDs[slot])
 				if err != nil {
-					return false, fmt.Errorf("serving rep %s: %w", e.repIDs[slot], err)
-				}
-				slots[slot] = rep
-				if st != nil {
+					// Serving failed: fall back to transforming the decoded
+					// source rather than failing the query. Pixels are the
+					// fresh transform, not the store's quantized record.
+					src, serr := getSrc()
+					if serr != nil {
+						return false, fmt.Errorf("serving rep %s failed (%v) and source fallback failed: %w", e.repIDs[slot], err, serr)
+					}
+					rep = lv.Model.Xform.Apply(src)
+					if st != nil {
+						st.RepFallbacks++
+						st.RepsMaterialized++
+					}
+				} else if st != nil {
 					st.RepHits++
 				}
+				slots[slot] = rep
 			} else if cached := getCachedRep(rc, idx, e.repIDs[slot]); cached != nil {
 				rep = cached
 				slots[slot] = rep
@@ -392,6 +456,10 @@ func (e *Engine) classify(levels []Level, slots []*img.Image, src *img.Image, sv
 					st.RepHits++
 				}
 			} else {
+				src, serr := getSrc()
+				if serr != nil {
+					return false, serr
+				}
 				rep = lv.Model.Xform.Apply(src)
 				if rc != nil {
 					// Apply allocates a fresh image per frame, so the cache
@@ -437,7 +505,8 @@ func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
 		e.scratch = make([]*img.Image, len(e.repIDs))
 	}
 	var tr Trace
-	label, err := e.classify(e.levels, e.scratch, src, nil, nil, -1, &tr, nil)
+	getSrc := func() (*img.Image, error) { return src, nil }
+	label, err := e.classify(context.Background(), e.levels, e.scratch, getSrc, nil, nil, -1, &tr, nil)
 	return label, tr, err
 }
 
@@ -516,7 +585,7 @@ func (e *Engine) cloneLevels() []Level {
 // runBatchFrameMajor is the legacy inner loop: each frame descends the
 // cascade alone via per-frame Score calls, materializing representations
 // into freshly allocated images (or taking them from the RepSource).
-func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchFrameMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
 	if w.slots == nil {
 		w.slots = make([]*img.Image, len(e.repIDs))
 	}
@@ -530,17 +599,35 @@ func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi
 	}()
 	needSrc := sv.needSource()
 	for j := lo; j < hi; j++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		idx := indices[j]
+		// The source decode is lazy so fully-served frames skip it, yet stays
+		// available to classify's degradation path when a served read fails.
 		var im *img.Image
-		if needSrc {
+		getSrc := func() (*img.Image, error) {
+			if im != nil {
+				return im, nil
+			}
 			var err error
-			im, err = src.Image(indices[j])
+			im, err = src.Image(idx)
 			if err != nil {
-				return fmt.Errorf("exec: loading frame %d: %w", indices[j], err)
+				return nil, fmt.Errorf("exec: loading frame %d: %w", idx, err)
+			}
+			return im, nil
+		}
+		if needSrc {
+			if _, err := getSrc(); err != nil {
+				return err
 			}
 		}
-		label, err := e.classify(w.levels, w.slots, im, sv, rc, indices[j], nil, st)
+		label, err := e.classify(ctx, w.levels, w.slots, getSrc, sv, rc, idx, nil, st)
 		if err != nil {
-			return fmt.Errorf("exec: frame %d: %w", indices[j], err)
+			if canceled(err) {
+				return err
+			}
+			return fmt.Errorf("exec: frame %d: %w", idx, err)
 		}
 		labels[j] = label
 	}
@@ -556,7 +643,7 @@ func (e *Engine) runBatchFrameMajor(w *worker, src Source, indices []int, lo, hi
 // representations materialized and the resulting labels are exactly those
 // of the frame-major loop, just reordered — so LevelsRun/RepsMaterialized
 // accounting and labels are bit-identical to runBatchFrameMajor.
-func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchLevelMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
 	n := hi - lo
 	w.ensure(n, len(e.repIDs))
 	// Unpin the borrowed source frames on every exit path: the worker goes
@@ -593,6 +680,9 @@ func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi
 	}()
 	if sv.needSource() {
 		for j := 0; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			im, err := src.Image(indices[lo+j])
 			if err != nil {
 				return fmt.Errorf("exec: loading frame %d: %w", indices[lo+j], err)
@@ -614,19 +704,45 @@ func (e *Engine) runBatchLevelMajor(w *worker, src Source, indices []int, lo, hi
 		if len(und) == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lv := &w.levels[li]
 		slot := e.repSlot[li]
 		bufs, ok := w.reps[slot], w.repOK[slot]
 		gather := w.gather[:0]
 		for _, j := range und {
 			if !ok[j] {
+				// Rep loads can stall on a slow store; check the ctx at the
+				// same per-frame grain so a deadline fires promptly.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				if sv.on(slot) {
 					rep, err := sv.rs.Rep(indices[lo+j], e.repIDs[slot])
 					if err != nil {
-						return fmt.Errorf("exec: frame %d: serving rep %s: %w", indices[lo+j], e.repIDs[slot], err)
+						// Serving failed: degrade to decode + transform (the
+						// cache→inference ladder) instead of failing the run.
+						// The source may not have been decoded when every slot
+						// is served, so load it on demand. The fallback buffer
+						// lands at a served position, which the deferred
+						// cleanup drops after the batch — a benign per-batch
+						// allocation, only ever paid under store failure.
+						im := w.srcs[j]
+						if im == nil {
+							im, err = src.Image(indices[lo+j])
+							if err != nil {
+								return fmt.Errorf("exec: frame %d: loading source for rep fallback: %w", indices[lo+j], err)
+							}
+							w.srcs[j] = im
+						}
+						bufs[j], w.proj[slot] = lv.Model.Xform.ApplyInto(bufs[j], im, w.proj[slot])
+						st.RepFallbacks++
+						st.RepsMaterialized++
+					} else {
+						bufs[j] = rep
+						st.RepHits++
 					}
-					bufs[j] = rep
-					st.RepHits++
 				} else if cached := getCachedRep(rc, indices[lo+j], e.repIDs[slot]); cached != nil {
 					// The pooled buffer at this position is dropped in favor
 					// of the shared image; the deferred cleanup unpins it so
@@ -693,6 +809,16 @@ func (e *Engine) RunAll(src Source, opts Options) (*Report, error) {
 // worker count and batch size; only the stats' batch boundaries and wall
 // times vary.
 func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
+	return e.RunContext(context.Background(), src, indices, opts)
+}
+
+// RunContext is Run with cooperative cancellation: workers check ctx between
+// batches (and the inner loops between levels), so a cancelled or deadlined
+// run returns promptly with ctx's error and a partial Report whose Cancelled
+// flag is set — the partial labels must never be cached or merged. A panic in
+// any worker (a misbehaving model, an injected fault) is contained to the run
+// and surfaces as a *PanicError instead of crashing the process.
+func (e *Engine) RunContext(ctx context.Context, src Source, indices []int, opts Options) (*Report, error) {
 	opts = opts.normalized()
 	if indices == nil {
 		indices = make([]int, src.Len())
@@ -736,17 +862,28 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 				if failed.Load() {
 					continue
 				}
+				if err := ctx.Err(); err != nil {
+					failed.Store(true)
+					errs <- err
+					return
+				}
 				st := &rep.Batches[b]
 				t0 := time.Now()
 				lo := b * opts.Batch
 				hi := min(lo+opts.Batch, len(indices))
 				st.Start, st.Frames = lo, hi-lo
-				var err error
-				if opts.FrameMajor {
-					err = e.runBatchFrameMajor(wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
-				} else {
-					err = e.runBatchLevelMajor(wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
-				}
+				// The recover wall converts a panicking batch into a failed
+				// run: the worker's deferred cleanups (buffer unpinning) run
+				// first, so containment never leaks engine state.
+				err := runProtected(func() error {
+					if ferr := faults.Fire(faults.ExecWorkerPanic); ferr != nil {
+						return ferr
+					}
+					if opts.FrameMajor {
+						return e.runBatchFrameMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
+					}
+					return e.runBatchLevelMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
+				})
 				if err != nil {
 					failed.Store(true)
 					errs <- err
@@ -757,10 +894,13 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 		}()
 	}
 	wg.Wait()
+	var runErr error
 	select {
-	case err := <-errs:
-		return nil, err
+	case runErr = <-errs:
 	default:
+	}
+	if runErr != nil && !canceled(runErr) {
+		return nil, runErr
 	}
 
 	for _, st := range rep.Batches {
@@ -768,6 +908,7 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 		rep.LevelsRun += st.LevelsRun
 		rep.RepsMaterialized += st.RepsMaterialized
 		rep.RepHits += st.RepHits
+		rep.RepFallbacks += st.RepFallbacks
 	}
 	for _, l := range rep.Labels {
 		if l {
@@ -787,6 +928,12 @@ func (e *Engine) Run(src Source, indices []int, opts Options) (*Report, error) {
 	rep.Wall = time.Since(start)
 	if secs := rep.Wall.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Frames) / secs
+	}
+	if runErr != nil {
+		// Cancelled: hand the partial report back alongside ctx's error so the
+		// caller can observe progress, flagged so it is never cached or merged.
+		rep.Cancelled = true
+		return rep, runErr
 	}
 	return rep, nil
 }

@@ -15,11 +15,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tahoma/internal/faults"
 	"tahoma/internal/img"
 	"tahoma/internal/model"
 	"tahoma/internal/xform"
@@ -108,6 +110,9 @@ type FusedBatchStats struct {
 	LevelsRun        []int
 	RepsMaterialized int
 	RepHits          int
+	// RepFallbacks counts RepSource read failures degraded to decode +
+	// transform instead of failing the run (also in RepsMaterialized).
+	RepFallbacks int
 	// PrepWall is the ingest-side work (decode + first-level slots); under
 	// the async pipeline it overlaps the previous batch's Wall (scoring).
 	PrepWall time.Duration
@@ -125,6 +130,14 @@ type FusedReport struct {
 	LevelsRun        []int
 	RepsMaterialized int
 	RepHits          int
+	// RepFallbacks counts RepSource read failures degraded to plain
+	// inference (see FusedBatchStats.RepFallbacks).
+	RepFallbacks int
+	// Cancelled marks a run cut short by context cancellation or deadline.
+	// The report is partial — labels are valid only for batches that
+	// completed — and RunContext returns it alongside the context error.
+	// Partial labels must never be cached or merged.
+	Cancelled bool
 	// Positives[c] counts cascade c's true labels over the positions it was
 	// asked to classify (masked-out positions never count) — the observed
 	// pass rates the query planner's selectivity feedback consumes.
@@ -199,6 +212,7 @@ func (fb *fusedBatch) ensure(n, nslots int) {
 
 // fusedRun bundles one run's immutable parameters.
 type fusedRun struct {
+	ctx     context.Context
 	f       *Fused
 	src     Source
 	indices []int
@@ -227,13 +241,35 @@ func (r *fusedRun) anyNeeds(pos int) bool {
 // either serving it from the RepSource or transforming the decoded source
 // into the batch's pooled buffer.
 func (r *fusedRun) materialize(fb *fusedBatch, slot, j int) error {
+	// Serving and transforming can both stall (slow store, big frame);
+	// check the ctx at the same per-slot-fill grain so a deadline fires
+	// promptly even inside a large batch.
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
 	if r.sv.on(slot) {
 		rep, err := r.sv.rs.Rep(r.indices[fb.lo+j], r.f.repIDs[slot])
 		if err != nil {
-			return fmt.Errorf("exec: frame %d: serving rep %s: %w", r.indices[fb.lo+j], r.f.repIDs[slot], err)
+			// Serving failed: degrade to decode + transform (the
+			// cache→inference ladder) instead of failing the run. The source
+			// may not have been decoded when every slot is served, so load it
+			// on demand; release drops the fallback buffer after the batch —
+			// a benign allocation, only ever paid under store failure.
+			im := fb.srcs[j]
+			if im == nil {
+				im, err = r.src.Image(r.indices[fb.lo+j])
+				if err != nil {
+					return fmt.Errorf("exec: frame %d: loading source for rep fallback: %w", r.indices[fb.lo+j], err)
+				}
+				fb.srcs[j] = im
+			}
+			fb.reps[slot][j], fb.proj[slot] = r.f.repXf[slot].ApplyInto(fb.reps[slot][j], im, fb.proj[slot])
+			fb.st.RepFallbacks++
+			fb.st.RepsMaterialized++
+		} else {
+			fb.reps[slot][j] = rep
+			fb.st.RepHits++
 		}
-		fb.reps[slot][j] = rep
-		fb.st.RepHits++
 	} else if cached := getCachedRep(r.rc, r.indices[fb.lo+j], r.f.repIDs[slot]); cached != nil {
 		fb.reps[slot][j] = cached
 		fb.repShared[slot][j] = true
@@ -271,6 +307,9 @@ func (r *fusedRun) prepare(fb *fusedBatch) error {
 			fb.srcs[j] = nil
 			if !r.anyNeeds(fb.lo + j) {
 				continue
+			}
+			if err := r.ctx.Err(); err != nil {
+				return err
 			}
 			im, err := r.src.Image(r.indices[fb.lo+j])
 			if err != nil {
@@ -312,6 +351,9 @@ func (r *fusedRun) consume(w *fusedWorker, fb *fusedBatch) error {
 		for li := range levels {
 			if len(und) == 0 {
 				break
+			}
+			if err := r.ctx.Err(); err != nil {
+				return err
 			}
 			lv := &levels[li]
 			slot := r.f.slot[c][li]
@@ -452,6 +494,15 @@ func (f *Fused) RunAll(src Source, opts Options) (*FusedReport, error) {
 // Labels are positional and per cascade; results are bit-identical across
 // worker counts, batch sizes, frame-/level-major order and pipeline depth.
 func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*FusedReport, error) {
+	return f.RunContext(context.Background(), src, indices, need, opts)
+}
+
+// RunContext is Run with cooperative cancellation and panic containment,
+// mirroring Engine.RunContext: workers check ctx between batches and levels,
+// a cancelled run returns a partial FusedReport (Cancelled set) alongside
+// ctx's error, and a panicking worker surfaces as a *PanicError instead of
+// crashing the process.
+func (f *Fused) RunContext(ctx context.Context, src Source, indices []int, need [][]bool, opts Options) (*FusedReport, error) {
 	opts = opts.normalized()
 	if indices == nil {
 		indices = make([]int, src.Len())
@@ -492,21 +543,21 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 		hi := min(lo+opts.Batch, len(indices))
 		rep.Batches[b] = FusedBatchStats{Start: lo, Frames: hi - lo, LevelsRun: make([]int, len(f.cascades))}
 	}
-	run := &fusedRun{f: f, src: src, indices: indices, need: need, sv: sv, rc: opts.RepCache, labels: rep.Labels}
+	run := &fusedRun{ctx: ctx, f: f, src: src, indices: indices, need: need, sv: sv, rc: opts.RepCache, labels: rep.Labels}
 
 	workers := opts.Workers
 	if workers > numBatches {
 		workers = numBatches
 	}
-	var err error
+	var runErr error
 	if opts.FrameMajor || opts.Prefetch < 0 {
-		err = f.runSync(run, rep, numBatches, workers, opts)
+		runErr = f.runSync(run, rep, numBatches, workers, opts)
 	} else {
 		rep.Pipelined = true
-		err = f.runPipelined(run, rep, numBatches, workers, opts)
+		runErr = f.runPipelined(run, rep, numBatches, workers, opts)
 	}
-	if err != nil {
-		return nil, err
+	if runErr != nil && !canceled(runErr) {
+		return nil, runErr
 	}
 
 	for b := range rep.Batches {
@@ -514,6 +565,7 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 		rep.Frames += st.Frames
 		rep.RepsMaterialized += st.RepsMaterialized
 		rep.RepHits += st.RepHits
+		rep.RepFallbacks += st.RepFallbacks
 		for c, lr := range st.LevelsRun {
 			rep.LevelsRun[c] += lr
 		}
@@ -538,6 +590,12 @@ func (f *Fused) Run(src Source, indices []int, need [][]bool, opts Options) (*Fu
 	rep.Wall = time.Since(start)
 	if secs := rep.Wall.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Frames) / secs
+	}
+	if runErr != nil {
+		// Cancelled: hand the partial report back alongside ctx's error so the
+		// caller can observe progress, flagged so it is never cached or merged.
+		rep.Cancelled = true
+		return rep, runErr
 	}
 	return rep, nil
 }
@@ -566,15 +624,27 @@ func (f *Fused) runSync(run *fusedRun, rep *FusedReport, numBatches, workers int
 				if failed.Load() {
 					continue
 				}
-				fb.lo, fb.hi, fb.st = rep.Batches[b].Start, rep.Batches[b].Start+rep.Batches[b].Frames, &rep.Batches[b]
-				err := run.prepare(fb)
-				if err == nil {
-					if opts.FrameMajor {
-						err = run.consumeFrameMajor(fw, fb)
-					} else {
-						err = run.consume(fw, fb)
-					}
+				if err := run.ctx.Err(); err != nil {
+					failed.Store(true)
+					errs <- err
+					return
 				}
+				fb.lo, fb.hi, fb.st = rep.Batches[b].Start, rep.Batches[b].Start+rep.Batches[b].Frames, &rep.Batches[b]
+				// The recover wall converts a panicking batch into a failed
+				// run; release runs outside it so pooled buffers are returned
+				// clean on every path.
+				err := runProtected(func() error {
+					if ferr := faults.Fire(faults.ExecWorkerPanic); ferr != nil {
+						return ferr
+					}
+					if perr := run.prepare(fb); perr != nil {
+						return perr
+					}
+					if opts.FrameMajor {
+						return run.consumeFrameMajor(fw, fb)
+					}
+					return run.consume(fw, fb)
+				})
 				run.release(fb)
 				if err != nil {
 					failed.Store(true)
@@ -625,8 +695,16 @@ func (f *Fused) runPipelined(run *fusedRun, rep *FusedReport, numBatches, worker
 				ring <- fb
 				return
 			}
+			if err := run.ctx.Err(); err != nil {
+				failed.Store(true)
+				errs <- err
+				ring <- fb
+				return
+			}
 			fb.lo, fb.hi, fb.st = rep.Batches[b].Start, rep.Batches[b].Start+rep.Batches[b].Frames, &rep.Batches[b]
-			if err := run.prepare(fb); err != nil {
+			// Panic containment on the ingest side too: a decode panic fails
+			// the run, returns the buffer to the ring and closes prepared.
+			if err := runProtected(func() error { return run.prepare(fb) }); err != nil {
 				failed.Store(true)
 				errs <- err
 				run.release(fb)
@@ -646,7 +724,16 @@ func (f *Fused) runPipelined(run *fusedRun, rep *FusedReport, numBatches, worker
 			defer f.workers.Put(fw)
 			for fb := range prepared {
 				if !failed.Load() {
-					if err := run.consume(fw, fb); err != nil {
+					err := run.ctx.Err()
+					if err == nil {
+						err = runProtected(func() error {
+							if ferr := faults.Fire(faults.ExecWorkerPanic); ferr != nil {
+								return ferr
+							}
+							return run.consume(fw, fb)
+						})
+					}
+					if err != nil {
 						failed.Store(true)
 						errs <- err
 					}

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Fire(StoreDecode); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if Firing(MatTornWrite) {
+		t.Fatal("disarmed Firing returned true")
+	}
+}
+
+func TestEnableFireDisable(t *testing.T) {
+	Reset()
+	defer Reset()
+	want := errors.New("boom")
+	if err := Enable(StoreDecode, Spec{Err: want}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire(StoreDecode); !errors.Is(err, want) {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	// Other points stay dormant.
+	if err := Fire(StoreRepRead); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Disable(StoreDecode)
+	if err := Fire(StoreDecode); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestUnknownPointRejected(t *testing.T) {
+	Reset()
+	if err := Enable("no.such.point", Spec{}); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+}
+
+func TestTimesBudgetDisarms(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(StoreRepRead, Spec{Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if Fire(StoreRepRead) == nil || Fire(StoreRepRead) == nil {
+		t.Fatal("armed point did not fire")
+	}
+	if err := Fire(StoreRepRead); err != nil {
+		t.Fatalf("point survived its Times budget: %v", err)
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("Active = %v after budget exhausted", got)
+	}
+}
+
+func TestPanicSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(ExecWorkerPanic, Spec{Panic: true}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic spec did not panic")
+		}
+	}()
+	_ = Fire(ExecWorkerPanic)
+}
+
+func TestPureDelayReturnsNil(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(StoreRepSlow, Spec{Delay: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := Fire(StoreRepSlow); err != nil {
+		t.Fatalf("pure-delay point returned %v", err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+}
+
+func TestParse(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Parse("store.rep-read=error, store.rep-slow=slow:10ms ,exec.worker-panic=panic"); err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	if len(got) != 3 {
+		t.Fatalf("Active = %v, want 3 points", got)
+	}
+	if err := Parse("store.decode=explode"); err == nil || !strings.Contains(err.Error(), "bad mode") {
+		t.Fatalf("bad mode accepted: %v", err)
+	}
+	if err := Parse("nope=error"); err == nil {
+		t.Fatal("unknown point accepted by Parse")
+	}
+}

@@ -1,0 +1,81 @@
+// Package leakcheck is a test helper that fails a test when it leaks
+// goroutines: it snapshots the goroutine set when Check is called and, at
+// test cleanup, waits for the process to settle back to (at most) that set.
+// The serving path's robustness suite wraps Server start/stop, analyzer
+// start/stop and cancelled mid-flight queries in it, under -race — the
+// ISSUE's "shard down" future depends on every failure path releasing its
+// goroutines.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if, after a settling grace period, more goroutines exist
+// than at the snapshot. The stack diff of the survivors is included so the
+// leak is attributable.
+func Check(t TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if leaked, stacks := settle(before, 2*time.Second); leaked > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked (had %d, want <= %d)\n%s",
+				leaked, before+leaked, before, stacks)
+		}
+	})
+}
+
+// settle polls until the goroutine count drops to at most want, or the
+// deadline passes; returns the overshoot and the full stack dump on failure.
+// The grace period absorbs goroutines that are mid-exit (timer callbacks,
+// http keep-alive reapers) when cleanup runs.
+func settle(want int, wait time.Duration) (leaked int, stacks string) {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return 0, ""
+		}
+		if time.Now().After(deadline) {
+			return n - want, interestingStacks()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// interestingStacks dumps every goroutine's stack, filtering the runtime's
+// own housekeeping so the report points at the leak.
+func interestingStacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var keep []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "leakcheck.") ||
+			strings.Contains(g, "testing.(*T).Run") ||
+			strings.Contains(g, "runtime.goexit") && strings.Count(g, "\n") <= 2 {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return strings.Join(keep, "\n\n")
+}
+
+// Settled reports whether the goroutine count is back to at most want within
+// wait — the non-fatal probe for tests that manage their own assertion.
+func Settled(want int, wait time.Duration) error {
+	if leaked, stacks := settle(want, wait); leaked > 0 {
+		return fmt.Errorf("%d goroutine(s) leaked:\n%s", leaked, stacks)
+	}
+	return nil
+}

@@ -276,11 +276,11 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
+	if err := s.Save(&buf, 42); err != nil {
 		t.Fatal(err)
 	}
 	loaded := New(0)
-	if err := loaded.Load(&buf); err != nil {
+	if err := loaded.Load(&buf, 42); err != nil {
 		t.Fatal(err)
 	}
 	if loaded.Generation() != s.Generation() {
@@ -301,11 +301,11 @@ func TestPersistRoundTrip(t *testing.T) {
 
 	// File-level helpers.
 	path := filepath.Join(t.TempDir(), "labels.bin")
-	if err := s.SaveFile(path); err != nil {
+	if err := s.SaveFile(path, 42); err != nil {
 		t.Fatal(err)
 	}
 	fromFile := New(0)
-	if err := fromFile.LoadFile(path); err != nil {
+	if err := fromFile.LoadFile(path, 42); err != nil {
 		t.Fatal(err)
 	}
 	if fromFile.Stats().CoveredRows != s.Stats().CoveredRows {
@@ -315,15 +315,15 @@ func TestPersistRoundTrip(t *testing.T) {
 
 func TestPersistRejectsGarbage(t *testing.T) {
 	s := New(0)
-	if err := s.Load(bytes.NewReader([]byte("definitely not a matstore file"))); err == nil {
+	if err := s.Load(bytes.NewReader([]byte("definitely not a matstore file")), 0); err == nil {
 		t.Fatal("garbage accepted")
 	}
 	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
+	if err := s.Save(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-1]
-	if err := s.Load(bytes.NewReader(trunc[:8])); err == nil {
+	if err := s.Load(bytes.NewReader(trunc[:8]), 0); err == nil {
 		t.Fatal("truncated header accepted")
 	}
 }

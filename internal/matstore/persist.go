@@ -2,25 +2,86 @@ package matstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
+
+	"tahoma/internal/faults"
 )
 
 // Persistence: a store's columns serialize to a flat binary image so a
 // process restart over the same corpus can resume with warm labels instead
-// of re-running inference. The file records the corpus generation; labels
-// are only meaningful against the exact corpus they were computed over, so
-// the caller is responsible for loading only when the corpus is unchanged
-// (vdb documents this on DB.LoadMaterialized).
+// of re-running inference. The format is defensive: every frame (the header
+// and each column) is length-prefixed and CRC32-checksummed, and the header
+// carries a corpus tag (a fingerprint of the corpus the labels were computed
+// over), so a truncated file, a bit flip, or a file from a different corpus
+// refuses to load with a descriptive error instead of resurrecting garbage
+// labels. Loading parses the whole file into fresh columns before swapping
+// them in, so a failed load leaves the resident store untouched.
 
-const persistMagic = "TAHMAT1\n"
+const (
+	persistMagic = "TAHMAT2\n"
+	// legacyMagic is the pre-checksummed format; it is refused with a
+	// descriptive error rather than trusted.
+	legacyMagic = "TAHMAT1\n"
+	// maxFrame bounds a single frame so a corrupt length cannot drive a
+	// giant allocation.
+	maxFrame = 1 << 30
+)
+
+var crcTable = crc32.IEEETable
+
+// writeFrame emits one length-prefixed, checksummed frame:
+// [len uint32][payload][crc32(payload) uint32].
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readFrame reads one frame, verifying its checksum. what names the frame in
+// errors.
+func readFrame(r io.Reader, what string) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("matstore: %s: truncated frame length: %w", what, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("matstore: %s: corrupt frame length %d", what, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("matstore: %s: truncated frame (want %d bytes): %w", what, n, err)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("matstore: %s: truncated checksum: %w", what, err)
+	}
+	want := binary.LittleEndian.Uint32(hdr[:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("matstore: %s: checksum mismatch (file %08x, computed %08x) — file is corrupt", what, want, got)
+	}
+	return payload, nil
+}
 
 // Save serializes the resident columns (usage and counters are workload
-// state, not corpus state; they are not persisted).
-func (s *Store) Save(w io.Writer) error {
+// state, not corpus state; they are not persisted). tag fingerprints the
+// corpus the labels were computed over; Load refuses a file whose tag does
+// not match, because materialized labels are only meaningful against the
+// exact corpus they were computed from.
+func (s *Store) Save(w io.Writer, tag uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -30,26 +91,25 @@ func (s *Store) Save(w io.Writer) error {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
-	hdr := []int64{s.gen, int64(len(keys))}
-	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, s.gen)
+	binary.Write(&buf, binary.LittleEndian, tag)
+	binary.Write(&buf, binary.LittleEndian, int64(len(keys)))
+	if err := writeFrame(bw, buf.Bytes()); err != nil {
 		return err
 	}
+
 	for _, k := range keys {
 		col := s.cols[k]
-		if err := writeString(bw, k.Category); err != nil {
-			return err
-		}
-		if err := writeString(bw, k.Cascade); err != nil {
-			return err
-		}
-		meta := []int64{int64(col.Len()), int64(col.prefix)}
-		if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, col.labels.Words()); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, col.valid.Words()); err != nil {
+		buf.Reset()
+		writeString(&buf, k.Category)
+		writeString(&buf, k.Cascade)
+		binary.Write(&buf, binary.LittleEndian, int64(col.Len()))
+		binary.Write(&buf, binary.LittleEndian, int64(col.prefix))
+		binary.Write(&buf, binary.LittleEndian, col.labels.Words())
+		binary.Write(&buf, binary.LittleEndian, col.valid.Words())
+		if err := writeFrame(bw, buf.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -57,36 +117,65 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load replaces the resident columns with a previously saved image and
-// restores the saved generation. Usage and counters are untouched.
-func (s *Store) Load(r io.Reader) error {
+// restores the saved generation. The whole file is parsed and verified
+// first — magic, per-frame checksums, corpus tag, column invariants — and
+// the resident columns are swapped only on full success, so any failure
+// leaves the store untouched. Usage and counters are untouched either way.
+func (s *Store) Load(r io.Reader, wantTag uint64) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return fmt.Errorf("matstore: reading header: %w", err)
 	}
-	if string(magic) != persistMagic {
+	switch string(magic) {
+	case persistMagic:
+	case legacyMagic:
+		return fmt.Errorf("matstore: legacy unchecksummed TAHMAT1 file refused (integrity cannot be verified); re-materialize and re-save")
+	default:
 		return fmt.Errorf("matstore: not a materialized-label file (magic %q)", magic)
 	}
-	var hdr [2]int64
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return fmt.Errorf("matstore: reading header: %w", err)
+
+	hdr, err := readFrame(br, "header")
+	if err != nil {
+		return err
 	}
-	gen, count := hdr[0], hdr[1]
+	hr := bytes.NewReader(hdr)
+	var gen int64
+	var tag uint64
+	var count int64
+	if err := binary.Read(hr, binary.LittleEndian, &gen); err != nil {
+		return fmt.Errorf("matstore: header: %w", err)
+	}
+	if err := binary.Read(hr, binary.LittleEndian, &tag); err != nil {
+		return fmt.Errorf("matstore: header: %w", err)
+	}
+	if err := binary.Read(hr, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("matstore: header: %w", err)
+	}
+	if tag != wantTag {
+		return fmt.Errorf("matstore: file was saved over a different corpus (tag %016x, this corpus %016x) — labels refuse to load", tag, wantTag)
+	}
 	if count < 0 {
 		return fmt.Errorf("matstore: corrupt column count %d", count)
 	}
+
 	cols := make(map[Key]*Column, count)
 	for i := int64(0); i < count; i++ {
-		cat, err := readString(br)
+		frame, err := readFrame(br, fmt.Sprintf("column %d", i))
+		if err != nil {
+			return err
+		}
+		fr := bytes.NewReader(frame)
+		cat, err := readString(fr)
 		if err != nil {
 			return fmt.Errorf("matstore: column %d: %w", i, err)
 		}
-		casc, err := readString(br)
+		casc, err := readString(fr)
 		if err != nil {
 			return fmt.Errorf("matstore: column %d: %w", i, err)
 		}
 		var meta [2]int64
-		if err := binary.Read(br, binary.LittleEndian, &meta); err != nil {
+		if err := binary.Read(fr, binary.LittleEndian, &meta); err != nil {
 			return fmt.Errorf("matstore: column %d: %w", i, err)
 		}
 		n, prefix := int(meta[0]), int(meta[1])
@@ -96,11 +185,14 @@ func (s *Store) Load(r io.Reader) error {
 		col := NewColumn()
 		col.Grow(n)
 		col.prefix = prefix
-		if err := binary.Read(br, binary.LittleEndian, col.labels.Words()); err != nil {
+		if err := binary.Read(fr, binary.LittleEndian, col.labels.Words()); err != nil {
 			return fmt.Errorf("matstore: column %d labels: %w", i, err)
 		}
-		if err := binary.Read(br, binary.LittleEndian, col.valid.Words()); err != nil {
+		if err := binary.Read(fr, binary.LittleEndian, col.valid.Words()); err != nil {
 			return fmt.Errorf("matstore: column %d validity: %w", i, err)
+		}
+		if fr.Len() != 0 {
+			return fmt.Errorf("matstore: column %d: %d trailing bytes in frame", i, fr.Len())
 		}
 		// Re-establish the column invariants against a damaged file: bits
 		// beyond Len stay zero (Count depends on it) and a label is only
@@ -116,32 +208,47 @@ func (s *Store) Load(r io.Reader) error {
 		}
 		cols[Key{Category: cat, Cascade: casc}] = col
 	}
+	// A valid file has nothing after the last column.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("matstore: trailing data after last column — file is corrupt")
+	}
 	s.cols = cols
 	s.gen = gen
 	return nil
 }
 
-// SaveFile writes the store image to path.
-func (s *Store) SaveFile(path string) error {
+// SaveFile writes the store image to path. The faults.MatTornWrite point
+// simulates a crash mid-write by truncating the finished file — the torn
+// result must refuse to load.
+func (s *Store) SaveFile(path string, tag uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	if err := s.Save(f, tag); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if faults.Firing(faults.MatTornWrite) {
+		if fi, err := os.Stat(path); err == nil {
+			_ = os.Truncate(path, fi.Size()*2/3)
+		}
+	}
+	return nil
 }
 
-// LoadFile replaces the resident columns from path.
-func (s *Store) LoadFile(path string) error {
+// LoadFile replaces the resident columns from path; any verification
+// failure leaves the store untouched.
+func (s *Store) LoadFile(path string, tag uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return s.Load(f)
+	return s.Load(f, tag)
 }
 
 func writeString(w io.Writer, s string) error {

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"tahoma/internal/faults"
 	"tahoma/internal/img"
 	"tahoma/internal/xform"
 )
@@ -275,12 +276,23 @@ func (s *Store) appendRecord(f *os.File, im *img.Image, record int, name string)
 
 // LoadSource reads full-size image i.
 func (s *Store) LoadSource(i int) (*img.Image, error) {
+	// faults.StoreDecode models a corrupt or unreadable source record — the
+	// chaos suite's "disk ate a frame" case.
+	if err := faults.Fire(faults.StoreDecode); err != nil {
+		return nil, fmt.Errorf("repstore: source record %d: %w", i, err)
+	}
 	return s.loadRecord(s.source, i, s.sourceRecordSize(), "source.dat")
 }
 
 // LoadRep reads representation i for transform t. The transform must be one
 // the store materializes.
 func (s *Store) LoadRep(i int, t xform.Transform) (*img.Image, error) {
+	// faults.StoreRepSlow models a wedged disk (pure delay); StoreRepRead a
+	// failed representation read, which the engines degrade around.
+	_ = faults.Fire(faults.StoreRepSlow)
+	if err := faults.Fire(faults.StoreRepRead); err != nil {
+		return nil, fmt.Errorf("repstore: rep %s record %d: %w", t.ID(), i, err)
+	}
 	f, ok := s.reps[t.ID()]
 	if !ok {
 		return nil, fmt.Errorf("repstore: transform %s not materialized in this store", t.ID())

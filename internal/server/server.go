@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +59,11 @@ type Options struct {
 	// when a request does not name one (0 = 0.05; negative = no loss, the
 	// most accurate cascade).
 	DefaultAccuracyLoss float64
+	// DefaultDeadline bounds a query's end-to-end time (admission wait +
+	// execution) when the request does not carry a Deadline-Ms header
+	// (0 = no default deadline). A deadlined query cancels cooperatively and
+	// returns 504.
+	DefaultDeadline time.Duration
 	// RepCache, when set, is installed on the DB as the cross-query
 	// representation cache and reported under /stats: a representation
 	// materialized for one query becomes a RepHit for every other.
@@ -114,12 +120,31 @@ func New(db *vdb.DB, opts Options) *Server {
 		sem:  make(chan struct{}, opts.MaxConcurrent),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/query", s.protect(s.handleQuery))
+	s.mux.HandleFunc("/explain", s.protect(s.handleExplain))
+	s.mux.HandleFunc("/stats", s.protect(s.handleStats))
+	s.mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
 	s.hs = &http.Server{Handler: s.mux}
 	return s
+}
+
+// protect is the per-handler recover wall: a panic anywhere in a handler —
+// a misbehaving cascade, an injected fault — becomes that request's 500
+// (with the panic value and stack in the error body) instead of a process
+// crash. The engines contain their own worker panics as *exec.PanicError
+// errors; this wall catches everything else.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.stats.panics.Add(1)
+				s.stats.errors.Add(1)
+				writeError(w, http.StatusInternalServerError,
+					&exec.PanicError{Value: rec, Stack: debug.Stack()})
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // Handler returns the service's HTTP handler, for embedding into an existing
@@ -150,11 +175,18 @@ func (s *Server) Idle() bool {
 	return s.inflight.Load() == 0 && s.queued.Load() == 0
 }
 
-// errOverloaded rejects a request the admission layer cannot queue.
-var errOverloaded = errors.New("server overloaded: query queue full")
+// The two load-shed outcomes of admission. Both map to 503 with a
+// Retry-After derived from the live queue depth; they are distinct errors
+// (and counters) because they call for different operator responses — a full
+// queue is an arrival-rate problem, a queue timeout a service-time problem.
+var (
+	errQueueFull    = errors.New("server overloaded: query queue full")
+	errQueueTimeout = errors.New("server overloaded: timed out waiting for a query worker")
+)
 
 // acquire admits one query: it takes a worker slot, queueing up to
-// Options.MaxQueue waiters for at most Options.QueueTimeout.
+// Options.MaxQueue waiters for at most Options.QueueTimeout. A ctx
+// cancellation while queued (client gone, deadline) returns ctx's error.
 func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	release = func() { <-s.sem }
 	select {
@@ -164,7 +196,7 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	}
 	if int(s.queued.Add(1)) > s.opts.MaxQueue {
 		s.queued.Add(-1)
-		return nil, errOverloaded
+		return nil, errQueueFull
 	}
 	defer s.queued.Add(-1)
 	timer := time.NewTimer(s.opts.QueueTimeout)
@@ -175,8 +207,78 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-timer.C:
-		return nil, errOverloaded
+		return nil, errQueueTimeout
 	}
+}
+
+// retryAfterSeconds derives the Retry-After hint on 503s from the live queue
+// depth: an empty queue suggests an immediate retry (1s), a full one scales
+// toward the queue timeout — each queued request is roughly one more
+// QueueTimeout/(MaxQueue+1) of expected drain time — capped at 30s so a
+// transient spike never parks clients for minutes.
+func (s *Server) retryAfterSeconds() int {
+	per := s.opts.QueueTimeout.Seconds() / float64(s.opts.MaxQueue+1)
+	secs := int(1 + float64(s.queued.Load())*per)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// StatusClientClosedRequest reports a request whose client disconnected
+// mid-query (nginx's 499 convention) — the query was cancelled, not failed.
+const StatusClientClosedRequest = 499
+
+// failAdmission maps an acquire error onto the wire: load shed → 503 +
+// Retry-After, deadline → 504, client disconnect → 499; each with its own
+// counter so /stats separates the three.
+func (s *Server) failAdmission(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.errors.Add(1)
+		s.stats.deadlined.Add(1)
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query deadline exceeded while queued: %w", err))
+	case errors.Is(err, context.Canceled):
+		s.stats.errors.Add(1)
+		s.stats.clientGone.Add(1)
+		writeError(w, StatusClientClosedRequest, err)
+	default:
+		s.stats.rejected.Add(1)
+		if errors.Is(err, errQueueTimeout) {
+			s.stats.queueTimeouts.Add(1)
+		} else {
+			s.stats.queueFull.Add(1)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, err)
+	}
+}
+
+// DeadlineHeader is the request header naming a per-query deadline in whole
+// milliseconds. It covers the query end to end — admission wait included —
+// and overrides Options.DefaultDeadline.
+const DeadlineHeader = "Deadline-Ms"
+
+// queryContext derives the request's execution context: the client's
+// disconnect already cancels r.Context(); a Deadline-Ms header (or the
+// server default) adds a deadline on top.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	deadline := s.opts.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad %s header %q: want positive whole milliseconds", DeadlineHeader, h)
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	if deadline > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
 }
 
 // QueryRequest is the POST /query body (JSON). A raw-SQL text body with the
@@ -207,11 +309,14 @@ type QueryResponse struct {
 	// MatHits counts labels served from the materialized columns; Bitmap
 	// reports the fully-covered fast path (content phase was pure bitmap
 	// AND/ANDNOT, zero inference).
-	MatHits          int     `json:"mat_hits"`
-	Bitmap           bool    `json:"bitmap,omitempty"`
-	RepsMaterialized int     `json:"reps_materialized"`
-	RepHits          int     `json:"rep_hits"`
-	WallMS           float64 `json:"wall_ms"`
+	MatHits          int  `json:"mat_hits"`
+	Bitmap           bool `json:"bitmap,omitempty"`
+	RepsMaterialized int  `json:"reps_materialized"`
+	RepHits          int  `json:"rep_hits"`
+	// RepFallbacks counts store-read failures degraded to fresh inference;
+	// nonzero means the store is unhealthy but answers stayed correct.
+	RepFallbacks int     `json:"rep_fallbacks,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
 }
 
 // errorResponse is every endpoint's failure body.
@@ -308,10 +413,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cons := s.constraints(req)
-	release, err := s.acquire(r.Context())
+	ctx, cancel, err := s.queryContext(r)
 	if err != nil {
-		s.stats.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.failAdmission(w, err)
 		return
 	}
 	s.inflight.Add(1)
@@ -328,13 +438,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	res, err := s.db.Query(req.SQL, cons)
+	res, err := s.db.QueryContext(ctx, req.SQL, cons)
 	wall := time.Since(t0)
 	s.inflight.Add(-1)
 	release()
 	if err != nil {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusInternalServerError, err)
+		var pe *exec.PanicError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.stats.deadlined.Add(1)
+			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query deadline exceeded: %w", err))
+		case errors.Is(err, context.Canceled):
+			// The client is gone; the status is for logs and proxies.
+			s.stats.clientGone.Add(1)
+			writeError(w, StatusClientClosedRequest, err)
+		case errors.As(err, &pe):
+			// A contained engine panic: this query failed, the process and
+			// every other query are fine.
+			s.stats.panics.Add(1)
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	s.stats.observe(res, wall)
@@ -348,6 +474,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Bitmap:           res.Bitmap,
 		RepsMaterialized: res.RepsMaterialized,
 		RepHits:          res.RepHits,
+		RepFallbacks:     res.RepFallbacks,
 		WallMS:           float64(wall.Microseconds()) / 1e3,
 	}
 	if !req.NDJSON {
@@ -413,11 +540,20 @@ type serverStats struct {
 	queries  atomic.Int64
 	errors   atomic.Int64
 	rejected atomic.Int64
+	// Load-shed and failure taxonomy: rejected = queueFull + queueTimeouts;
+	// deadlined (504) and clientGone (499) are cancelled queries; panics are
+	// contained handler/engine panics served as 500s.
+	queueFull     atomic.Int64
+	queueTimeouts atomic.Int64
+	deadlined     atomic.Int64
+	clientGone    atomic.Int64
+	panics        atomic.Int64
 
-	udfCalls atomic.Int64
-	fused    atomic.Int64
-	repsMat  atomic.Int64
-	repHits  atomic.Int64
+	udfCalls     atomic.Int64
+	fused        atomic.Int64
+	repsMat      atomic.Int64
+	repHits      atomic.Int64
+	repFallbacks atomic.Int64
 
 	mu      sync.Mutex
 	counts  []int64 // len(latencyBoundsMS)+1
@@ -434,6 +570,7 @@ func (st *serverStats) observe(res *vdb.Result, wall time.Duration) {
 	}
 	st.repsMat.Add(int64(res.RepsMaterialized))
 	st.repHits.Add(int64(res.RepHits))
+	st.repFallbacks.Add(int64(res.RepFallbacks))
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -500,6 +637,18 @@ type StatsResponse struct {
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 
+	// The load-shed and failure taxonomy behind Rejected/Errors:
+	// Rejected = QueueFull + QueueTimeouts (both 503 + Retry-After);
+	// Deadlined are 504s, ClientGone 499s (cancelled, not failed), Panics
+	// contained handler/engine panics served as 500s. RetryAfterS is the
+	// Retry-After a 503 would carry right now, from the live queue depth.
+	QueueFull     int64 `json:"queue_full"`
+	QueueTimeouts int64 `json:"queue_timeouts"`
+	Deadlined     int64 `json:"deadlined"`
+	ClientGone    int64 `json:"client_gone"`
+	Panics        int64 `json:"panics"`
+	RetryAfterS   int   `json:"retry_after_s"`
+
 	Rows       int      `json:"rows"`
 	Predicates []string `json:"predicates"`
 
@@ -510,6 +659,9 @@ type StatsResponse struct {
 	// from the representation store or, cross-query, from the shared rep
 	// cache.
 	RepHits int64 `json:"rep_hits"`
+	// RepFallbacks counts store-read failures degraded to fresh inference
+	// across all queries — a health signal for the representation store.
+	RepFallbacks int64 `json:"rep_fallbacks"`
 
 	// SharedRepCache is the cross-query representation cache's counters
 	// (present when the server was built with one); StoreCache is the
@@ -564,6 +716,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queries:          s.stats.queries.Load(),
 		Errors:           s.stats.errors.Load(),
 		Rejected:         s.stats.rejected.Load(),
+		QueueFull:        s.stats.queueFull.Load(),
+		QueueTimeouts:    s.stats.queueTimeouts.Load(),
+		Deadlined:        s.stats.deadlined.Load(),
+		ClientGone:       s.stats.clientGone.Load(),
+		Panics:           s.stats.panics.Load(),
+		RetryAfterS:      s.retryAfterSeconds(),
 		InFlight:         s.inflight.Load(),
 		Queued:           s.queued.Load(),
 		Rows:             s.db.Count(),
@@ -572,6 +730,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		FusedQueries:     s.stats.fused.Load(),
 		RepsMaterialized: s.stats.repsMat.Load(),
 		RepHits:          s.stats.repHits.Load(),
+		RepFallbacks:     s.stats.repFallbacks.Load(),
 	}
 	if s.opts.RepCache != nil {
 		resp.SharedRepCache = wireCache(s.opts.RepCache.CacheStats())

@@ -82,7 +82,9 @@ func startServer(t *testing.T, db *vdb.DB, opts Options) (*Server, *Client) {
 	s := New(db, opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return s, NewClient(ts.URL)
+	// Retries off: admission tests count exact 503s, and retry behavior has
+	// its own dedicated tests.
+	return s, NewClientWith(ts.URL, ClientOptions{MaxRetries: -1})
 }
 
 func respKey(columns []string, rows [][]any, count int) string {

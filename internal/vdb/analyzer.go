@@ -117,7 +117,7 @@ func (db *DB) analyzerLoop(ctx context.Context, o AnalyzerOptions, done chan<- s
 		// the instant a query arrives (Idle false) or the table is fully
 		// covered, fall back to polling.
 		for o.idle() {
-			worked, err := db.analyzeOnce(o)
+			worked, err := db.analyzeOnce(ctx, o)
 			if err != nil || !worked {
 				break
 			}
@@ -131,8 +131,11 @@ func (db *DB) analyzerLoop(ctx context.Context, o AnalyzerOptions, done chan<- s
 }
 
 // analyzeOnce materializes one bounded batch of the hottest uncovered
-// predicate. worked is false when there is nothing to do.
-func (db *DB) analyzeOnce(o AnalyzerOptions) (worked bool, err error) {
+// predicate. worked is false when there is nothing to do. The analyzer's ctx
+// reaches the engine run, so stopping the analyzer cancels an in-flight
+// batch instead of waiting it out — a cancelled batch's labels are discarded
+// before the merge, exactly like a cancelled query's.
+func (db *DB) analyzeOnce(ctx context.Context, o AnalyzerOptions) (worked bool, err error) {
 	db.mu.Lock()
 	n := len(db.meta)
 	if n == 0 || db.matMode == MatOff {
@@ -189,8 +192,12 @@ func (db *DB) analyzeOnce(o AnalyzerOptions) (worked bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	rep, err := eng.Run(view, batch, opts)
+	rep, err := eng.RunContext(ctx, view, batch, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Shutdown mid-batch: not an analyzer failure, nothing merges.
+			return false, nil
+		}
 		return false, fmt.Errorf("vdb: analyzer classifying %q: %w", key.Category, err)
 	}
 	for j, idx := range batch {

@@ -1,7 +1,10 @@
 package vdb
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -305,24 +308,50 @@ func (db *DB) DecodeCache() (*repstore.Cache, bool) {
 	return db.reps.sc.cache, true
 }
 
-// SaveMaterialized persists the materialized label columns to path. Labels
-// are only meaningful against the exact corpus they were computed over;
-// LoadMaterialized documents the contract.
+// corpusFingerprintLocked hashes the relational metadata — row count plus
+// every row's fields, FNV-1a — into the corpus tag stamped on persisted
+// label files. Labels are only meaningful against the exact corpus they were
+// computed over; the tag turns "caller is responsible" into an enforced
+// refusal. Caller holds db.mu (either mode).
+func (db *DB) corpusFingerprintLocked() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(len(db.meta)))
+	for _, m := range db.meta {
+		put(uint64(m.ID))
+		h.Write([]byte(m.Location))
+		h.Write([]byte{0})
+		h.Write([]byte(m.Camera))
+		h.Write([]byte{0})
+		put(uint64(m.TS))
+	}
+	return h.Sum64()
+}
+
+// SaveMaterialized persists the materialized label columns to path, stamped
+// with a fingerprint of the current corpus; LoadMaterialized refuses files
+// from any other corpus.
 func (db *DB) SaveMaterialized(path string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.mat.SaveFile(path)
+	return db.mat.SaveFile(path, db.corpusFingerprintLocked())
 }
 
-// LoadMaterialized restores columns saved by SaveMaterialized. The caller
-// is responsible for loading only against the same corpus the labels were
-// computed over — cascades are deterministic, so same corpus means
-// identical labels; any other corpus makes them garbage. Columns are
-// truncated or grown to the current corpus length on first use.
+// LoadMaterialized restores columns saved by SaveMaterialized. The file must
+// come from the same corpus (SaveMaterialized stamps a metadata fingerprint;
+// a mismatch refuses to load — cascades are deterministic, so same corpus
+// means identical labels and any other corpus makes them garbage) and must
+// verify bit-for-bit (per-frame checksums catch truncation and corruption).
+// Any failure leaves the resident columns untouched. Columns are truncated
+// or grown to the current corpus length on first use.
 func (db *DB) LoadMaterialized(path string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.mat.LoadFile(path); err != nil {
+	if err := db.mat.LoadFile(path, db.corpusFingerprintLocked()); err != nil {
 		return err
 	}
 	db.mat.Enforce()
@@ -642,6 +671,10 @@ type Result struct {
 	// straight from the representation store.
 	RepsMaterialized int
 	RepHits          int
+	// RepFallbacks counts representation-store reads that failed and were
+	// degraded to decoding the source and transforming it fresh — labels
+	// stay correct, the store's quantization shortcut is just skipped.
+	RepFallbacks int
 	// RepCache, when HasRepCache, is the per-query delta of the rep
 	// cache's own hit/miss/eviction counters. The counters are
 	// cache-global: the delta is exact for a query running alone and
@@ -672,8 +705,21 @@ type ObservedSelectivity struct {
 // and freshly computed labels merge back at the end. Results are
 // bit-identical to a serial run over the same rows.
 func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
+	return db.QueryContext(context.Background(), sql, constraints)
+}
+
+// QueryContext is Query with cooperative cancellation: the execution engines
+// check ctx between batches and levels, so a cancelled or deadlined query
+// returns promptly with ctx's error. Cancellation is an error path — the
+// query's partial labels are discarded before the merge step, so nothing
+// partial ever reaches the materialized columns or the catalog, and a retry
+// returns labels bit-identical to an uninterrupted run.
+func (db *DB) QueryContext(ctx context.Context, sql string, constraints core.Constraints) (*Result, error) {
 	q, err := Parse(sql)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// The write lock (not RLock): snapshotForPlan may create and grow the
@@ -687,7 +733,7 @@ func (db *DB) Query(sql string, constraints core.Constraints) (*Result, error) {
 	snap := db.snapshotForPlan(plan)
 	db.mu.Unlock()
 
-	res, err := executeQuery(plan, snap)
+	res, err := executeQuery(ctx, plan, snap)
 	if err != nil {
 		return nil, err
 	}

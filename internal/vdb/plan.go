@@ -1,6 +1,7 @@
 package vdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -195,7 +196,7 @@ func (p *queryPlan) describe(db *DB) string {
 // executeQuery runs a planned query against its snapshot. It touches no DB
 // state: classification reads the snapshot's fixed corpus view and fills the
 // snapshot's private columns, which Query merges back under the lock.
-func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
+func executeQuery(ctx context.Context, plan *queryPlan, snap *querySnapshot) (*Result, error) {
 	q := plan.query
 	// 1. Metadata filters over all rows.
 	var live []int
@@ -305,17 +306,17 @@ func executeQuery(plan *queryPlan, snap *querySnapshot) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return executeFused(plan, snap, res, ccols, live, fe, execOpts, q)
+		return executeFused(ctx, plan, snap, res, ccols, live, fe, execOpts, q)
 	}
 
-	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
+	return executeSequential(ctx, plan, snap, res, ccols, live, execOpts, q)
 }
 
 // executeFused runs the fused content pre-pass — filling every predicate's
 // column for every live row in one shared-representation engine run — and
 // then delegates to the sequential tail, which finds nothing left to
 // classify and only filters and projects.
-func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, fe *exec.Fused, execOpts exec.Options, q *Query) (*Result, error) {
+func executeFused(ctx context.Context, plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, fe *exec.Fused, execOpts exec.Options, q *Query) (*Result, error) {
 	var union []int
 	for _, idx := range live {
 		for si := range plan.content {
@@ -338,7 +339,7 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 			fusedCols[ccols[si]] = true
 		}
 	}
-	frep, err := fe.Run(snap.corpus, union, need, execOpts)
+	frep, err := fe.RunContext(ctx, snap.corpus, union, need, execOpts)
 	if err != nil {
 		return nil, fmt.Errorf("vdb: fused content predicates: %w", err)
 	}
@@ -364,11 +365,12 @@ func executeFused(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*co
 	res.Fused = true
 	res.RepsMaterialized += frep.RepsMaterialized
 	res.RepHits += frep.RepHits
+	res.RepFallbacks += frep.RepFallbacks
 	if frep.HasCache {
 		res.HasRepCache = true
 		res.RepCache = frep.Cache
 	}
-	return executeSequential(plan, snap, res, ccols, live, execOpts, q)
+	return executeSequential(ctx, plan, snap, res, ccols, live, execOpts, q)
 }
 
 // tryBitmap attempts the content phase as pure bitmap algebra. Each step
@@ -404,7 +406,7 @@ func tryBitmap(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*colum
 // executeSequential classifies whatever is still uncached (everything when
 // the fused pre-pass did not run, nothing when it did), narrows the live
 // set predicate by predicate, and applies limit + projection.
-func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
+func executeSequential(ctx context.Context, plan *queryPlan, snap *querySnapshot, res *Result, ccols []*column, live []int, execOpts exec.Options, q *Query) (*Result, error) {
 	for si, cs := range plan.content {
 		col := ccols[si]
 		if missing := col.Missing(live); len(missing) > 0 {
@@ -416,7 +418,7 @@ func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols 
 			if err != nil {
 				return nil, err
 			}
-			rep, err := eng.Run(snap.corpus, missing, execOpts)
+			rep, err := eng.RunContext(ctx, snap.corpus, missing, execOpts)
 			if err != nil {
 				return nil, fmt.Errorf("vdb: classifying %q: %w", cs.cond.Category, err)
 			}
@@ -426,6 +428,7 @@ func executeSequential(plan *queryPlan, snap *querySnapshot, res *Result, ccols 
 			res.UDFCalls += rep.Frames
 			res.RepsMaterialized += rep.RepsMaterialized
 			res.RepHits += rep.RepHits
+			res.RepFallbacks += rep.RepFallbacks
 			res.Observed = append(res.Observed, ObservedSelectivity{
 				Category:  cs.pred.Category,
 				Cascade:   cs.spec.ID(),

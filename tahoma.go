@@ -131,8 +131,15 @@ type (
 	ServerOptions = server.Options
 	// Client talks to a running Server.
 	Client = server.Client
+	// ClientOptions tune the client's timeouts and retry policy (connect
+	// and per-attempt timeouts, exponential backoff with jitter honoring
+	// Retry-After, max-elapsed budget).
+	ClientOptions = server.ClientOptions
 	// ClientQueryOptions are a client request's cascade constraints.
 	ClientQueryOptions = server.QueryOptions
+	// PanicError is a contained worker or handler panic: the query fails
+	// with this typed error (panic value + stack) instead of the process.
+	PanicError = exec.PanicError
 	// QueryResponse is the server's query answer (rows + accounting).
 	QueryResponse = server.QueryResponse
 	// ServerStats is the GET /stats payload.
@@ -410,8 +417,14 @@ func NewDB(sc Scenario, params CostParams) (*DB, error) {
 func NewServer(db *DB, opts ServerOptions) *Server { return server.New(db, opts) }
 
 // NewClient builds a client for a running server's base URL, e.g.
-// "http://127.0.0.1:8080".
+// "http://127.0.0.1:8080", with default ClientOptions (2s connect / 30s
+// request timeouts, 3 retries with backoff).
 func NewClient(base string) *Client { return server.NewClient(base) }
+
+// NewClientWith builds a client with explicit timeout/retry options.
+func NewClientWith(base string, opts ClientOptions) *Client {
+	return server.NewClientWith(base, opts)
+}
 
 // NewSharedRepCache builds a cross-query representation cache bounded at
 // capacityBytes of decoded pixels; install it with DB.SetRepCache or
