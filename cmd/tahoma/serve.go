@@ -26,6 +26,13 @@ import (
 // HTTP front end with a bounded admission pool, and a cross-query shared
 // representation cache so concurrent queries reuse each other's transform
 // work. Results are bit-identical to one-shot `tahoma query` runs.
+//
+// With -wal-dir the service is durable: every acknowledged ingest is fsynced
+// to a write-ahead journal before the 200, a background checkpointer bounds
+// replay, and startup recovers checkpoint + journal before /readyz flips to
+// 200. The listener binds before recovery — "listening on http://..." on
+// stderr marks the moment clients can start polling /readyz — and SIGTERM/
+// SIGINT drains in-flight queries, takes a final checkpoint and exits 0.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -47,11 +54,19 @@ func cmdServe(args []string) error {
 	queueTimeout := fs.Duration("queue-timeout", 30*time.Second, "how long a query may wait for a worker before a 503")
 	materialize := fs.String("materialize", "on", "label materialization: on (cache classified labels as bitmap columns), off (re-infer every query), bg (on + background analyzer pre-materializes hot predicates while the admission pool is idle)")
 	matMB := fs.Int("mat-mb", 0, "materialized-label byte budget in MiB (0 = unbounded); coldest columns are evicted over budget")
-	deadline := fs.Duration("deadline", 0, "default per-query deadline when a request carries no Deadline-Ms header (0 = none)")
+	deadline := fs.Duration("deadline", 0, "default per-query deadline when a request carries no Deadline-Ms header (0 = none); also bounds the graceful-shutdown drain")
 	fault := fs.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'store.rep-read=error,store.rep-slow=slow:50ms' (see internal/faults)")
+	walDir := fs.String("wal-dir", "", "write-ahead journal + checkpoint directory; enables durable ingest and crash recovery (implies -store-corpus)")
+	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval under -wal-dir; bounds journal replay after a crash")
+	trigger := fs.Bool("trigger", false, "classify newly ingested rows immediately (ingest-time trigger materialization, most accurate cascade)")
 	fs.Parse(args)
 	if *zooDirs == "" || *corpusDir == "" {
 		return fmt.Errorf("serve: -zoo and -corpus are required")
+	}
+	if *walDir != "" {
+		// Durability recovers into (and truncates) the backing store; an
+		// in-memory image of it could silently diverge.
+		*storeCorpus = true
 	}
 	if *fault != "" {
 		if err := faults.Parse(*fault); err != nil {
@@ -95,39 +110,6 @@ func cmdServe(args []string) error {
 	if *serveReps {
 		*storeCorpus = true
 	}
-	if *storeCorpus {
-		if err := db.LoadCorpusFromStore(store, int64(*cacheMB)<<20, meta); err != nil {
-			return err
-		}
-		db.ServeReps(*serveReps)
-	} else {
-		var images []*img.Image
-		if err := store.ScanSource(func(i int, im *img.Image) error {
-			images = append(images, im)
-			return nil
-		}); err != nil {
-			return err
-		}
-		if err := db.LoadCorpus(images, meta); err != nil {
-			return err
-		}
-	}
-
-	for _, dir := range strings.Split(*zooDirs, ",") {
-		dir = strings.TrimSpace(dir)
-		if dir == "" {
-			continue
-		}
-		sys, err := loadSystem(dir)
-		if err != nil {
-			return err
-		}
-		category := strings.TrimSuffix(strings.TrimPrefix(sys.Predicate, "contains_object("), ")")
-		if err := db.InstallPredicate(category, sys, 2); err != nil {
-			return err
-		}
-		log.Printf("installed predicate %q from %s", category, dir)
-	}
 
 	opts := server.Options{
 		MaxConcurrent: *maxConcurrent,
@@ -137,6 +119,10 @@ func cmdServe(args []string) error {
 		// at the flag level an explicit 0 means no loss.
 		DefaultAccuracyLoss: *loss,
 		DefaultDeadline:     *deadline,
+		// The listener binds before corpus load and crash recovery: the
+		// server answers /healthz and /readyz (503) immediately and flips
+		// ready only when it can actually serve.
+		StartUnready: true,
 	}
 	if *loss == 0 {
 		opts.DefaultAccuracyLoss = -1
@@ -152,34 +138,132 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if matMode == vdb.MatBg {
-		// The analyzer gates on the admission pool: it only classifies when
-		// no query is executing or queued, so foreground latency is never
-		// spent on pre-materialization.
-		stopAnalyzer, err := db.StartAnalyzer(ctx, vdb.AnalyzerOptions{Idle: srv.Idle})
-		if err != nil {
-			return err
-		}
-		defer stopAnalyzer()
-		log.Printf("background analyzer on: hot predicates pre-materialize while the admission pool is idle")
-	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %d rows, predicates [%s] on http://%s (POST /query, GET /explain, GET /stats)",
-		db.Count(), strings.Join(db.Predicates(), ", "), ln.Addr())
-
+	log.Printf("listening on http://%s (not ready: recovering)", ln.Addr())
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+
+	// Initialization behind the unready gate: corpus, predicates, recovery.
+	var stopAnalyzer, stopCheckpointer func()
+	initialize := func() error {
+		if *storeCorpus {
+			if err := db.LoadCorpusFromStore(store, int64(*cacheMB)<<20, meta); err != nil {
+				return err
+			}
+			db.ServeReps(*serveReps)
+		} else {
+			var images []*img.Image
+			if err := store.ScanSource(func(i int, im *img.Image) error {
+				images = append(images, im)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := db.LoadCorpus(images, meta); err != nil {
+				return err
+			}
+		}
+		if opts.RepCache != nil {
+			// Loading a corpus drops the row-keyed rep cache; re-install it
+			// now that the rows it will be keyed by are final.
+			db.SetRepCache(opts.RepCache)
+		}
+
+		for _, dir := range strings.Split(*zooDirs, ",") {
+			dir = strings.TrimSpace(dir)
+			if dir == "" {
+				continue
+			}
+			sys, err := loadSystem(dir)
+			if err != nil {
+				return err
+			}
+			category := strings.TrimSuffix(strings.TrimPrefix(sys.Predicate, "contains_object("), ")")
+			if err := db.InstallPredicate(category, sys, 2); err != nil {
+				return err
+			}
+			log.Printf("installed predicate %q from %s", category, dir)
+		}
+		if *trigger {
+			db.SetTriggerPolicy(vdb.TriggerPolicy{Enabled: true})
+		}
+
+		if *walDir != "" {
+			rstats, err := db.EnableDurability(vdb.DurabilityOptions{Dir: *walDir})
+			if err != nil {
+				return fmt.Errorf("serve: recovery: %w", err)
+			}
+			log.Printf("recovered %d rows in %dms (checkpoint=%v, wal_replayed=%d, wal_truncated_bytes=%d)",
+				rstats.Rows, rstats.RecoveryMS, rstats.CheckpointLoaded, rstats.Replayed, rstats.TruncatedBytes)
+			stopCheckpointer, err = db.StartCheckpointer(ctx, vdb.CheckpointerOptions{Every: *checkpointEvery},
+				func(err error) { log.Printf("checkpoint failed (will retry): %v", err) })
+			if err != nil {
+				return err
+			}
+		}
+
+		if matMode == vdb.MatBg {
+			// The analyzer gates on the admission pool: it only classifies
+			// when no query is executing or queued, so foreground latency is
+			// never spent on pre-materialization.
+			var err error
+			stopAnalyzer, err = db.StartAnalyzer(ctx, vdb.AnalyzerOptions{Idle: srv.Idle})
+			if err != nil {
+				return err
+			}
+			log.Printf("background analyzer on: hot predicates pre-materialize while the admission pool is idle")
+		}
+		return nil
+	}
+
+	// shutdown drains and persists: stop admitting (unready), let in-flight
+	// work finish bounded by -deadline, stop the background goroutines, then
+	// take the final checkpoint so a restart replays nothing.
+	shutdown := func() error {
+		srv.SetReady(false)
+		bound := 30 * time.Second
+		if *deadline > 0 {
+			bound = *deadline
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), bound)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		if stopAnalyzer != nil {
+			stopAnalyzer()
+		}
+		if stopCheckpointer != nil {
+			stopCheckpointer()
+		}
+		if *walDir != "" {
+			if cerr := db.CloseDurability(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+
+	if err := initialize(); err != nil {
+		_ = shutdown()
+		return err
+	}
+	srv.SetReady(true)
+	log.Printf("serving %d rows, predicates [%s] on http://%s (POST /query, GET /explain, POST /ingest, GET /stats)",
+		db.Count(), strings.Join(db.Predicates(), ", "), ln.Addr())
+
 	select {
 	case err := <-done:
+		_ = shutdown()
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down...")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutCtx)
+		log.Printf("shutting down: draining in-flight queries, final checkpoint...")
+		err := shutdown()
+		if err == nil {
+			log.Printf("shutdown complete")
+		}
+		return err
 	}
 }

@@ -46,11 +46,35 @@ const (
 	// crash-during-write case. Contract: the torn file refuses to load with
 	// a descriptive error and the resident store is left untouched.
 	MatTornWrite = "mat.torn-write"
+	// FSWriteError fails a durability-layer file write (WAL frame, checkpoint
+	// temp file, repstore manifest). Contract: the write path reports a typed
+	// error; on the WAL it fail-stops further journaled writes rather than
+	// silently losing acknowledged ones.
+	FSWriteError = "fs.write-error"
+	// FSShortWrite writes only a prefix of a durability-layer record to disk
+	// before failing — the torn-frame case power loss produces. Contract: the
+	// recovering reader truncates at the torn frame and recovery yields a
+	// clean prefix of committed records.
+	FSShortWrite = "fs.short-write"
+	// FSSyncError fails an fsync in the durability layer. Contract: the
+	// commit reports an error (the write was never acknowledged as durable).
+	FSSyncError = "fs.sync-error"
+	// FSCrashBeforeSync kills the process (os.Exit at the call site) after a
+	// durability-layer write is buffered but before it is fsynced — the
+	// strictest crash point: the record may or may not reach disk, entirely
+	// or torn. Contract: restart recovers a clean prefix of committed writes.
+	FSCrashBeforeSync = "fs.crash-before-sync"
+	// FSCrashAfterSync kills the process immediately after an fsync returns.
+	// Contract: restart recovers everything up to and including that commit.
+	FSCrashAfterSync = "fs.crash-after-sync"
 )
 
 // Points lists every registered failure point, sorted.
 func Points() []string {
-	pts := []string{StoreDecode, StoreRepRead, StoreRepSlow, ExecWorkerPanic, MatTornWrite}
+	pts := []string{
+		StoreDecode, StoreRepRead, StoreRepSlow, ExecWorkerPanic, MatTornWrite,
+		FSWriteError, FSShortWrite, FSSyncError, FSCrashBeforeSync, FSCrashAfterSync,
+	}
 	sort.Strings(pts)
 	return pts
 }

@@ -90,6 +90,20 @@ func TestPureDelayReturnsNil(t *testing.T) {
 	}
 }
 
+func TestFSPointsRegistered(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, p := range []string{FSWriteError, FSShortWrite, FSSyncError, FSCrashBeforeSync, FSCrashAfterSync} {
+		if err := Enable(p, Spec{}); err != nil {
+			t.Fatalf("fs point %s not registered: %v", p, err)
+		}
+		if err := Fire(p); err == nil {
+			t.Fatalf("armed fs point %s did not fire", p)
+		}
+		Disable(p)
+	}
+}
+
 func TestParse(t *testing.T) {
 	Reset()
 	defer Reset()

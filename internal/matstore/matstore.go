@@ -144,7 +144,12 @@ func copyPrefixInto(dst, src *bitset.Set, n int) {
 // Classification is deterministic per (cascade, row), so the values are
 // identical either way and merge order cannot change any result. Returns
 // the number of newly adopted rows.
-func (c *Column) Merge(priv *Column) int {
+func (c *Column) Merge(priv *Column) int { return c.MergeDelta(priv, nil) }
+
+// MergeDelta is Merge with a delta callback: emit (when non-nil) receives
+// every newly adopted (row, label) pair — the exact state change, which the
+// durability layer journals so a replayed merge reproduces it bit-identically.
+func (c *Column) MergeDelta(priv *Column, emit func(row int, label bool)) int {
 	n := priv.Len()
 	if n > c.Len() {
 		n = c.Len()
@@ -165,6 +170,13 @@ func (c *Column) Merge(priv *Column) int {
 		adopted += bits.OnesCount64(adopt)
 		cv[w] |= adopt
 		cl[w] |= pl[w] & adopt
+		if emit != nil {
+			for rest := adopt; rest != 0; rest &= rest - 1 {
+				bit := bits.TrailingZeros64(rest)
+				row := w*64 + bit
+				emit(row, pl[w]&(1<<uint(bit)) != 0)
+			}
+		}
 	}
 	return adopted
 }
@@ -388,6 +400,47 @@ func (s *Store) coldest() (Key, bool) {
 		}
 	}
 	return best, found
+}
+
+// UsageState is the usage table's serializable form: the logical clock and
+// every key's touch accounting. It exists for checkpoints — the usage table
+// describes the query workload, which a restarted process should keep
+// steering by rather than relearn from zero.
+type UsageState struct {
+	Clock   int64
+	Entries []UsageStateEntry
+}
+
+// UsageStateEntry is one key's row in a UsageState.
+type UsageStateEntry struct {
+	Category string
+	Cascade  string
+	Touches  int64
+	Last     int64
+}
+
+// ExportUsage snapshots the usage table, entries sorted by key.
+func (s *Store) ExportUsage() UsageState {
+	u := UsageState{Clock: s.clock}
+	for k, use := range s.use {
+		u.Entries = append(u.Entries, UsageStateEntry{
+			Category: k.Category, Cascade: k.Cascade, Touches: use.touches, Last: use.last,
+		})
+	}
+	sort.Slice(u.Entries, func(i, j int) bool {
+		a, b := u.Entries[i], u.Entries[j]
+		return keyLess(Key{a.Category, a.Cascade}, Key{b.Category, b.Cascade})
+	})
+	return u
+}
+
+// RestoreUsage replaces the usage table with a previously exported snapshot.
+func (s *Store) RestoreUsage(u UsageState) {
+	s.clock = u.Clock
+	s.use = make(map[Key]*usage, len(u.Entries))
+	for _, e := range u.Entries {
+		s.use[Key{Category: e.Category, Cascade: e.Cascade}] = &usage{touches: e.Touches, last: e.Last}
+	}
 }
 
 // UsageEntry is one key's row in the stats snapshot.

@@ -121,6 +121,18 @@ type CatalogEntry struct {
 	Seed     float64 // install-time estimate
 }
 
+// Restore replaces the catalog's contents with a previously Snapshot-ted
+// state — the recovery path: a restarted process resumes planning with the
+// selectivity knowledge it had accumulated, not the install-time seeds.
+func (c *Catalog) Restore(entries []CatalogEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.preds = make(map[string]*predStat, len(entries))
+	for _, e := range entries {
+		c.preds[e.Key] = &predStat{seed: clamp01(e.Seed), rate: clamp01(e.PassRate), samples: e.Samples}
+	}
+}
+
 // Snapshot lists every predicate's state, sorted by key.
 func (c *Catalog) Snapshot() []CatalogEntry {
 	c.mu.RLock()

@@ -112,7 +112,15 @@ func Create(dir string, baseW, baseH int, transforms []xform.Transform) (*Store,
 }
 
 // Open opens an existing store and validates record counts against file
-// sizes, detecting truncation.
+// sizes. A data file *shorter* than the manifest implies is corruption (the
+// manifest is only made durable after the data it describes, so acknowledged
+// records cannot be missing). A data file *longer* than the manifest implies
+// is a torn tail — a crash between appending records and committing the
+// manifest — and is repaired by truncating back to the manifest's count: the
+// extra records were never acknowledged.
+//
+// Files are opened read-write so an opened store can keep ingesting (the
+// serving tier's ONGOING scenario).
 func Open(dir string) (*Store, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -133,7 +141,7 @@ func Open(dir string) (*Store, error) {
 		}
 		s.xforms = append(s.xforms, t)
 	}
-	s.source, err = os.Open(filepath.Join(dir, "source.dat"))
+	s.source, err = os.OpenFile(filepath.Join(dir, "source.dat"), os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("repstore: opening source.dat: %w", err)
 	}
@@ -142,7 +150,7 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	for _, t := range s.xforms {
-		f, err := os.Open(filepath.Join(dir, repFileName(t.ID())))
+		f, err := os.OpenFile(filepath.Join(dir, repFileName(t.ID())), os.O_RDWR, 0o644)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("repstore: opening rep file for %s: %w", t.ID(), err)
@@ -163,9 +171,15 @@ func (s *Store) checkSize(f *os.File, record int, name string) error {
 		return fmt.Errorf("repstore: stat %s: %w", name, err)
 	}
 	want := int64(record) * int64(s.manifest.Count)
-	if info.Size() != want {
+	switch {
+	case info.Size() < want:
 		return fmt.Errorf("%w: %s is %d bytes, manifest implies %d (count=%d, record=%d)",
 			ErrCorrupt, name, info.Size(), want, s.manifest.Count, record)
+	case info.Size() > want:
+		// Torn tail: records appended but never committed via the manifest.
+		if err := f.Truncate(want); err != nil {
+			return fmt.Errorf("repstore: truncating torn tail of %s: %w", name, err)
+		}
 	}
 	return nil
 }
@@ -178,17 +192,44 @@ func (s *Store) sourceRecordSize() int {
 	return img.EncodedSize(s.manifest.BaseW, s.manifest.BaseH, img.RGB)
 }
 
+// writeManifest atomically replaces the manifest: write a temp file, fsync
+// it, rename over the old one, fsync the directory. Without the fsyncs a
+// crash can surface an empty or garbage manifest — the rename may hit disk
+// before the temp file's contents do.
 func (s *Store) writeManifest() error {
+	if err := faults.Fire(faults.FSWriteError); err != nil {
+		return fmt.Errorf("repstore: writing manifest: %w", err)
+	}
 	raw, err := json.MarshalIndent(s.manifest, "", "  ")
 	if err != nil {
 		return fmt.Errorf("repstore: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(s.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return fmt.Errorf("repstore: writing manifest: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("repstore: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repstore: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repstore: closing manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
 		return fmt.Errorf("repstore: replacing manifest: %w", err)
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("repstore: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("repstore: syncing dir: %w", err)
 	}
 	return nil
 }
@@ -218,18 +259,24 @@ func (s *Store) Ingest(im *img.Image) (int, error) {
 		return 0, fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
 			im.W, im.H, im.Mode, s.manifest.BaseW, s.manifest.BaseH)
 	}
-	if err := s.appendRecord(s.source, im, s.sourceRecordSize(), "source.dat"); err != nil {
+	idx := s.manifest.Count
+	if err := s.appendRecord(s.source, im, idx, s.sourceRecordSize(), "source.dat"); err != nil {
 		return 0, err
 	}
 	for _, t := range s.xforms {
 		rep := t.Apply(im)
-		if err := s.appendRecord(s.reps[t.ID()], rep, t.StoredBytes(), repFileName(t.ID())); err != nil {
+		if err := s.appendRecord(s.reps[t.ID()], rep, idx, t.StoredBytes(), repFileName(t.ID())); err != nil {
 			return 0, err
 		}
 	}
-	idx := s.manifest.Count
+	// Durability ordering: data fsync, then manifest. A crash in between
+	// leaves a torn data tail beyond the manifest count, which Open repairs.
+	if err := s.syncDataLocked(); err != nil {
+		return 0, err
+	}
 	s.manifest.Count++
 	if err := s.writeManifest(); err != nil {
+		s.manifest.Count--
 		return 0, err
 	}
 	return idx, nil
@@ -240,26 +287,42 @@ func (s *Store) Ingest(im *img.Image) (int, error) {
 func (s *Store) IngestAll(ims []*img.Image) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, im := range ims {
+	start := s.manifest.Count
+	for k, im := range ims {
 		if im.W != s.manifest.BaseW || im.H != s.manifest.BaseH || im.Mode != img.RGB {
+			s.manifest.Count = start
 			return fmt.Errorf("repstore: ingest image %dx%d/%v, store wants %dx%d/rgb",
 				im.W, im.H, im.Mode, s.manifest.BaseW, s.manifest.BaseH)
 		}
-		if err := s.appendRecord(s.source, im, s.sourceRecordSize(), "source.dat"); err != nil {
+		if err := s.appendRecord(s.source, im, start+k, s.sourceRecordSize(), "source.dat"); err != nil {
+			s.manifest.Count = start
 			return err
 		}
 		for _, t := range s.xforms {
 			rep := t.Apply(im)
-			if err := s.appendRecord(s.reps[t.ID()], rep, t.StoredBytes(), repFileName(t.ID())); err != nil {
+			if err := s.appendRecord(s.reps[t.ID()], rep, start+k, t.StoredBytes(), repFileName(t.ID())); err != nil {
+				s.manifest.Count = start
 				return err
 			}
 		}
 		s.manifest.Count++
 	}
-	return s.writeManifest()
+	// Durability ordering: data fsync, then manifest (see Ingest).
+	if err := s.syncDataLocked(); err != nil {
+		s.manifest.Count = start
+		return err
+	}
+	if err := s.writeManifest(); err != nil {
+		s.manifest.Count = start
+		return err
+	}
+	return nil
 }
 
-func (s *Store) appendRecord(f *os.File, im *img.Image, record int, name string) error {
+// appendRecord writes image im as record index idx of f. Writes are offset-
+// addressed (not position-dependent) so a store opened with Open can keep
+// appending, and a re-crashed append simply overwrites its own torn tail.
+func (s *Store) appendRecord(f *os.File, im *img.Image, idx, record int, name string) error {
 	var buf bytes.Buffer
 	buf.Grow(record)
 	if err := img.Encode(&buf, im); err != nil {
@@ -268,10 +331,66 @@ func (s *Store) appendRecord(f *os.File, im *img.Image, record int, name string)
 	if buf.Len() != record {
 		return fmt.Errorf("repstore: record for %s is %d bytes, want %d", name, buf.Len(), record)
 	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	if _, err := f.WriteAt(buf.Bytes(), int64(idx)*int64(record)); err != nil {
 		return fmt.Errorf("repstore: appending to %s: %w", name, err)
 	}
 	return nil
+}
+
+// syncDataLocked fsyncs every data file — the first half of the durability
+// ordering: data reaches disk before the manifest that describes it.
+func (s *Store) syncDataLocked() error {
+	if err := faults.Fire(faults.FSSyncError); err != nil {
+		return fmt.Errorf("repstore: syncing data: %w", err)
+	}
+	if err := s.source.Sync(); err != nil {
+		return fmt.Errorf("repstore: syncing source.dat: %w", err)
+	}
+	for id, f := range s.reps {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("repstore: syncing %s: %w", repFileName(id), err)
+		}
+	}
+	return nil
+}
+
+// Sync makes every ingested record and the manifest durable. Ingest and
+// IngestAll already sync internally; Sync is for callers that need an
+// explicit barrier (e.g. before journaling a commit that references rows).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.syncDataLocked(); err != nil {
+		return err
+	}
+	return s.writeManifest()
+}
+
+// TruncateTo discards every record with index >= n, reconciling the store
+// with recovered state (rows whose journal commit never reached disk must
+// not survive in the store, or a later append would collide with them).
+func (s *Store) TruncateTo(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 || n > s.manifest.Count {
+		return fmt.Errorf("repstore: TruncateTo(%d) outside [0,%d]", n, s.manifest.Count)
+	}
+	if n == s.manifest.Count {
+		return nil
+	}
+	if err := s.source.Truncate(int64(n) * int64(s.sourceRecordSize())); err != nil {
+		return fmt.Errorf("repstore: truncating source.dat: %w", err)
+	}
+	for _, t := range s.xforms {
+		if err := s.reps[t.ID()].Truncate(int64(n) * int64(t.StoredBytes())); err != nil {
+			return fmt.Errorf("repstore: truncating %s: %w", repFileName(t.ID()), err)
+		}
+	}
+	s.manifest.Count = n
+	if err := s.syncDataLocked(); err != nil {
+		return err
+	}
+	return s.writeManifest()
 }
 
 // LoadSource reads full-size image i.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"tahoma/internal/faults"
 	"tahoma/internal/img"
 	"tahoma/internal/xform"
 )
@@ -270,5 +271,170 @@ func TestOpenDetectsCorruptRecord(t *testing.T) {
 	defer s2.Close()
 	if _, err := s2.LoadSource(0); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupt record read succeeded: %v", err)
+	}
+}
+
+func TestOpenRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	want := []*img.Image{randRGB(rng, 16), randRGB(rng, 16)}
+	if err := s.IngestAll(want); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash between data append and manifest commit: extra bytes
+	// past the manifest's count. Open must truncate them, not refuse.
+	path := filepath.Join(dir, "source.dat")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn-tail store refused to open: %v", err)
+	}
+	defer s2.Close()
+	if s2.Count() != 2 {
+		t.Fatalf("Count = %d after repair, want 2", s2.Count())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSize := int64(2 * s2.sourceRecordSize()); info.Size() != wantSize {
+		t.Fatalf("source.dat is %d bytes after repair, want %d", info.Size(), wantSize)
+	}
+	if _, err := s2.LoadSource(1); err != nil {
+		t.Fatalf("acked record unreadable after repair: %v", err)
+	}
+}
+
+func TestIngestAfterOpenAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	first := randRGB(rng, 16)
+	if _, err := s.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// An opened store must APPEND, not overwrite record 0.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	second := randRGB(rng, 16)
+	idx, err := s2.Ingest(second)
+	if err != nil {
+		t.Fatalf("ingest into opened store: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("ingest index %d, want 1", idx)
+	}
+	got0, err := s2.LoadSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range first.Pix {
+		d := got0.Pix[j] - first.Pix[j]
+		if d < -0.01 || d > 0.01 {
+			t.Fatal("record 0 clobbered by post-open ingest")
+		}
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, testTransforms[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(8))
+	var ims []*img.Image
+	for i := 0; i < 5; i++ {
+		ims = append(ims, randRGB(rng, 16))
+	}
+	if err := s.IngestAll(ims); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncateTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d after TruncateTo(3)", s.Count())
+	}
+	if _, err := s.LoadSource(3); err == nil {
+		t.Fatal("truncated record still readable")
+	}
+	// Re-append lands at index 3 and survives a reopen.
+	if idx, err := s.Ingest(randRGB(rng, 16)); err != nil || idx != 3 {
+		t.Fatalf("post-truncate ingest = (%d, %v)", idx, err)
+	}
+	if err := s.TruncateTo(10); err == nil {
+		t.Fatal("TruncateTo beyond count accepted")
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 4 {
+		t.Fatalf("Count = %d after reopen, want 4", s2.Count())
+	}
+}
+
+func TestFaultManifestWriteError(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+	s, err := Create(dir, 16, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(9))
+	if _, err := s.Ingest(randRGB(rng, 16)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("manifest write lost")
+	if err := faults.Enable(faults.FSWriteError, faults.Spec{Err: boom, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(randRGB(rng, 16)); !errors.Is(err, boom) {
+		t.Fatalf("ingest under manifest fault = %v, want %v", err, boom)
+	}
+	// The failed ingest was never acknowledged: count holds, and a retry
+	// lands at the same index.
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after failed ingest, want 1", s.Count())
+	}
+	if idx, err := s.Ingest(randRGB(rng, 16)); err != nil || idx != 1 {
+		t.Fatalf("retry ingest = (%d, %v), want index 1", idx, err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("store unopenable after failed+retried ingest: %v", err)
+	}
+	defer s2.Close()
+	if s2.Count() != 2 {
+		t.Fatalf("reopened Count = %d, want 2", s2.Count())
 	}
 }

@@ -358,6 +358,92 @@ func (c *Client) ExplainCtx(ctx context.Context, sql string, opts QueryOptions) 
 	return string(body), err
 }
 
+// Ingest appends a batch of rows through POST /ingest. A nil error means the
+// server acknowledged the batch — under durability, that it is fsynced to the
+// journal and survives any crash. 503s (load shed, recovery in progress) are
+// retried per ClientOptions, which is safe: a shed or gated request touched
+// no state. A transport failure after the request was sent is ambiguous —
+// the batch may or may not have landed — so callers needing exactly-once
+// should assign unique IDs and reconcile with a query.
+func (c *Client) Ingest(rows []IngestRow) (*IngestResponse, error) {
+	return c.IngestCtx(context.Background(), rows)
+}
+
+// IngestCtx is Ingest with a per-call context; its deadline is forwarded to
+// the server as Deadline-Ms, bounding admission wait + trigger classification.
+func (c *Client) IngestCtx(ctx context.Context, rows []IngestRow) (*IngestResponse, error) {
+	blob, err := json.Marshal(IngestRequest{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		hr, err := http.NewRequest(http.MethodPost, c.base+"/ingest", bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return hr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes GET /readyz once, without retries: true when the server is
+// serving, false while it is still recovering or draining. An unreachable
+// server is an error, not "not ready" — the caller can tell a dead process
+// from a recovering one.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusServiceUnavailable:
+		return false, nil
+	default:
+		return false, fmt.Errorf("server: /readyz HTTP %d", resp.StatusCode)
+	}
+}
+
+// WaitReady polls /readyz until the server reports ready or ctx ends.
+// Connection errors are treated as "not yet" — the normal race of probing a
+// process that has not bound its listener — so WaitReady doubles as a
+// startup barrier.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		ready, err := c.Ready(ctx)
+		if ready {
+			return nil
+		}
+		if err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // Stats fetches the server's counters.
 func (c *Client) Stats() (*StatsResponse, error) {
 	return c.StatsCtx(context.Background())

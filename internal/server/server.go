@@ -11,8 +11,12 @@
 //	POST /query    SQL in (JSON body or raw text), rows out; ?ndjson=1 or
 //	               {"ndjson":true} streams results as NDJSON for large sets
 //	GET  /explain  the query plan, without executing it
+//	POST /ingest   append rows (metadata + encoded images) through the
+//	               durable ingest path
 //	GET  /stats    engine + rep-cache counters, latency histogram
 //	GET  /healthz  liveness + row count
+//	GET  /readyz   readiness: 503 until crash recovery has replayed the
+//	               journal, 200 after
 //
 // Concurrent queries return results bit-identical to serial execution: the
 // DB snapshots its column state per query and classification is
@@ -20,6 +24,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,6 +42,7 @@ import (
 
 	"tahoma/internal/core"
 	"tahoma/internal/exec"
+	"tahoma/internal/img"
 	"tahoma/internal/vdb"
 )
 
@@ -68,6 +74,12 @@ type Options struct {
 	// representation cache and reported under /stats: a representation
 	// materialized for one query becomes a RepHit for every other.
 	RepCache *vdb.SharedRepCache
+	// StartUnready starts the server in the not-ready state: /readyz (and
+	// every query/ingest endpoint) answers 503 + Retry-After until SetReady.
+	// The serve path uses it to accept connections during crash recovery —
+	// liveness (/healthz) is distinct from readiness — and flips it once the
+	// journal has replayed.
+	StartUnready bool
 }
 
 func (o Options) normalized() Options {
@@ -101,6 +113,7 @@ type Server struct {
 	sem      chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
+	ready    atomic.Bool
 
 	stats serverStats
 	hs    *http.Server
@@ -119,13 +132,37 @@ func New(db *vdb.DB, opts Options) *Server {
 		opts: opts,
 		sem:  make(chan struct{}, opts.MaxConcurrent),
 	}
+	s.ready.Store(!opts.StartUnready)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.protect(s.handleQuery))
 	s.mux.HandleFunc("/explain", s.protect(s.handleExplain))
+	s.mux.HandleFunc("/ingest", s.protect(s.handleIngest))
 	s.mux.HandleFunc("/stats", s.protect(s.handleStats))
 	s.mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.protect(s.handleReadyz))
 	s.hs = &http.Server{Handler: s.mux}
 	return s
+}
+
+// SetReady flips the readiness gate. The serve path calls SetReady(true) once
+// recovery finishes, and SetReady(false) when a graceful shutdown begins —
+// new work is refused with 503 while in-flight queries drain.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the readiness gate.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// gateReady refuses work while the server is not ready (recovering or
+// draining): 503 + Retry-After, the same shape as load shed, so retrying
+// clients simply wait out the recovery.
+func (s *Server) gateReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return true
+	}
+	s.stats.notReady.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("server not ready (recovering or draining); retry shortly"))
+	return false
 }
 
 // protect is the per-handler recover wall: a panic anywhere in a handler —
@@ -407,6 +444,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 		return
 	}
+	if !s.gateReady(w) {
+		return
+	}
 	req, err := s.parseQueryRequest(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -509,6 +549,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !s.gateReady(w) {
+		return
+	}
 	req, err := s.parseQueryRequest(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -523,11 +566,116 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, plan)
 }
 
+// IngestRow is one row of a POST /ingest request: the metadata plus the
+// source image in the store's encoded format (JSON carries Image as base64).
+type IngestRow struct {
+	ID       int64  `json:"id"`
+	TS       int64  `json:"ts"`
+	Location string `json:"location,omitempty"`
+	Camera   string `json:"camera,omitempty"`
+	Image    []byte `json:"image"`
+}
+
+// IngestRequest is the POST /ingest body.
+type IngestRequest struct {
+	Rows []IngestRow `json:"rows"`
+}
+
+// IngestResponse acknowledges a durably committed batch. When the DB is
+// durable, a 200 means the batch's journal record is fsynced: it survives any
+// crash from this moment on.
+type IngestResponse struct {
+	Rows     int `json:"rows"`
+	UDFCalls int `json:"udf_calls"`
+}
+
+// maxIngestBody bounds one ingest request (64 MiB of JSON).
+const maxIngestBody = 64 << 20
+
+// handleIngest appends a batch through the durable ingest path. Ingest goes
+// through the same admission pool as queries — trigger classification is
+// engine work — and is gated on readiness like everything else.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if !s.gateReady(w) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req IngestRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no rows"))
+		return
+	}
+	images := make([]*img.Image, len(req.Rows))
+	metas := make([]vdb.Metadata, len(req.Rows))
+	for i, row := range req.Rows {
+		im, err := img.Decode(bytes.NewReader(row.Image))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("row %d: decoding image: %w", i, err))
+			return
+		}
+		images[i] = im
+		metas[i] = vdb.Metadata{ID: row.ID, TS: row.TS, Location: row.Location, Camera: row.Camera}
+	}
+
+	ctx, cancel, err := s.queryContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.failAdmission(w, err)
+		return
+	}
+	s.inflight.Add(1)
+	udf, err := s.db.Append(images, metas)
+	s.inflight.Add(-1)
+	release()
+	if err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.stats.ingested.Add(int64(len(req.Rows)))
+	writeJSON(w, http.StatusOK, IngestResponse{Rows: len(req.Rows), UDFCalls: udf})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK   bool `json:"ok"`
 		Rows int  `json:"rows"`
 	}{OK: true, Rows: s.db.Count()})
+}
+
+// ReadyResponse is the GET /readyz body: 200 when the server is serving, 503
+// while it is recovering or draining. Liveness (/healthz) answers OK in both
+// states — a recovering process is alive, just not serving yet.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	Rows  int  `json:"rows"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := ReadyResponse{Ready: s.ready.Load(), Rows: s.db.Count()}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
 }
 
 // latencyBoundsMS are the histogram's upper bucket bounds; the final bucket
@@ -548,6 +696,8 @@ type serverStats struct {
 	deadlined     atomic.Int64
 	clientGone    atomic.Int64
 	panics        atomic.Int64
+	notReady      atomic.Int64
+	ingested      atomic.Int64
 
 	udfCalls     atomic.Int64
 	fused        atomic.Int64
@@ -649,6 +799,12 @@ type StatsResponse struct {
 	Panics        int64 `json:"panics"`
 	RetryAfterS   int   `json:"retry_after_s"`
 
+	// Ready mirrors /readyz; NotReady counts requests refused by the gate;
+	// IngestedRows counts rows acknowledged through POST /ingest.
+	Ready        bool  `json:"ready"`
+	NotReady     int64 `json:"not_ready"`
+	IngestedRows int64 `json:"ingested_rows"`
+
 	Rows       int      `json:"rows"`
 	Predicates []string `json:"predicates"`
 
@@ -684,6 +840,11 @@ type StatsResponse struct {
 	// Planner reports the cost-based planner: plan-choice counters and the
 	// adaptive selectivity catalog.
 	Planner PlannerStats `json:"planner"`
+
+	// Durability is the write-ahead journal and checkpoint layer: replay and
+	// truncation accounting from the last recovery, journal footprint,
+	// checkpoint age.
+	Durability vdb.DurabilityStats `json:"durability"`
 
 	Latency Latency `json:"latency"`
 }
@@ -722,6 +883,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ClientGone:       s.stats.clientGone.Load(),
 		Panics:           s.stats.panics.Load(),
 		RetryAfterS:      s.retryAfterSeconds(),
+		Ready:            s.ready.Load(),
+		NotReady:         s.stats.notReady.Load(),
+		IngestedRows:     s.stats.ingested.Load(),
 		InFlight:         s.inflight.Load(),
 		Queued:           s.queued.Load(),
 		Rows:             s.db.Count(),
@@ -752,6 +916,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.CacheEvictedBytes += c.Evicted()
 	}
 	resp.Materialization = s.db.MatStats()
+	resp.Durability = s.db.DurabilityStats()
 	pl := s.db.PlannerStats()
 	resp.Planner = PlannerStats{
 		RankPlans:       pl.RankPlans,

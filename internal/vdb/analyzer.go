@@ -212,7 +212,14 @@ func (db *DB) analyzeOnce(ctx context.Context, o AnalyzerOptions) (worked bool, 
 	}
 	cur := db.mat.Column(key) // re-resolve: the column may have been evicted
 	cur.Grow(n)
-	cur.Merge(priv)
+	d := mergeDelta{key: key}
+	cur.MergeDelta(priv, func(row int, label bool) {
+		d.rows = append(d.rows, row)
+		d.labels = append(d.labels, label)
+	})
+	// Analyzer labels are lazily journaled like query merges: losing them
+	// only costs re-materialization.
+	db.journalMergesLocked([]mergeDelta{d})
 	db.mat.RecordAnalyzer(len(batch))
 	db.mat.Enforce()
 	db.mu.Unlock()

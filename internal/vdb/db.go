@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
@@ -18,6 +19,7 @@ import (
 	"tahoma/internal/planner"
 	"tahoma/internal/repstore"
 	"tahoma/internal/scenario"
+	"tahoma/internal/wal"
 	"tahoma/internal/xform"
 )
 
@@ -179,6 +181,21 @@ type DB struct {
 	// policy and by content-phase execution choice.
 	planRank, planStatic int64
 	planFused, planSeq   int64
+	// Durability (under mu; see durable.go). While durable, Append write-
+	// ahead journals through wal, periodic checkpoints collapse the journal,
+	// and corpus swaps are refused.
+	durable        bool
+	wal            *wal.Log
+	walDir         string
+	ckptPath       string
+	checkpointerOn bool
+	durStats       struct {
+		walReplayed       int64
+		walTruncatedBytes int64
+		recoveryMS        int64
+		checkpoints       int64
+		lastCheckpoint    time.Time
+	}
 }
 
 // MatMode selects the label-materialization policy.
@@ -540,6 +557,9 @@ func (db *DB) LoadCorpus(images []*img.Image, meta []Metadata) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.durable {
+		return fmt.Errorf("vdb: corpus is durable; disable durability before swapping the corpus")
+	}
 	db.corpus = &memoryCorpus{images: images}
 	db.reps = nil
 	db.repCache = nil // keyed by row index; stale for the new corpus
@@ -567,6 +587,9 @@ func (db *DB) LoadCorpusFromStore(store *repstore.Store, cacheBytes int64, meta 
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.durable {
+		return fmt.Errorf("vdb: corpus is durable; disable durability before swapping the corpus")
+	}
 	db.corpus = sc
 	db.reps = sc.repSource()
 	db.repCache = nil // keyed by row index; stale for the new corpus
@@ -739,7 +762,9 @@ func (db *DB) QueryContext(ctx context.Context, sql string, constraints core.Con
 	}
 
 	db.mu.Lock()
-	snap.merge()
+	// merge returns the newly adopted labels per column; under durability
+	// they are lazily journaled so a restart restores the warm columns.
+	db.journalMergesLocked(snap.merge())
 	if len(plan.content) > 0 {
 		if plan.pp.Order == planner.OrderStatic {
 			db.planStatic++

@@ -1,0 +1,826 @@
+package vdb
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tahoma/internal/faults"
+	"tahoma/internal/matstore"
+	"tahoma/internal/planner"
+	"tahoma/internal/wal"
+)
+
+// Durability: the write side of the DB — Append batches, trigger labels,
+// query- and analyzer-computed merges — journals through a write-ahead log
+// and periodically collapses into an atomic checkpoint, so a process killed
+// at any instant restarts into a state bit-identical to some prefix of the
+// acknowledged writes.
+//
+// The invariants, in ack order within one Append:
+//
+//  1. repstore data fsync, then its manifest (inside Store.IngestAll) —
+//     pixels reach disk before anything references them;
+//  2. the recAppend journal record (metadata + base offset), fsynced before
+//     Append returns — the ack barrier;
+//  3. trigger-label merge records ride the same fsync.
+//
+// Query- and analyzer-merge records are journaled lazily (buffered, no
+// fsync): losing them only costs recomputation — cascades are deterministic,
+// so a repeat query rebuilds bit-identical labels. They become durable with
+// the next Append's commit or the next checkpoint.
+//
+// A checkpoint atomically (write temp, fsync, rename, fsync dir) captures
+// meta, the materialized columns, the usage table and the selectivity
+// catalog, stamped with the WAL sequence it is consistent with; the WAL
+// prefix before it is then garbage-collected. Recovery = newest checkpoint +
+// replay of the WAL tail + truncation of any store rows whose journal commit
+// never made it.
+
+// WAL record types.
+const (
+	// recAppend journals one Append batch: base row, per-row metadata, and
+	// whether the append invalidated the materialized columns (trigger-less
+	// appends do). Fsynced before the Append is acknowledged.
+	recAppend byte = 1
+	// recMerge journals newly adopted rows of one materialized column —
+	// trigger labels (fsynced with their append) and query/analyzer merges
+	// (lazy).
+	recMerge byte = 2
+)
+
+// DurabilityOptions configure EnableDurability.
+type DurabilityOptions struct {
+	// Dir holds the journal segments and the checkpoint file.
+	Dir string
+	// SegmentBytes is the WAL rotation threshold (0 = the wal default).
+	SegmentBytes int64
+}
+
+// RecoveryStats reports what EnableDurability restored.
+type RecoveryStats struct {
+	// CheckpointLoaded reports whether a checkpoint existed and was restored
+	// (false on the first enable in a fresh directory).
+	CheckpointLoaded bool
+	// Replayed counts WAL records applied on top of the checkpoint;
+	// TruncatedBytes is torn-tail damage the WAL reader repaired.
+	Replayed       int64
+	TruncatedBytes int64
+	// Rows is the recovered row count; RecoveryMS the wall time of the whole
+	// enable (checkpoint load + replay + reconciliation).
+	Rows       int
+	RecoveryMS int64
+}
+
+// DurabilityStats is the durability layer's observability snapshot,
+// surfaced under "durability" in /stats.
+type DurabilityStats struct {
+	Enabled           bool    `json:"enabled"`
+	WALSegments       int     `json:"wal_segments"`
+	WALBytes          int64   `json:"wal_bytes"`
+	WALRecords        int64   `json:"wal_records"`
+	WALReplayed       int64   `json:"wal_replayed"`
+	WALTruncatedBytes int64   `json:"wal_truncated_bytes"`
+	Checkpoints       int64   `json:"checkpoints"`
+	CheckpointAgeS    float64 `json:"checkpoint_age_s"`
+	RecoveryMS        int64   `json:"recovery_ms"`
+}
+
+const checkpointName = "checkpoint.ckp"
+
+// EnableDurability opens (or creates) the journal in o.Dir, recovers the
+// newest checkpoint plus the WAL tail into the DB, reconciles the backing
+// repstore, and switches every subsequent Append into write-ahead mode.
+//
+// The corpus must be store-backed (LoadCorpusFromStore) — durability is
+// about surviving restarts, and an in-memory corpus cannot. On the first
+// enable in a fresh directory the DB's current state becomes the baseline
+// checkpoint; on every later enable the checkpoint+journal REPLACE the
+// caller-loaded metadata, and store rows beyond the recovered count (torn
+// ingest tails) are truncated away.
+//
+// Call once at startup, before serving. While durable, LoadCorpus and
+// LoadCorpusFromStore refuse to swap the corpus.
+func (db *DB) EnableDurability(o DurabilityOptions) (RecoveryStats, error) {
+	start := time.Now()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.durable {
+		return RecoveryStats{}, fmt.Errorf("vdb: durability already enabled")
+	}
+	sc, ok := db.corpus.(*storeCorpus)
+	if !ok {
+		return RecoveryStats{}, fmt.Errorf("vdb: durability requires a store-backed corpus (LoadCorpusFromStore)")
+	}
+
+	log, info, err := wal.Open(o.Dir, wal.Options{SegmentBytes: o.SegmentBytes})
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	stats := RecoveryStats{TruncatedBytes: info.TruncatedBytes}
+
+	ckptPath := filepath.Join(o.Dir, checkpointName)
+	ckpt, ckptErr := loadCheckpoint(ckptPath)
+	switch {
+	case ckptErr == nil:
+		stats.CheckpointLoaded = true
+	case os.IsNotExist(ckptErr):
+		if info.Records > 0 {
+			// A journal without its checkpoint cannot be replayed onto
+			// anything: the records' base offsets assume checkpointed state.
+			log.Close()
+			return RecoveryStats{}, fmt.Errorf("vdb: journal in %s has %d records but no checkpoint — refusing to guess a baseline", o.Dir, info.Records)
+		}
+	default:
+		log.Close()
+		return RecoveryStats{}, ckptErr
+	}
+
+	if stats.CheckpointLoaded {
+		// The checkpoint replaces whatever the caller loaded: its meta is the
+		// recovered truth, and the mat image is verified against a fingerprint
+		// of exactly that meta.
+		db.meta = ckpt.meta
+		if len(ckpt.matImage) > 0 {
+			if err := db.mat.Load(bytes.NewReader(ckpt.matImage), db.corpusFingerprintLocked()); err != nil {
+				log.Close()
+				return RecoveryStats{}, fmt.Errorf("vdb: checkpoint columns: %w", err)
+			}
+		}
+		db.mat.RestoreUsage(ckpt.usage)
+		db.catalog.Restore(ckpt.catalog)
+		if sc.store.Count() < len(db.meta) {
+			log.Close()
+			return RecoveryStats{}, fmt.Errorf("vdb: store has %d rows but checkpoint acknowledges %d — store lost acknowledged data", sc.store.Count(), len(db.meta))
+		}
+
+		replayed, err := log.Replay(ckpt.walSeq, func(r wal.Record) error {
+			return db.applyRecordLocked(sc, r)
+		})
+		stats.Replayed = replayed
+		if err != nil {
+			log.Close()
+			return RecoveryStats{}, fmt.Errorf("vdb: replaying journal: %w", err)
+		}
+		// Reconcile: store rows past the recovered count are torn ingest
+		// tails whose journal commit never hit disk — never acknowledged.
+		if err := sc.store.TruncateTo(len(db.meta)); err != nil {
+			log.Close()
+			return RecoveryStats{}, err
+		}
+		db.mat.Enforce()
+	}
+
+	db.wal = log
+	db.walDir = o.Dir
+	db.ckptPath = ckptPath
+	db.durable = true
+	db.durStats.walReplayed = stats.Replayed
+	db.durStats.walTruncatedBytes = stats.TruncatedBytes
+
+	if !stats.CheckpointLoaded {
+		// First enable: the current state (typically a pre-ingested corpus)
+		// becomes the baseline checkpoint, so the journal always has ground
+		// to replay onto.
+		if err := db.checkpointLocked(); err != nil {
+			db.durable = false
+			db.wal = nil
+			log.Close()
+			return RecoveryStats{}, fmt.Errorf("vdb: baseline checkpoint: %w", err)
+		}
+	}
+	stats.Rows = len(db.meta)
+	stats.RecoveryMS = time.Since(start).Milliseconds()
+	db.durStats.recoveryMS = stats.RecoveryMS
+	return stats, nil
+}
+
+// applyRecordLocked replays one journal record onto the DB. Caller holds
+// db.mu.
+func (db *DB) applyRecordLocked(sc *storeCorpus, r wal.Record) error {
+	switch r.Type {
+	case recAppend:
+		base, metas, invalidate, err := decodeAppendRec(r.Data)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", r.Seq, err)
+		}
+		if base != uint64(len(db.meta)) {
+			// The record does not extend the recovered prefix — a commit that
+			// never fully landed. Everything after it is unreachable history.
+			return wal.ErrTruncate
+		}
+		if sc.store.Count() < int(base)+len(metas) {
+			return fmt.Errorf("record %d acknowledges rows [%d,%d) but store has %d — store lost acknowledged data",
+				r.Seq, base, int(base)+len(metas), sc.store.Count())
+		}
+		db.meta = append(db.meta, metas...)
+		if invalidate {
+			db.mat.Invalidate()
+		}
+	case recMerge:
+		key, rows, labels, err := decodeMergeRec(r.Data)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", r.Seq, err)
+		}
+		col := db.mat.Column(key)
+		col.Grow(len(db.meta))
+		for i, row := range rows {
+			// A query that raced an in-flight append can journal labels for
+			// rows whose append record never committed; clamp them out.
+			if row < len(db.meta) {
+				col.SetLabel(row, labels[i])
+			}
+		}
+	default:
+		return fmt.Errorf("record %d: unknown type %d", r.Seq, r.Type)
+	}
+	return nil
+}
+
+// Checkpoint atomically persists the DB's recoverable state — metadata,
+// materialized columns, usage table, selectivity catalog — and garbage-
+// collects the journal prefix it supersedes. Safe to call concurrently with
+// queries and appends.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.durable {
+		return fmt.Errorf("vdb: durability not enabled")
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	// Serialize under the lock: the captured state and the WAL sequence it
+	// is stamped with must agree (every record < seq is reflected in it,
+	// journal writes happen under this same lock).
+	seq := db.wal.NextSeq()
+	var matBuf bytes.Buffer
+	if err := db.mat.Save(&matBuf, db.corpusFingerprintLocked()); err != nil {
+		return err
+	}
+	ck := checkpoint{
+		walSeq:   seq,
+		meta:     db.meta,
+		usage:    db.mat.ExportUsage(),
+		catalog:  db.catalog.Snapshot(),
+		matImage: matBuf.Bytes(),
+	}
+	if err := writeCheckpoint(db.ckptPath, &ck); err != nil {
+		return err
+	}
+	if _, err := db.wal.TruncateBefore(seq); err != nil {
+		return err
+	}
+	db.durStats.checkpoints++
+	db.durStats.lastCheckpoint = time.Now()
+	return nil
+}
+
+// CheckpointerOptions configure the background checkpointer.
+type CheckpointerOptions struct {
+	// Every is the checkpoint period (default 30s).
+	Every time.Duration
+}
+
+func (o CheckpointerOptions) every() time.Duration {
+	if o.Every <= 0 {
+		return 30 * time.Second
+	}
+	return o.Every
+}
+
+// StartCheckpointer launches the periodic checkpointer: a ticker-driven
+// goroutine that bounds how much journal a crash leaves to replay. The
+// returned stop function cancels it and blocks until it has fully exited —
+// the same deterministic-shutdown discipline as StartAnalyzer, verified by
+// leakcheck. Errors are reported through onError (nil = ignored); a failed
+// checkpoint is retried next tick.
+func (db *DB) StartCheckpointer(ctx context.Context, o CheckpointerOptions, onError func(error)) (stop func(), err error) {
+	db.mu.Lock()
+	if !db.durable {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("vdb: durability not enabled")
+	}
+	if db.checkpointerOn {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("vdb: checkpointer already running")
+	}
+	db.checkpointerOn = true
+	db.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			db.mu.Lock()
+			db.checkpointerOn = false
+			db.mu.Unlock()
+			close(done)
+		}()
+		ticker := time.NewTicker(o.every())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			if err := db.Checkpoint(); err != nil && onError != nil {
+				onError(err)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}, nil
+}
+
+// CloseDurability takes a final checkpoint (the graceful-shutdown barrier:
+// after it, restart replays nothing) and closes the journal. The DB drops
+// back to non-durable mode; further Appends mutate only in-memory state.
+func (db *DB) CloseDurability() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.durable {
+		return nil
+	}
+	ckErr := db.checkpointLocked()
+	closeErr := db.wal.Close()
+	db.durable = false
+	db.wal = nil
+	if ckErr != nil {
+		return ckErr
+	}
+	return closeErr
+}
+
+// DurabilityStats snapshots the durability layer.
+func (db *DB) DurabilityStats() DurabilityStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := DurabilityStats{
+		Enabled:           db.durable,
+		WALReplayed:       db.durStats.walReplayed,
+		WALTruncatedBytes: db.durStats.walTruncatedBytes,
+		Checkpoints:       db.durStats.checkpoints,
+		RecoveryMS:        db.durStats.recoveryMS,
+	}
+	if !db.durStats.lastCheckpoint.IsZero() {
+		st.CheckpointAgeS = time.Since(db.durStats.lastCheckpoint).Seconds()
+	}
+	if db.durable {
+		ws := db.wal.Stats()
+		st.WALSegments = ws.Segments
+		st.WALBytes = ws.Bytes
+		st.WALRecords = ws.Records
+	}
+	return st
+}
+
+// journalMergesLocked lazily journals materialized-column deltas (query and
+// analyzer merges). Best-effort by design: the records are buffered, not
+// fsynced, and a failed journal only costs recomputation after a crash —
+// never query correctness — so errors do not propagate to the query path
+// (the WAL latches fail-stop for the paths that do matter). Caller holds
+// db.mu.
+func (db *DB) journalMergesLocked(deltas []mergeDelta) {
+	if !db.durable {
+		return
+	}
+	for _, d := range deltas {
+		if len(d.rows) == 0 {
+			continue
+		}
+		_, _ = db.wal.Append(recMerge, encodeMergeRec(d.key, d.rows, d.labels))
+	}
+}
+
+// mergeDelta is one column's newly adopted labels from a merge — the journal
+// unit for materialized state.
+type mergeDelta struct {
+	key    matstore.Key
+	rows   []int
+	labels []bool
+}
+
+// --- record codecs ---
+
+func encodeAppendRec(base uint64, metas []Metadata, invalidate bool) []byte {
+	var buf bytes.Buffer
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	buf.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(metas)))
+	buf.Write(b[:])
+	if invalidate {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	for _, m := range metas {
+		binary.LittleEndian.PutUint64(b[:], uint64(m.ID))
+		buf.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(m.TS))
+		buf.Write(b[:])
+		putString(&buf, m.Location)
+		putString(&buf, m.Camera)
+	}
+	return buf.Bytes()
+}
+
+func decodeAppendRec(data []byte) (base uint64, metas []Metadata, invalidate bool, err error) {
+	r := bytes.NewReader(data)
+	var b [8]byte
+	if _, err = io.ReadFull(r, b[:]); err != nil {
+		return 0, nil, false, fmt.Errorf("append record: %w", err)
+	}
+	base = binary.LittleEndian.Uint64(b[:])
+	if _, err = io.ReadFull(r, b[:]); err != nil {
+		return 0, nil, false, fmt.Errorf("append record: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(b[:])
+	flag, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("append record: %w", err)
+	}
+	invalidate = flag != 0
+	if count > uint64(len(data)) {
+		return 0, nil, false, fmt.Errorf("append record: corrupt row count %d", count)
+	}
+	metas = make([]Metadata, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var m Metadata
+		if _, err = io.ReadFull(r, b[:]); err != nil {
+			return 0, nil, false, fmt.Errorf("append record row %d: %w", i, err)
+		}
+		m.ID = int64(binary.LittleEndian.Uint64(b[:]))
+		if _, err = io.ReadFull(r, b[:]); err != nil {
+			return 0, nil, false, fmt.Errorf("append record row %d: %w", i, err)
+		}
+		m.TS = int64(binary.LittleEndian.Uint64(b[:]))
+		if m.Location, err = getString(r); err != nil {
+			return 0, nil, false, fmt.Errorf("append record row %d: %w", i, err)
+		}
+		if m.Camera, err = getString(r); err != nil {
+			return 0, nil, false, fmt.Errorf("append record row %d: %w", i, err)
+		}
+		metas = append(metas, m)
+	}
+	if r.Len() != 0 {
+		return 0, nil, false, fmt.Errorf("append record: %d trailing bytes", r.Len())
+	}
+	return base, metas, invalidate, nil
+}
+
+func encodeMergeRec(key matstore.Key, rows []int, labels []bool) []byte {
+	var buf bytes.Buffer
+	putString(&buf, key.Category)
+	putString(&buf, key.Cascade)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(rows)))
+	buf.Write(b[:])
+	for i, row := range rows {
+		binary.LittleEndian.PutUint32(b[:4], uint32(row))
+		buf.Write(b[:4])
+		if labels[i] {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	return buf.Bytes()
+}
+
+func decodeMergeRec(data []byte) (key matstore.Key, rows []int, labels []bool, err error) {
+	r := bytes.NewReader(data)
+	if key.Category, err = getString(r); err != nil {
+		return key, nil, nil, fmt.Errorf("merge record: %w", err)
+	}
+	if key.Cascade, err = getString(r); err != nil {
+		return key, nil, nil, fmt.Errorf("merge record: %w", err)
+	}
+	var b [8]byte
+	if _, err = io.ReadFull(r, b[:]); err != nil {
+		return key, nil, nil, fmt.Errorf("merge record: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(b[:])
+	if count > uint64(len(data)) {
+		return key, nil, nil, fmt.Errorf("merge record: corrupt row count %d", count)
+	}
+	rows = make([]int, 0, count)
+	labels = make([]bool, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if _, err = io.ReadFull(r, b[:4]); err != nil {
+			return key, nil, nil, fmt.Errorf("merge record row %d: %w", i, err)
+		}
+		rows = append(rows, int(binary.LittleEndian.Uint32(b[:4])))
+		flag, ferr := r.ReadByte()
+		if ferr != nil {
+			return key, nil, nil, fmt.Errorf("merge record row %d: %w", i, ferr)
+		}
+		labels = append(labels, flag != 0)
+	}
+	if r.Len() != 0 {
+		return key, nil, nil, fmt.Errorf("merge record: %d trailing bytes", r.Len())
+	}
+	return key, rows, labels, nil
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+	buf.Write(b[:])
+	buf.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(b[:])
+	if n > 1<<20 {
+		return "", fmt.Errorf("corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// --- checkpoint file ---
+
+// checkpoint is the in-memory form of one checkpoint file.
+type checkpoint struct {
+	walSeq   uint64
+	meta     []Metadata
+	usage    matstore.UsageState
+	catalog  []planner.CatalogEntry
+	matImage []byte // a matstore.Save image, loaded with the meta fingerprint
+}
+
+const ckptMagic = "TAHCKP1\n"
+
+var ckptCRC = crc32.IEEETable
+
+// writeCheckpoint persists ck atomically: temp file, fsync, rename, dir
+// fsync. Every section is a length+CRC32 frame, so a damaged checkpoint
+// refuses to load instead of resurrecting garbage state.
+func writeCheckpoint(path string, ck *checkpoint) error {
+	if err := faults.Fire(faults.FSWriteError); err != nil {
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	if _, err := w.WriteString(ckptMagic); err != nil {
+		return fail(err)
+	}
+	var hdr bytes.Buffer
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], ck.walSeq)
+	hdr.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(ck.meta)))
+	hdr.Write(b[:])
+	if err := writeCkptFrame(w, hdr.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := writeCkptFrame(w, encodeAppendRec(0, ck.meta, false)); err != nil {
+		return fail(err)
+	}
+	var ub bytes.Buffer
+	binary.LittleEndian.PutUint64(b[:], uint64(ck.usage.Clock))
+	ub.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(ck.usage.Entries)))
+	ub.Write(b[:])
+	for _, e := range ck.usage.Entries {
+		putString(&ub, e.Category)
+		putString(&ub, e.Cascade)
+		binary.LittleEndian.PutUint64(b[:], uint64(e.Touches))
+		ub.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(e.Last))
+		ub.Write(b[:])
+	}
+	if err := writeCkptFrame(w, ub.Bytes()); err != nil {
+		return fail(err)
+	}
+	var cb bytes.Buffer
+	binary.LittleEndian.PutUint64(b[:], uint64(len(ck.catalog)))
+	cb.Write(b[:])
+	for _, e := range ck.catalog {
+		putString(&cb, e.Key)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(e.PassRate))
+		cb.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(e.Samples))
+		cb.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(e.Seed))
+		cb.Write(b[:])
+	}
+	if err := writeCkptFrame(w, cb.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := writeCkptFrame(w, ck.matImage); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := faults.Fire(faults.FSSyncError); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vdb: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads and fully verifies a checkpoint file. A missing file
+// returns an os.IsNotExist error; any damage is a hard error (the atomic
+// write protocol means a torn checkpoint should be impossible, so damage
+// means the environment lost acknowledged state).
+func loadCheckpoint(path string) (*checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ckptMagic {
+		return nil, fmt.Errorf("vdb: %s is not a checkpoint file", path)
+	}
+	hdr, err := readCkptFrame(r, "header")
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr) != 16 {
+		return nil, fmt.Errorf("vdb: checkpoint header is %d bytes", len(hdr))
+	}
+	ck := &checkpoint{walSeq: binary.LittleEndian.Uint64(hdr[:8])}
+	rows := binary.LittleEndian.Uint64(hdr[8:])
+
+	metaBlob, err := readCkptFrame(r, "meta")
+	if err != nil {
+		return nil, err
+	}
+	_, metas, _, err := decodeAppendRec(metaBlob)
+	if err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint meta: %w", err)
+	}
+	if uint64(len(metas)) != rows {
+		return nil, fmt.Errorf("vdb: checkpoint meta has %d rows, header says %d", len(metas), rows)
+	}
+	ck.meta = metas
+
+	ub, err := readCkptFrame(r, "usage")
+	if err != nil {
+		return nil, err
+	}
+	ur := bytes.NewReader(ub)
+	var b [8]byte
+	if _, err := io.ReadFull(ur, b[:]); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint usage: %w", err)
+	}
+	ck.usage.Clock = int64(binary.LittleEndian.Uint64(b[:]))
+	if _, err := io.ReadFull(ur, b[:]); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint usage: %w", err)
+	}
+	un := binary.LittleEndian.Uint64(b[:])
+	if un > uint64(len(ub)) {
+		return nil, fmt.Errorf("vdb: checkpoint usage: corrupt entry count %d", un)
+	}
+	for i := uint64(0); i < un; i++ {
+		var e matstore.UsageStateEntry
+		if e.Category, err = getString(ur); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint usage %d: %w", i, err)
+		}
+		if e.Cascade, err = getString(ur); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint usage %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(ur, b[:]); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint usage %d: %w", i, err)
+		}
+		e.Touches = int64(binary.LittleEndian.Uint64(b[:]))
+		if _, err := io.ReadFull(ur, b[:]); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint usage %d: %w", i, err)
+		}
+		e.Last = int64(binary.LittleEndian.Uint64(b[:]))
+		ck.usage.Entries = append(ck.usage.Entries, e)
+	}
+
+	cb, err := readCkptFrame(r, "catalog")
+	if err != nil {
+		return nil, err
+	}
+	cr := bytes.NewReader(cb)
+	if _, err := io.ReadFull(cr, b[:]); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint catalog: %w", err)
+	}
+	cn := binary.LittleEndian.Uint64(b[:])
+	if cn > uint64(len(cb)) {
+		return nil, fmt.Errorf("vdb: checkpoint catalog: corrupt entry count %d", cn)
+	}
+	for i := uint64(0); i < cn; i++ {
+		var e planner.CatalogEntry
+		if e.Key, err = getString(cr); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint catalog %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint catalog %d: %w", i, err)
+		}
+		e.PassRate = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint catalog %d: %w", i, err)
+		}
+		e.Samples = int64(binary.LittleEndian.Uint64(b[:]))
+		if _, err := io.ReadFull(cr, b[:]); err != nil {
+			return nil, fmt.Errorf("vdb: checkpoint catalog %d: %w", i, err)
+		}
+		e.Seed = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		ck.catalog = append(ck.catalog, e)
+	}
+
+	ck.matImage, err = readCkptFrame(r, "columns")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("vdb: checkpoint: trailing data")
+	}
+	return ck, nil
+}
+
+func writeCkptFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(payload, ckptCRC))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readCkptFrame(r io.Reader, what string) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint %s: truncated: %w", what, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("vdb: checkpoint %s: corrupt frame length %d", what, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint %s: truncated: %w", what, err)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("vdb: checkpoint %s: truncated checksum: %w", what, err)
+	}
+	if crc32.Checksum(payload, ckptCRC) != binary.LittleEndian.Uint32(hdr[:]) {
+		return nil, fmt.Errorf("vdb: checkpoint %s: checksum mismatch — file is corrupt", what)
+	}
+	return payload, nil
+}

@@ -1,0 +1,513 @@
+package vdb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tahoma/internal/core"
+	"tahoma/internal/faults"
+	"tahoma/internal/img"
+	"tahoma/internal/leakcheck"
+	"tahoma/internal/repstore"
+	"tahoma/internal/scenario"
+	"tahoma/internal/synth"
+	"tahoma/internal/wal"
+	"tahoma/internal/xform"
+)
+
+// The durability suite exercises the vdb recovery contract end to end:
+// acknowledged appends survive any crash point (simulated by abandoning a
+// live DB and re-opening its store + journal from disk), recovery from a
+// journal cut at an arbitrary byte offset yields exactly a prefix of the
+// acknowledged batches, and repeat queries over recovered state are
+// bit-identical to queries over a corpus that never crashed.
+
+// durEnv is the shared fixture: one trained system plus the full ingestion
+// stream (images and metadata in ingest order), so tests can create stores
+// holding any prefix and append the rest through the durable path.
+type durEnv struct {
+	sys    *core.System
+	cm     *scenario.Analytic
+	grid   []xform.Transform
+	images []*img.Image
+	metas  []Metadata
+}
+
+func durSetup(t *testing.T) *durEnv {
+	t.Helper()
+	cat, err := synth.CategoryByName("cloak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := synth.GenerateBinary(cat, synth.Options{
+		BaseSize: 16, TrainN: 120, ConfigN: 40, EvalN: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Initialize("cloak", splits, core.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := scenario.DefaultParams()
+	params.SourceW, params.SourceH = 16, 16
+	cm, err := scenario.NewAnalytic(scenario.Archive, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &durEnv{
+		sys:  sys,
+		cm:   cm,
+		grid: xform.Grid([]int{8, 16}, []img.ColorMode{img.RGB, img.Gray}),
+	}
+	for i, e := range splits.Eval.Examples {
+		env.images = append(env.images, e.Image)
+		env.metas = append(env.metas, Metadata{ID: int64(i), Location: "disk", TS: int64(i)})
+	}
+	return env
+}
+
+// createStore makes an on-disk corpus at dir holding the first n images.
+func (env *durEnv) createStore(t *testing.T, dir string, n int) *repstore.Store {
+	t.Helper()
+	store, err := repstore.Create(dir, 16, 16, env.grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if err := store.IngestAll(env.images[:n]); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func (env *durEnv) openStore(t *testing.T, dir string) *repstore.Store {
+	t.Helper()
+	store, err := repstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+// newDB builds a DB over the store. installPred is optional because recovery
+// itself never needs predicates — only queries do — and cascade evaluation is
+// the expensive part of setup.
+func (env *durEnv) newDB(t *testing.T, store *repstore.Store, metas []Metadata, installPred bool) *DB {
+	t.Helper()
+	db := New(env.cm)
+	if err := db.LoadCorpusFromStore(store, 1<<20, metas); err != nil {
+		t.Fatal(err)
+	}
+	if installPred {
+		if err := db.InstallPredicate("cloak", env.sys, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SetTriggerPolicy(TriggerPolicy{Enabled: true, Constraints: chaosCons})
+	return db
+}
+
+// refRows computes the reference result for a corpus holding the first n
+// rows — a store that never crashed — memoized per n.
+func (env *durEnv) refRows(t *testing.T, cache map[int]map[int64]bool, n int) map[int64]bool {
+	t.Helper()
+	if rows, ok := cache[n]; ok {
+		return rows
+	}
+	store := env.createStore(t, t.TempDir(), n)
+	db := env.newDB(t, store, env.metas[:n], true)
+	res, err := db.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := chaosRows(t, res)
+	cache[n] = rows
+	return rows
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func placeholderMeta(n int) []Metadata { return make([]Metadata, n) }
+
+// TestDurableRestartRecoversAppends: appends acknowledged by a durable DB
+// survive an abrupt restart (the live DB is abandoned without a shutdown
+// checkpoint), the journal replays them onto the baseline checkpoint, and a
+// repeat query over the recovered DB is bit-identical — served from the
+// recovered materialized columns, not re-inferred.
+func TestDurableRestartRecoversAppends(t *testing.T) {
+	env := durSetup(t)
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	store := env.createStore(t, storeDir, 30)
+	db := env.newDB(t, store, env.metas[:30], true)
+
+	stats, err := db.EnableDurability(DurabilityOptions{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CheckpointLoaded {
+		t.Fatal("fresh directory reported a loaded checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(walDir, checkpointName)); err != nil {
+		t.Fatalf("first enable did not write a baseline checkpoint: %v", err)
+	}
+
+	// Two acknowledged batches through the write-ahead path (triggers on, so
+	// merge records ride behind the append records).
+	for _, r := range [][2]int{{30, 35}, {35, 40}} {
+		if _, err := db.Append(env.images[r[0]:r[1]], env.metas[r[0]:r[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := db.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: abandon the live DB, reopen everything from disk.
+	store2 := env.openStore(t, storeDir)
+	db2 := env.newDB(t, store2, placeholderMeta(store2.Count()), true)
+	rstats, err := db2.EnableDurability(DurabilityOptions{Dir: walDir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if !rstats.CheckpointLoaded {
+		t.Fatal("recovery did not load the checkpoint")
+	}
+	if rstats.Replayed == 0 {
+		t.Fatal("recovery replayed no journal records over two acknowledged appends")
+	}
+	if rstats.Rows != 40 {
+		t.Fatalf("recovered %d rows, want 40", rstats.Rows)
+	}
+	if db2.Count() != 40 {
+		t.Fatalf("recovered DB counts %d rows, want 40", db2.Count())
+	}
+	res, err := db2.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "post-recovery query", chaosRows(t, res), chaosRows(t, want))
+	if !res.Bitmap && res.MatHits == 0 {
+		t.Fatal("recovered query re-inferred everything: journaled labels were lost")
+	}
+	ds := db2.DurabilityStats()
+	if !ds.Enabled || ds.WALReplayed != rstats.Replayed {
+		t.Fatalf("durability stats inconsistent with recovery: %+v vs %+v", ds, rstats)
+	}
+
+	// The recovered DB keeps ingesting durably: one more batch round-trips
+	// through yet another restart.
+	extraIm := []*img.Image{env.images[0]}
+	extraMeta := []Metadata{{ID: 1000, Location: "disk", TS: 1000}}
+	if _, err := db2.Append(extraIm, extraMeta); err != nil {
+		t.Fatalf("append on recovered DB: %v", err)
+	}
+	store3 := env.openStore(t, storeDir)
+	db3 := env.newDB(t, store3, placeholderMeta(store3.Count()), false)
+	rr, err := db3.EnableDurability(DurabilityOptions{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Rows != 41 {
+		t.Fatalf("second recovery: %d rows, want 41", rr.Rows)
+	}
+}
+
+// TestDurableCheckpointCollapsesReplay: after an explicit checkpoint, a
+// restart replays nothing — the checkpoint alone reproduces the state — and
+// results are still bit-identical.
+func TestDurableCheckpointCollapsesReplay(t *testing.T) {
+	env := durSetup(t)
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	store := env.createStore(t, storeDir, 30)
+	db := env.newDB(t, store, env.metas[:30], true)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: walDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(env.images[30:40], env.metas[30:40]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2 := env.openStore(t, storeDir)
+	db2 := env.newDB(t, store2, placeholderMeta(store2.Count()), true)
+	rstats, err := db2.EnableDurability(DurabilityOptions{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Replayed != 0 {
+		t.Fatalf("replayed %d records over a fresh checkpoint, want 0", rstats.Replayed)
+	}
+	if rstats.Rows != 40 {
+		t.Fatalf("recovered %d rows, want 40", rstats.Rows)
+	}
+	res, err := db2.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "post-checkpoint recovery", chaosRows(t, res), chaosRows(t, want))
+}
+
+// TestDurableWALTruncationYieldsAckedPrefix is the recovery-atomicity
+// property test: cut the journal at an arbitrary byte offset (a crash can
+// stop a disk write anywhere) and recovery must yield exactly a prefix of
+// the acknowledged append batches — never a partial batch, never an error —
+// with queries over the recovered rows bit-identical to a corpus that held
+// only those rows all along.
+func TestDurableWALTruncationYieldsAckedPrefix(t *testing.T) {
+	env := durSetup(t)
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	store := env.createStore(t, storeDir, 20)
+	db := env.newDB(t, store, env.metas[:20], true)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: walDir}); err != nil {
+		t.Fatal(err)
+	}
+	batches := []int{3, 4, 5}
+	valid := map[int]bool{20: true}
+	n := 20
+	for _, b := range batches {
+		if _, err := db.Append(env.images[n:n+b], env.metas[n:n+b]); err != nil {
+			t.Fatal(err)
+		}
+		n += b
+		valid[n] = true
+	}
+	// A query adds lazy merge records to the journal tail, so truncation
+	// offsets also land inside non-fsynced records.
+	if _, err := db.Query(chaosSQL, chaosCons); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly 1 journal segment, got %v (%v)", segs, err)
+	}
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := os.ReadFile(filepath.Join(walDir, checkpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := 3
+	if testing.Short() {
+		step = 23
+	}
+	refCache := map[int]map[int64]bool{}
+	prevRows := -1
+	queried := 0
+	for off := 0; off <= len(blob); off += step {
+		sdir, wdir := t.TempDir(), t.TempDir()
+		copyDir(t, storeDir, sdir)
+		if err := os.WriteFile(filepath.Join(wdir, filepath.Base(segs[0])), blob[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(wdir, checkpointName), ckpt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Query only when the recovered prefix changes (plus a sparse sample
+		// of same-prefix offsets, which differ in surviving merge records):
+		// cascade evaluation dominates, and the row-count property is the
+		// per-offset invariant.
+		st2 := env.openStore(t, sdir)
+		probe := off%96 == 0
+		db2 := env.newDB(t, st2, placeholderMeta(st2.Count()), true)
+		rstats, err := db2.EnableDurability(DurabilityOptions{Dir: wdir})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", off, err)
+		}
+		if !valid[rstats.Rows] {
+			t.Fatalf("offset %d: recovered %d rows — not a batch prefix of %v", off, rstats.Rows, valid)
+		}
+		if rstats.Rows < prevRows {
+			t.Fatalf("offset %d: recovered rows went backwards (%d after %d)", off, rstats.Rows, prevRows)
+		}
+		if rstats.Rows != prevRows || probe {
+			res, err := db2.Query(chaosSQL, chaosCons)
+			if err != nil {
+				t.Fatalf("offset %d: query over recovered DB: %v", off, err)
+			}
+			sameRows(t, fmt.Sprintf("offset %d (%d rows)", off, rstats.Rows),
+				chaosRows(t, res), env.refRows(t, refCache, rstats.Rows))
+			queried++
+		}
+		prevRows = rstats.Rows
+	}
+	if prevRows != n {
+		t.Fatalf("full-length journal recovered %d rows, want %d", prevRows, n)
+	}
+	if len(refCache) != len(valid) {
+		t.Fatalf("recovery visited %d distinct prefixes, want %d", len(refCache), len(valid))
+	}
+	t.Logf("offsets=%d (step %d), queries checked=%d, prefixes=%d", len(blob)/step+1, step, queried, len(refCache))
+}
+
+// TestDurableRefusesJournalWithoutCheckpoint: journal records whose baseline
+// checkpoint is missing cannot be replayed onto anything; enabling must fail
+// loudly rather than guess.
+func TestDurableRefusesJournalWithoutCheckpoint(t *testing.T) {
+	env := durSetup(t)
+	walDir := t.TempDir()
+	l, _, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(1, []byte("orphaned")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	store := env.createStore(t, t.TempDir(), 8)
+	db := env.newDB(t, store, env.metas[:8], false)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: walDir}); err == nil {
+		t.Fatal("enable over an orphaned journal succeeded")
+	} else if !strings.Contains(err.Error(), "no checkpoint") {
+		t.Fatalf("refusal does not explain the missing checkpoint: %v", err)
+	}
+}
+
+// TestDurableRefusesCorpusSwapAndDoubleEnable: while durable, the corpus is
+// pinned (swapping it would orphan the journal) and a second enable is an
+// error.
+func TestDurableRefusesCorpusSwapAndDoubleEnable(t *testing.T) {
+	env := durSetup(t)
+	store := env.createStore(t, t.TempDir(), 8)
+	db := env.newDB(t, store, env.metas[:8], false)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	ims := []*img.Image{img.New(16, 16, img.RGB)}
+	if err := db.LoadCorpus(ims, env.metas[:1]); err == nil {
+		t.Fatal("durable DB accepted a corpus swap")
+	}
+	if err := db.LoadCorpusFromStore(store, 0, env.metas[:8]); err == nil {
+		t.Fatal("durable DB accepted a store swap")
+	}
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("second enable succeeded")
+	}
+
+	// An in-memory corpus can never be durable.
+	mem := New(env.cm)
+	if err := mem.LoadCorpus(env.images[:4], env.metas[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.EnableDurability(DurabilityOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("in-memory corpus enabled durability")
+	}
+}
+
+// TestCheckpointerStopNoLeak: the background checkpointer checkpoints on its
+// ticker, refuses a double start, and its stop function blocks until the
+// goroutine is fully gone (leakcheck under -race).
+func TestCheckpointerStopNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	env := durSetup(t)
+	store := env.createStore(t, t.TempDir(), 8)
+	db := env.newDB(t, store, env.metas[:8], false)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := db.StartCheckpointer(context.Background(), CheckpointerOptions{Every: 2 * time.Millisecond}, func(err error) { t.Errorf("checkpointer: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.StartCheckpointer(context.Background(), CheckpointerOptions{}, nil); err == nil {
+		t.Fatal("double start succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for db.DurabilityStats().Checkpoints < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpointer made no progress: %d checkpoints", db.DurabilityStats().Checkpoints)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if err := db.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	if db.DurabilityStats().Enabled {
+		t.Fatal("still durable after CloseDurability")
+	}
+}
+
+// TestFaultIngestSyncErrorUnacknowledged: a data-fsync failure mid-ingest
+// fails the Append cleanly — the batch is not acknowledged, the live DB is
+// unchanged, and after the fault clears the same batch ingests over the torn
+// bytes. A restart recovers exactly the acknowledged rows.
+func TestFaultIngestSyncErrorUnacknowledged(t *testing.T) {
+	defer faults.Reset()
+	env := durSetup(t)
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	store := env.createStore(t, storeDir, 20)
+	db := env.newDB(t, store, env.metas[:20], true)
+	if _, err := db.EnableDurability(DurabilityOptions{Dir: walDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faults.Enable(faults.FSSyncError, faults.Spec{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(env.images[20:25], env.metas[20:25]); err == nil {
+		t.Fatal("Append under a data-fsync fault was acknowledged")
+	}
+	faults.Reset()
+	if db.Count() != 20 {
+		t.Fatalf("failed append changed the row count: %d", db.Count())
+	}
+
+	// Retry acknowledges; restart recovers all 25 rows bit-identically.
+	if _, err := db.Append(env.images[20:25], env.metas[20:25]); err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	want, err := db.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := env.openStore(t, storeDir)
+	db2 := env.newDB(t, store2, placeholderMeta(store2.Count()), true)
+	rstats, err := db2.EnableDurability(DurabilityOptions{Dir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Rows != 25 {
+		t.Fatalf("recovered %d rows, want 25", rstats.Rows)
+	}
+	res, err := db2.Query(chaosSQL, chaosCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "recovery after faulted ingest", chaosRows(t, res), chaosRows(t, want))
+}

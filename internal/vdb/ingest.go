@@ -6,6 +6,7 @@ import (
 	"tahoma/internal/cascade"
 	"tahoma/internal/core"
 	"tahoma/internal/img"
+	"tahoma/internal/matstore"
 )
 
 // TriggerPolicy controls how content predicates are pre-materialized for
@@ -55,11 +56,26 @@ type triggerJob struct {
 // against a fixed-length corpus view and merges its labels at the end, the
 // same snapshot discipline queries use. Queries snapshotted before the
 // catalog update simply do not see the new rows.
+// Under durability (EnableDurability), Append is write-ahead: the store's
+// data and manifest are fsynced first (inside the corpus append), then the
+// batch's journal record — and the trigger labels' merge records — are
+// committed with an fsync before Append returns. A crash at any instant
+// leaves either the whole acknowledged batch recoverable or (for an
+// unacknowledged batch) a torn tail that recovery truncates away.
 func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err error) {
 	if len(images) != len(meta) {
 		return 0, fmt.Errorf("vdb: %d images but %d metadata rows", len(images), len(meta))
 	}
 	db.mu.Lock()
+	durable := db.durable
+	if durable {
+		// Fail-stop: once a journal write has failed, accepting more rows
+		// would acknowledge writes that can never be recovered.
+		if werr := db.wal.Err(); werr != nil {
+			db.mu.Unlock()
+			return 0, fmt.Errorf("vdb: journal failed, refusing appends: %w", werr)
+		}
+	}
 	app, ok := db.corpus.(appender)
 	if !ok {
 		db.mu.Unlock()
@@ -69,9 +85,22 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 		db.mu.Unlock()
 		return 0, err
 	}
+	base := len(db.meta)
 	db.meta = append(db.meta, meta...)
 
-	if !db.trigger.Enabled || db.matMode == MatOff {
+	noTriggers := !db.trigger.Enabled || db.matMode == MatOff
+	if durable {
+		// Journal the batch under the same critical section that appended it,
+		// so journal order always matches row order (and a concurrent
+		// checkpoint sees the two consistently). Buffered here; the fsync
+		// below is the ack barrier.
+		if _, werr := db.wal.Append(recAppend, encodeAppendRec(uint64(base), meta, noTriggers)); werr != nil {
+			db.mu.Unlock()
+			return 0, werr
+		}
+	}
+
+	if noTriggers {
 		// Without triggers (or with materialization off, where trigger
 		// labels would have nowhere to live), existing materialized columns
 		// no longer cover the corpus; drop them so queries recompute.
@@ -79,6 +108,11 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 		// harmless.
 		db.resetMaterialized()
 		db.mu.Unlock()
+		if durable {
+			if werr := db.wal.Sync(); werr != nil {
+				return 0, werr
+			}
+		}
 		return 0, nil
 	}
 
@@ -127,15 +161,30 @@ func (db *DB) Append(images []*img.Image, meta []Metadata) (udfCalls int, err er
 	// actually published.
 	defer func() {
 		db.mu.Lock()
+		deltas := make([]mergeDelta, 0, len(jobs))
 		for _, jb := range jobs {
-			jb.shared.Merge(jb.priv)
+			d := mergeDelta{key: matstore.Key{Category: jb.category, Cascade: jb.spec.ID()}}
+			jb.shared.MergeDelta(jb.priv, func(row int, label bool) {
+				d.rows = append(d.rows, row)
+				d.labels = append(d.labels, label)
+			})
+			deltas = append(deltas, d)
 		}
+		db.journalMergesLocked(deltas)
 		db.mat.Enforce()
 		db.mu.Unlock()
 		// Trigger classifications are observations too: ingest-time labels
 		// tune the selectivity catalog just like query-time ones.
 		for _, jb := range jobs {
 			db.catalog.Observe(jb.category, jb.frames, jb.positives)
+		}
+		// The ack barrier: the batch's journal record (and the trigger
+		// labels that rode behind it) hit disk before Append returns
+		// success. A sync failure un-acknowledges the batch.
+		if durable {
+			if werr := db.wal.Sync(); werr != nil && err == nil {
+				err = werr
+			}
 		}
 	}()
 	for _, jb := range jobs {

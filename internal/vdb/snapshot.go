@@ -24,9 +24,12 @@ type querySnapshot struct {
 	// share a live column (the same predicate mentioned twice) share the
 	// private copy too, so pointer-identity dedup in the executor still
 	// holds. shared are the live columns the copies came from — nil under
-	// MatOff, where fresh labels are transient and never published.
+	// MatOff, where fresh labels are transient and never published. keys are
+	// the matstore identities, parallel to cols, so merge can report which
+	// column each delta belongs to.
 	cols   []*column
 	shared []*column
+	keys   []matstore.Key
 }
 
 // snapshotForPlan builds the query's snapshot. Caller holds db.mu (write:
@@ -54,12 +57,14 @@ func (db *DB) snapshotForPlan(plan *queryPlan) *querySnapshot {
 			}
 			snap.cols = append(snap.cols, p)
 			snap.shared = append(snap.shared, nil)
+			snap.keys = append(snap.keys, k)
 		}
 		return snap
 	}
 	priv := make(map[*column]*column, len(plan.content))
 	for _, cs := range plan.content {
-		col := db.mat.Column(matKey(cs.pred, cs.spec))
+		k := matKey(cs.pred, cs.spec)
+		col := db.mat.Column(k)
 		col.Grow(n)
 		p, ok := priv[col]
 		if !ok {
@@ -68,6 +73,7 @@ func (db *DB) snapshotForPlan(plan *queryPlan) *querySnapshot {
 		}
 		snap.cols = append(snap.cols, p)
 		snap.shared = append(snap.shared, col)
+		snap.keys = append(snap.keys, k)
 	}
 	return snap
 }
@@ -78,15 +84,26 @@ func (db *DB) snapshotForPlan(plan *queryPlan) *querySnapshot {
 // so the values are identical either way and merge order cannot change any
 // result. The shared column may have grown past the private length (Append
 // during the query); only the snapshotted prefix merges.
-func (snap *querySnapshot) merge() {
+// It returns the newly adopted (row, label) pairs per column — the exact
+// state change, which the durability layer journals.
+func (snap *querySnapshot) merge() []mergeDelta {
 	seen := make(map[*column]bool, len(snap.cols))
+	var deltas []mergeDelta
 	for i, p := range snap.cols {
 		if seen[p] || snap.shared[i] == nil {
 			continue
 		}
 		seen[p] = true
-		snap.shared[i].Merge(p)
+		d := mergeDelta{key: snap.keys[i]}
+		snap.shared[i].MergeDelta(p, func(row int, label bool) {
+			d.rows = append(d.rows, row)
+			d.labels = append(d.labels, label)
+		})
+		if len(d.rows) > 0 {
+			deltas = append(deltas, d)
+		}
 	}
+	return deltas
 }
 
 // corpusView returns a fixed-length view of the corpus: rows [0,n) keep

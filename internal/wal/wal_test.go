@@ -1,0 +1,451 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tahoma/internal/faults"
+)
+
+// collect replays the whole journal into a slice.
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if _, err := l.Replay(0, func(r Record) error {
+		out = append(out, Record{Seq: r.Seq, Type: r.Type, Data: append([]byte(nil), r.Data...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.TruncatedBytes != 0 {
+		t.Fatalf("fresh journal recovered %+v", info)
+	}
+	var want []Record
+	for i := 0; i < 50; i++ {
+		data := []byte(fmt.Sprintf("record-%03d", i))
+		seq, err := l.Commit(byte(i%3), data)
+		if err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Commit %d returned seq %d", i, seq)
+		}
+		want = append(want, Record{Seq: seq, Type: byte(i % 3), Data: data})
+	}
+	got := collect(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives, sequence numbering continues.
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Records != 50 || info.TruncatedBytes != 0 || info.NextSeq != 50 {
+		t.Fatalf("reopen recovered %+v", info)
+	}
+	if seq, err := l2.Commit(9, []byte("after")); err != nil || seq != 50 {
+		t.Fatalf("post-reopen Commit = (%d, %v)", seq, err)
+	}
+	if got := collect(t, l2); len(got) != 51 {
+		t.Fatalf("replayed %d records after reopen-append", len(got))
+	}
+}
+
+func TestReplayFromSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Commit(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seqs []uint64
+	n, err := l.Replay(6, func(r Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(seqs) != 4 || seqs[0] != 6 || seqs[3] != 9 {
+		t.Fatalf("Replay(6) = %d records %v", n, seqs)
+	}
+}
+
+func TestAppendBuffersUntilSync(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, []byte("lazy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, []byte("rides-next-commit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(2, []byte("commit")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Records != 3 {
+		t.Fatalf("recovered %d records, want 3 (append must drain before a later commit)", info.Records)
+	}
+}
+
+func TestSegmentRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record should land in its own segment or nearly so.
+	l, _, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Commit(1, bytes.Repeat([]byte{byte(i)}, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to create several segments, got %d", st.Segments)
+	}
+	// GC everything below seq 15: records 15..19 must survive.
+	if _, err := l.TruncateBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l)
+	if len(got) == 0 || got[len(got)-1].Seq != 19 {
+		t.Fatalf("post-GC tail = %+v", got)
+	}
+	// Records below 15 may survive only if they share a segment with a kept
+	// record; record 15 itself must never be deleted.
+	if got[0].Seq > 15 {
+		t.Fatalf("GC deleted records >= 15: first surviving seq %d", got[0].Seq)
+	}
+	l.Close()
+
+	// Reopen after GC: numbering continues from 20.
+	l2, info, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.NextSeq != 20 {
+		t.Fatalf("NextSeq after GC+reopen = %d, want 20", info.NextSeq)
+	}
+}
+
+// TestTruncationAtEveryOffsetYieldsPrefix is the core durability property:
+// however the tail of the journal is damaged — cut at ANY byte offset —
+// recovery yields exactly a prefix of the committed records, never a
+// reordering, never a gap, never a partial record.
+func TestTruncationAtEveryOffsetYieldsPrefix(t *testing.T) {
+	master := t.TempDir()
+	l, _, err := Open(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := l.Commit(byte(i), []byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(master)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(master, segs[0].name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for off := 0; off <= len(raw); off += step {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segs[0].name), raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, info, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("offset %d: Open: %v", off, err)
+		}
+		recs := collect(t, l2)
+		for i, r := range recs {
+			if r.Seq != uint64(i) {
+				t.Fatalf("offset %d: record %d has seq %d — not a prefix", off, i, r.Seq)
+			}
+			if want := fmt.Sprintf("payload-%02d", i); string(r.Data) != want {
+				t.Fatalf("offset %d: record %d data %q, want %q", off, i, r.Data, want)
+			}
+		}
+		if int64(len(recs)) != info.Records {
+			t.Fatalf("offset %d: Open reported %d records, replay saw %d", off, info.Records, len(recs))
+		}
+		// After recovery the journal must accept appends at the right seq.
+		if seq, err := l2.Commit(7, []byte("post")); err != nil || seq != uint64(len(recs)) {
+			t.Fatalf("offset %d: post-recovery Commit = (%d, %v), want seq %d", off, seq, err, len(recs))
+		}
+		l2.Close()
+	}
+}
+
+// TestCorruptMiddleFrameTruncates flips a byte inside an early frame: the
+// reader must truncate there, keeping only the records before it.
+func TestCorruptMiddleFrameTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Commit(1, []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte roughly 40% in — inside some middle frame's payload.
+	raw[len(segMagic)+2*len(raw)/5] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes == 0 {
+		t.Fatal("corruption not detected")
+	}
+	recs := collect(t, l2)
+	if len(recs) >= 10 || len(recs) == 0 {
+		t.Fatalf("recovered %d records after mid-file corruption", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d — not a prefix", i, r.Seq)
+		}
+	}
+}
+
+func TestTornSegmentOrphansLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Commit(1, bytes.Repeat([]byte{byte(i)}, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Tear the second segment: every later segment is unreachable history and
+	// must be dropped, or replay would show a gap.
+	mid := filepath.Join(dir, segs[1].name)
+	fi, _ := os.Stat(mid)
+	if err := os.Truncate(mid, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes == 0 {
+		t.Fatal("torn segment not detected")
+	}
+	recs := collect(t, l2)
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d — gap after torn segment", i, r.Seq)
+		}
+	}
+	if left, _ := listSegments(dir); len(left) >= len(segs) {
+		t.Fatalf("orphaned segments not removed: %d -> %d", len(segs), len(left))
+	}
+}
+
+func TestReplayErrTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := l.Commit(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The callback rejects record 5: the journal must be cut there.
+	n, err := l.Replay(0, func(r Record) error {
+		if r.Seq == 5 {
+			return ErrTruncate
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay with ErrTruncate: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("replayed %d records before truncate, want 5", n)
+	}
+	if got := collect(t, l); len(got) != 5 {
+		t.Fatalf("journal holds %d records after truncate, want 5", len(got))
+	}
+	// Appends continue from the cut point.
+	if seq, err := l.Commit(2, []byte("anew")); err != nil || seq != 5 {
+		t.Fatalf("post-truncate Commit = (%d, %v), want seq 5", seq, err)
+	}
+	l.Close()
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Records != 6 || info.NextSeq != 6 {
+		t.Fatalf("reopen after ErrTruncate: %+v", info)
+	}
+}
+
+func TestFaultWALWriteErrorFailStops(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Commit(1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	if err := faults.Enable(faults.FSWriteError, faults.Spec{Err: boom, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(1, []byte("doomed")); !errors.Is(err, boom) {
+		t.Fatalf("Commit under write fault = %v, want %v", err, boom)
+	}
+	// Fail-stop: the fault is exhausted but the journal must refuse further
+	// appends — a later success would leave a gap over the failed record.
+	if _, err := l.Commit(1, []byte("after")); err == nil {
+		t.Fatal("journal accepted an append after a write failure")
+	}
+	// The committed prefix is intact.
+	l3, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if info.Records != 1 {
+		t.Fatalf("recovered %d records, want the 1 acked commit", info.Records)
+	}
+}
+
+func TestFaultWALShortWriteTruncatesOnReopen(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Commit(1, []byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := faults.Enable(faults.FSShortWrite, faults.Spec{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(1, []byte("torn")); err == nil {
+		t.Fatal("short write did not error")
+	}
+	l.Close()
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes == 0 {
+		t.Fatal("torn frame left no truncated bytes")
+	}
+	recs := collect(t, l2)
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want the 3 acked", len(recs))
+	}
+	if info.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", info.NextSeq)
+	}
+}
+
+func TestFaultWALSyncError(t *testing.T) {
+	faults.Reset()
+	defer faults.Reset()
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := faults.Enable(faults.FSSyncError, faults.Spec{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(1, []byte("unsynced")); err == nil {
+		t.Fatal("Commit under sync fault returned nil")
+	}
+	if _, err := l.Commit(1, []byte("after")); err == nil {
+		t.Fatal("journal accepted an append after a sync failure")
+	}
+}
