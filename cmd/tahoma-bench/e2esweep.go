@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"tahoma/e2e"
+)
+
+// e2eCell is one traffic mix replayed against a live `tahoma serve`
+// subprocess, byte-compared op for op against the serial in-process
+// reference.
+type e2eCell struct {
+	Mix     string  `json:"mix"`
+	Ops     int     `json:"ops"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+	// Client-side latency percentiles across the mix's ops, plus the
+	// server's own /stats histogram p99 (the number the SLO assertions use).
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	StatsP99MS float64 `json:"stats_p99_ms"`
+	SLOP99MS   float64 `json:"slo_p99_ms"`
+	// Bitmap counts responses served on the pure-bitmap materialized path;
+	// RepFallbacks counts rep reads degraded to fresh inference (the
+	// fault-armed mix drives this up on purpose).
+	Bitmap       int `json:"bitmap"`
+	RepFallbacks int `json:"rep_fallbacks"`
+	// BitIdentical reports that every canonicalized response matched the
+	// serial reference byte for byte.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// e2eSweepReport is the machine-readable output of -e2e-json (BENCH_e2e.json).
+type e2eSweepReport struct {
+	Bench      string `json:"bench"`
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Config     struct {
+		Rows  int      `json:"rows"`
+		Mixes []string `json:"mixes"`
+	} `json:"config"`
+	Cells []e2eCell `json:"cells"`
+}
+
+// sweepTB adapts the e2e harness's TB to a plain error-returning runner, so
+// the sweep reuses the exact subprocess machinery (and leak checking) the
+// test suite runs.
+type sweepTB struct {
+	cleanups []func()
+	failed   bool
+	err      error
+}
+
+type sweepFatal struct{ err error }
+
+func (s *sweepTB) Helper()                    {}
+func (s *sweepTB) Logf(f string, args ...any) { log.Printf(f, args...) }
+func (s *sweepTB) Failed() bool               { return s.failed }
+func (s *sweepTB) Cleanup(fn func())          { s.cleanups = append(s.cleanups, fn) }
+func (s *sweepTB) Errorf(f string, args ...any) {
+	s.failed = true
+	if s.err == nil {
+		s.err = fmt.Errorf(f, args...)
+	}
+}
+func (s *sweepTB) Fatalf(f string, args ...any) {
+	s.failed = true
+	err := fmt.Errorf(f, args...)
+	if s.err == nil {
+		s.err = err
+	}
+	panic(sweepFatal{err})
+}
+
+// run executes fn, replays cleanups LIFO (testing.T semantics), and returns
+// the first failure.
+func (s *sweepTB) run(fn func()) error {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(sweepFatal); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn()
+	}()
+	for i := len(s.cleanups) - 1; i >= 0; i-- {
+		s.cleanups[i]()
+	}
+	return s.err
+}
+
+// runE2ESweep replays every traffic mix of the e2e harness against a live
+// `tahoma serve` subprocess — the smoke version of the e2e suite, emitting
+// per-mix throughput, latency and bit-parity cells to path as JSON.
+func runE2ESweep(path string) error {
+	dir, err := os.MkdirTemp("", "tahoma-bench-e2e")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fx, err := e2e.BuildFixture(dir)
+	if err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+
+	var rep e2eSweepReport
+	rep.Bench = "e2e"
+	rep.Go = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config.Rows = fx.Rows
+
+	for _, tr := range e2e.Mixes(fx.Rows) {
+		rep.Config.Mixes = append(rep.Config.Mixes, tr.Mix)
+		cell, err := runE2ECell(fx, tr)
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", tr.Mix, err)
+		}
+		rep.Cells = append(rep.Cells, *cell)
+		log.Printf("e2e mix %s: %d ops qps=%.1f p99=%.1fms bit_identical=%v",
+			cell.Mix, cell.Ops, cell.QPS, cell.P99MS, cell.BitIdentical)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func runE2ECell(fx *e2e.Fixture, tr *e2e.Trace) (*e2eCell, error) {
+	cell := &e2eCell{Mix: tr.Mix, Ops: len(tr.Ops), Workers: tr.Concurrency, SLOP99MS: tr.SLOP99MS}
+	tb := &sweepTB{}
+	err := tb.run(func() {
+		cl := e2e.StartCluster(tb, fx, 1, e2e.ServerOptions{
+			Fault:     tr.Fault,
+			ServeReps: tr.ServeReps,
+		})
+		ref, err := e2e.NewReference(fx, false)
+		if err != nil {
+			tb.Fatalf("reference: %v", err)
+		}
+		want, err := ref.Replay(tr)
+		if err != nil {
+			tb.Fatalf("reference replay: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		out, err := e2e.Replay(ctx, cl.Clients(), tr, fx)
+		if err != nil {
+			tb.Fatalf("replay: %v", err)
+		}
+		cell.WallMS = out.WallMS
+		cell.QPS = out.QPS
+		cell.P50MS = out.ClientP50MS
+		cell.P99MS = out.ClientP99MS
+		cell.Bitmap = out.Bitmap
+		cell.RepFallbacks = out.RepFallbacks
+		cell.BitIdentical = true
+		for i, r := range out.Results {
+			if !bytes.Equal(r.Canon, want[i]) {
+				cell.BitIdentical = false
+			}
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			tb.Fatalf("%v", err)
+		}
+		cell.StatsP99MS = e2e.HistogramP99(st[0].Latency)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cell, nil
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tahoma-bench [-scale quick|default|test] [-exp all|none|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file] [-json file] [-serve-json file]
+//	tahoma-bench [-scale quick|default|test] [-exp all|none|tab2|fig4|fig5|fig6|fig7|fig8|fig9|tab3|fig10|fig11] [-out file] [-json file] [-serve-json file] [-e2e-json file]
 //
 // The default scale trains the full 4-size × 5-color × 8-architecture grid
 // for all ten predicates (minutes of CPU time); -scale quick runs three
@@ -27,6 +27,13 @@
 // serial baseline, with throughput, the server's latency histogram and the
 // cross-query shared-representation-cache counters in the output
 // (BENCH_serve.json).
+//
+// -e2e-json replays the end-to-end harness's committed traffic mixes (see
+// the e2e package) against a real `tahoma serve` subprocess — bursts, long
+// scans, ingest-while-querying, repeat-query materialization, fault-armed
+// rep reads — byte-comparing every response against the serial in-process
+// reference and recording per-mix qps, latency percentiles and bit-parity
+// cells (BENCH_e2e.json).
 package main
 
 import (
@@ -49,6 +56,7 @@ func main() {
 	out := flag.String("out", "", "write results to this file as well as stdout")
 	jsonPath := flag.String("json", "", "run the exec-engine sweep and write machine-readable results to this file")
 	serveJSON := flag.String("serve-json", "", "run the concurrent-serving sweep (closed-loop multi-client) and write machine-readable results to this file")
+	e2eJSON := flag.String("e2e-json", "", "replay the e2e traffic mixes against a live `tahoma serve` subprocess and write per-mix qps/p99/bit-parity cells to this file")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 0, "results per evaluation batch (0 = default)")
 	flag.Parse()
@@ -64,6 +72,12 @@ func main() {
 			log.Fatalf("serve sweep: %v", err)
 		}
 		log.Printf("serve sweep written to %s", *serveJSON)
+	}
+	if *e2eJSON != "" {
+		if err := runE2ESweep(*e2eJSON); err != nil {
+			log.Fatalf("e2e sweep: %v", err)
+		}
+		log.Printf("e2e sweep written to %s", *e2eJSON)
 	}
 	if *exp == "none" {
 		return

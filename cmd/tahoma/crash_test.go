@@ -1,21 +1,18 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"math/rand"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
-	"syscall"
 	"testing"
 	"time"
 
+	"tahoma/e2e"
 	"tahoma/internal/core"
 	"tahoma/internal/img"
 	"tahoma/internal/repstore"
@@ -34,133 +31,6 @@ import (
 // recovered labels are bit-identical to an independent in-process replay of
 // the same rows.
 
-var crashBin struct {
-	once sync.Once
-	err  error
-	path string
-}
-
-// buildTahomaBinary compiles the CLI once per test run.
-func buildTahomaBinary(t *testing.T) string {
-	t.Helper()
-	crashBin.once.Do(func() {
-		dir, err := os.MkdirTemp("", "tahoma-crash-bin")
-		if err != nil {
-			crashBin.err = err
-			return
-		}
-		crashBin.path = filepath.Join(dir, "tahoma")
-		out, err := exec.Command("go", "build", "-o", crashBin.path, ".").CombinedOutput()
-		if err != nil {
-			crashBin.err = fmt.Errorf("go build: %v\n%s", err, out)
-		}
-	})
-	if crashBin.err != nil {
-		t.Fatal(crashBin.err)
-	}
-	return crashBin.path
-}
-
-// proc is one running `tahoma serve`, with its stderr captured for failure
-// dumps and its base URL parsed from the "listening on http://" line.
-type proc struct {
-	cmd  *exec.Cmd
-	base string
-
-	exited  chan struct{} // closed once the process has been reaped
-	exitErr error         // cmd.Wait's result; valid after exited closes
-
-	mu  sync.Mutex
-	log []string
-}
-
-// wait blocks until the process exits and returns its Wait error; safe to
-// call from multiple places (unlike receiving from a channel of one value).
-func (p *proc) wait() error {
-	<-p.exited
-	return p.exitErr
-}
-
-func (p *proc) appendLog(line string) {
-	p.mu.Lock()
-	if len(p.log) < 500 {
-		p.log = append(p.log, line)
-	}
-	p.mu.Unlock()
-}
-
-func (p *proc) dump() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return strings.Join(p.log, "\n")
-}
-
-// kill delivers SIGKILL; the process may already be dead (self-killed by an
-// armed crash point), which is fine.
-func (p *proc) kill() {
-	_ = p.cmd.Process.Kill()
-	p.wait()
-}
-
-// termGracefully delivers SIGTERM and requires a clean exit 0 — the drain +
-// final-checkpoint path, not a crash.
-func termGracefully(t *testing.T, p *proc, label string) {
-	t.Helper()
-	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case <-p.exited:
-		if p.exitErr != nil {
-			t.Fatalf("%s: SIGTERM exit: %v\n%s", label, p.exitErr, p.dump())
-		}
-	case <-time.After(60 * time.Second):
-		t.Fatalf("%s: graceful shutdown hung\n%s", label, p.dump())
-	}
-}
-
-// startServe launches the binary and waits for the listener line — the
-// moment /readyz is pollable, which may be well before the server is ready.
-func startServe(t *testing.T, bin string, args []string) *proc {
-	t.Helper()
-	cmd := exec.Command(bin, args...)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	p := &proc{cmd: cmd, exited: make(chan struct{})}
-	t.Cleanup(func() { _ = cmd.Process.Kill(); p.wait() })
-	baseCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			p.appendLog(line)
-			if i := strings.Index(line, "listening on http://"); i >= 0 {
-				addr := strings.Fields(line[i+len("listening on "):])[0]
-				select {
-				case baseCh <- addr:
-				default:
-				}
-			}
-		}
-		p.exitErr = cmd.Wait()
-		close(p.exited)
-	}()
-	select {
-	case base := <-baseCh:
-		p.base = base
-	case <-p.exited:
-		t.Fatalf("serve exited before listening:\n%s", p.dump())
-	case <-time.After(60 * time.Second):
-		t.Fatalf("serve never printed its listener:\n%s", p.dump())
-	}
-	return p
-}
-
 const crashContentSQL = "SELECT id FROM images WHERE contains_object('cloak')"
 
 func serveArgs(storeDir, walDir, zooDir string, extra ...string) []string {
@@ -174,26 +44,6 @@ func serveArgs(storeDir, walDir, zooDir string, extra ...string) []string {
 		"-scenario", "camera",
 	}
 	return append(args, extra...)
-}
-
-func copyDirFlat(t *testing.T, src, dst string) {
-	t.Helper()
-	if err := os.MkdirAll(dst, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	entries, err := os.ReadDir(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		data, err := os.ReadFile(filepath.Join(src, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
 }
 
 // crashBatch is one ingest batch the workload sent: its rows (by source
@@ -228,12 +78,12 @@ func TestCrashKillRecovery(t *testing.T) {
 	if testing.Short() && os.Getenv("TAHOMA_CRASH_SHORT") == "skip" {
 		t.Skip("crash loop disabled")
 	}
-	bin := buildTahomaBinary(t)
+	bin := e2e.BuildBinary(t)
 	zooDir, fixtureStore := buildCLIFixture(t)
 	work := t.TempDir()
 	storeDir := filepath.Join(work, "store")
 	walDir := filepath.Join(work, "wal")
-	copyDirFlat(t, fixtureStore, storeDir)
+	e2e.CopyDir(t, fixtureStore, storeDir)
 
 	// Source material for ingests: the fixture store's own images, re-encoded.
 	src, err := repstore.Open(fixtureStore)
@@ -276,8 +126,8 @@ func TestCrashKillRecovery(t *testing.T) {
 		case 5:
 			args = append(args, "-fault", "fs.crash-after-sync")
 		}
-		p := startServe(t, bin, args)
-		c := server.NewClientWith(p.base, server.ClientOptions{
+		p := e2e.StartProc(t, bin, args)
+		c := server.NewClientWith(p.Base, server.ClientOptions{
 			MaxRetries: -1, ConnectTimeout: time.Second, RequestTimeout: 10 * time.Second,
 		})
 
@@ -322,18 +172,18 @@ func TestCrashKillRecovery(t *testing.T) {
 		// Random kill point: from "barely listening" (mid-recovery) through
 		// several acknowledged batches.
 		time.Sleep(time.Duration(20+rng.Intn(500)) * time.Millisecond)
-		p.kill()
+		p.Kill()
 		<-workDone
 	}
 
 	// Final restart: recovery must succeed after every one of the kills
 	// above (each cycle's WaitReady already checked the intermediate ones).
-	p := startServe(t, bin, serveArgs(storeDir, walDir, zooDir))
-	c := server.NewClientWith(p.base, server.ClientOptions{MaxRetries: -1, RequestTimeout: 30 * time.Second})
+	p := e2e.StartProc(t, bin, serveArgs(storeDir, walDir, zooDir))
+	c := server.NewClientWith(p.Base, server.ClientOptions{MaxRetries: -1, RequestTimeout: 30 * time.Second})
 	wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer wcancel()
 	if err := c.WaitReady(wctx); err != nil {
-		t.Fatalf("final recovery never became ready: %v\n%s", err, p.dump())
+		t.Fatalf("final recovery never became ready: %v\n%s", err, p.Dump())
 	}
 
 	st, err := c.Stats()
@@ -460,18 +310,20 @@ func TestCrashKillRecovery(t *testing.T) {
 
 	// Graceful exit closes the loop: SIGTERM → drain → final checkpoint →
 	// exit 0.
-	termGracefully(t, p, "final server")
+	if err := p.GracefulStop(60 * time.Second); err != nil {
+		t.Fatalf("%s: %v", "final server", err)
+	}
 }
 
 // TestGracefulShutdownSIGTERM: the real signal path — SIGTERM drains, takes
 // a final checkpoint and exits 0; the next start replays nothing.
 func TestGracefulShutdownSIGTERM(t *testing.T) {
-	bin := buildTahomaBinary(t)
+	bin := e2e.BuildBinary(t)
 	zooDir, fixtureStore := buildCLIFixture(t)
 	work := t.TempDir()
 	storeDir := filepath.Join(work, "store")
 	walDir := filepath.Join(work, "wal")
-	copyDirFlat(t, fixtureStore, storeDir)
+	e2e.CopyDir(t, fixtureStore, storeDir)
 
 	src, err := repstore.Open(fixtureStore)
 	if err != nil {
@@ -487,20 +339,22 @@ func TestGracefulShutdownSIGTERM(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p := startServe(t, bin, serveArgs(storeDir, walDir, zooDir))
-	c := server.NewClient(p.base)
+	p := e2e.StartProc(t, bin, serveArgs(storeDir, walDir, zooDir))
+	c := server.NewClient(p.Base)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	if err := c.WaitReady(ctx); err != nil {
-		t.Fatalf("never ready: %v\n%s", err, p.dump())
+		t.Fatalf("never ready: %v\n%s", err, p.Dump())
 	}
 	if _, err := c.IngestCtx(ctx, []server.IngestRow{{ID: 5000, TS: 5000, Image: buf.Bytes()}}); err != nil {
 		t.Fatal(err)
 	}
 
-	termGracefully(t, p, "first server")
-	if !strings.Contains(p.dump(), "shutdown complete") {
-		t.Fatalf("no shutdown log:\n%s", p.dump())
+	if err := p.GracefulStop(60 * time.Second); err != nil {
+		t.Fatalf("%s: %v", "first server", err)
+	}
+	if !strings.Contains(p.Dump(), "shutdown complete") {
+		t.Fatalf("no shutdown log:\n%s", p.Dump())
 	}
 	if _, err := os.Stat(filepath.Join(walDir, "checkpoint.ckp")); err != nil {
 		t.Fatalf("no final checkpoint: %v", err)
@@ -508,10 +362,10 @@ func TestGracefulShutdownSIGTERM(t *testing.T) {
 
 	// The final checkpoint collapsed the journal: restart replays nothing
 	// and the ingested row is there.
-	p2 := startServe(t, bin, serveArgs(storeDir, walDir, zooDir))
-	c2 := server.NewClient(p2.base)
+	p2 := e2e.StartProc(t, bin, serveArgs(storeDir, walDir, zooDir))
+	c2 := server.NewClient(p2.Base)
 	if err := c2.WaitReady(ctx); err != nil {
-		t.Fatalf("restart never ready: %v\n%s", err, p2.dump())
+		t.Fatalf("restart never ready: %v\n%s", err, p2.Dump())
 	}
 	st, err := c2.Stats()
 	if err != nil {
@@ -523,5 +377,7 @@ func TestGracefulShutdownSIGTERM(t *testing.T) {
 	if st.Rows != 41 {
 		t.Fatalf("restart lost rows: %d, want 41", st.Rows)
 	}
-	termGracefully(t, p2, "restart")
+	if err := p2.GracefulStop(60 * time.Second); err != nil {
+		t.Fatalf("%s: %v", "restart", err)
+	}
 }

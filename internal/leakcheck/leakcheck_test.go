@@ -1,0 +1,128 @@
+package leakcheck_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tahoma/internal/leakcheck"
+)
+
+// fakeTB records Errorf calls and replays cleanups LIFO like testing.T, so
+// the checker's verdict can itself be asserted.
+type fakeTB struct {
+	errs     []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// leakyWorker blocks until release is closed; its name must show up in the
+// checker's stack diff so the leak is attributable.
+func leakyWorker(release <-chan struct{}, started chan<- struct{}) {
+	close(started)
+	<-release
+}
+
+func TestCheckCatchesLeakedGoroutine(t *testing.T) {
+	fake := &fakeTB{}
+	leakcheck.Check(fake)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go leakyWorker(release, started)
+	<-started
+
+	fake.runCleanups()
+	if len(fake.errs) != 1 {
+		t.Fatalf("got %d errors, want exactly 1: %v", len(fake.errs), fake.errs)
+	}
+	if !strings.Contains(fake.errs[0], "leaked") {
+		t.Errorf("error does not mention the leak: %s", fake.errs[0])
+	}
+	if !strings.Contains(fake.errs[0], "leakyWorker") {
+		t.Errorf("stack diff does not attribute the leak to leakyWorker:\n%s", fake.errs[0])
+	}
+
+	// Release the worker so this test does not itself leak.
+	close(release)
+	if err := leakcheck.Settled(runtime.NumGoroutine(), 2*time.Second); err != nil {
+		t.Fatalf("worker did not exit after release: %v", err)
+	}
+}
+
+func TestCheckPassesOnCleanShutdown(t *testing.T) {
+	fake := &fakeTB{}
+	leakcheck.Check(fake)
+
+	// A goroutine that comes and goes between Check and cleanup is not a
+	// leak.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		leakyWorker(release, started)
+	}()
+	<-started
+	close(release)
+	<-done
+
+	fake.runCleanups()
+	if len(fake.errs) != 0 {
+		t.Fatalf("clean shutdown reported errors: %v", fake.errs)
+	}
+}
+
+// TestCheckAbsorbsSettlingGoroutine pins the grace period: a goroutine
+// mid-exit when cleanup fires (the http keep-alive reaper pattern) must not
+// fail the test.
+func TestCheckAbsorbsSettlingGoroutine(t *testing.T) {
+	fake := &fakeTB{}
+	leakcheck.Check(fake)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		time.Sleep(300 * time.Millisecond)
+	}()
+	<-started
+
+	fake.runCleanups()
+	if len(fake.errs) != 0 {
+		t.Fatalf("settling goroutine reported as a leak: %v", fake.errs)
+	}
+}
+
+func TestSettled(t *testing.T) {
+	if err := leakcheck.Settled(runtime.NumGoroutine(), time.Second); err != nil {
+		t.Fatalf("settled baseline reported a leak: %v", err)
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go leakyWorker(release, started)
+	<-started
+	err := leakcheck.Settled(runtime.NumGoroutine()-1, 200*time.Millisecond)
+	if err == nil {
+		t.Fatalf("Settled missed a live goroutine above the target")
+	}
+	if !strings.Contains(err.Error(), "leakyWorker") {
+		t.Errorf("error does not attribute the leak: %v", err)
+	}
+	close(release)
+	if err := leakcheck.Settled(runtime.NumGoroutine(), 2*time.Second); err != nil {
+		t.Fatalf("worker did not exit after release: %v", err)
+	}
+}
