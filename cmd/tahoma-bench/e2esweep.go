@@ -33,6 +33,13 @@ type e2eCell struct {
 	// fault-armed mix drives this up on purpose).
 	Bitmap       int `json:"bitmap"`
 	RepFallbacks int `json:"rep_fallbacks"`
+	// QuantScored / QuantFallbacks total the responses' int8 accounting:
+	// trusted int8 scorings vs guard-band float32 re-scores. The reference
+	// every response is compared against scores pure float32, so a cell
+	// with quant traffic and bit_identical=true is the parity wall holding
+	// over live HTTP.
+	QuantScored    int `json:"quant_scored"`
+	QuantFallbacks int `json:"quant_fallbacks"`
 	// BitIdentical reports that every canonicalized response matched the
 	// serial reference byte for byte.
 	BitIdentical bool `json:"bit_identical"`
@@ -146,8 +153,10 @@ func runE2ECell(fx *e2e.Fixture, tr *e2e.Trace) (*e2eCell, error) {
 	tb := &sweepTB{}
 	err := tb.run(func() {
 		cl := e2e.StartCluster(tb, fx, 1, e2e.ServerOptions{
-			Fault:     tr.Fault,
-			ServeReps: tr.ServeReps,
+			Fault:       tr.Fault,
+			ServeReps:   tr.ServeReps,
+			Quantize:    tr.Quantize,
+			Materialize: tr.Materialize,
 		})
 		ref, err := e2e.NewReference(fx, false)
 		if err != nil {
@@ -169,6 +178,8 @@ func runE2ECell(fx *e2e.Fixture, tr *e2e.Trace) (*e2eCell, error) {
 		cell.P99MS = out.ClientP99MS
 		cell.Bitmap = out.Bitmap
 		cell.RepFallbacks = out.RepFallbacks
+		cell.QuantScored = out.QuantScored
+		cell.QuantFallbacks = out.QuantFallbacks
 		cell.BitIdentical = true
 		for i, r := range out.Results {
 			if !bytes.Equal(r.Canon, want[i]) {

@@ -97,6 +97,19 @@ type sweepReport struct {
 	} `json:"mat_config"`
 	MatResults []matSweepResult `json:"mat_results"`
 	MatMixed   []matMixedResult `json:"mat_mixed"`
+	// QuantConfig / QuantResults are the f32-vs-int8 sweep: identical
+	// single-level cascades run with quantization off and with the armed
+	// int8 path (guard-band float32 fallback) on the execution engine,
+	// dense-only early-cascade architectures plus one conv cell, batch
+	// 1/8/64. Every cell must report bit_identical=true — the parity wall
+	// is part of the benchmark contract, not just the test suite.
+	QuantConfig struct {
+		Frames            int `json:"frames"`
+		SourceSize        int `json:"source_size"`
+		CalibrationFrames int `json:"calibration_frames"`
+		Repeats           int `json:"repeats"`
+	} `json:"quant_config"`
+	QuantResults []quantSweepResult `json:"quant_results"`
 	// RepServed measures the 2-predicate shared-grid fused run against a
 	// representation store serving every slot (transforms skipped), with
 	// the rep cache's own counters for the measured run.
@@ -225,6 +238,9 @@ func runExecSweep(path string) error {
 		return err
 	}
 	if err := runMatSweep(&rep); err != nil {
+		return err
+	}
+	if err := runQuantSweep(&rep); err != nil {
 		return err
 	}
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/exec"
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+	"tahoma/internal/xform"
+)
+
+// quantSweepResult is one (arch, batch) cell of the f32-vs-int8 sweep: the
+// same single-level cascade executed with quantization off and with the int8
+// path armed, on identical frames. Speedup is int8 frames/sec over f32, and
+// BitIdentical asserts the guard-band contract on every cell — the emitted
+// labels must match bit for bit regardless of which representation scored.
+type quantSweepResult struct {
+	Arch      string `json:"arch"`
+	Transform string `json:"transform"`
+	Batch     int    `json:"batch"`
+	Workers   int    `json:"workers"`
+	Frames    int    `json:"frames"`
+	// F32FramesPerSec / Int8FramesPerSec are best-of-repeats engine
+	// throughput for the two physical representations.
+	F32FramesPerSec  float64 `json:"f32_frames_per_sec"`
+	Int8FramesPerSec float64 `json:"int8_frames_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	BitIdentical     bool    `json:"bit_identical"`
+	// QuantScored / QuantFallbacks split the int8 run's per-(frame, level)
+	// decisions: trusted int8 scores versus guard-band float32 re-scores.
+	QuantScored    int     `json:"quant_scored"`
+	QuantFallbacks int     `json:"quant_fallbacks"`
+	FallbackRate   float64 `json:"fallback_rate"`
+	// MaxErr and GuardBand are the cell's calibration record: the worst
+	// int8-vs-f32 probability gap seen on the calibration split and the
+	// trust radius derived from it.
+	MaxErr    float64 `json:"max_err"`
+	GuardBand float64 `json:"guard_band"`
+}
+
+// runQuantSweep measures the int8 scoring path against float32 on the real
+// execution engine: dense-only architectures — the early-cascade population
+// the quantized kernels target — plus one convolutional cell for honesty
+// (the pure-Go int8 conv path is slower than f32 and the cost model prices
+// it that way). Each cell runs the identical frame set both ways at one
+// worker and checks label bit-parity.
+func runQuantSweep(rep *sweepReport) error {
+	const (
+		numFrames  = 512
+		sourceSize = 32
+		calibN     = 64
+		repeats    = 3
+	)
+	rep.QuantConfig.Frames = numFrames
+	rep.QuantConfig.SourceSize = sourceSize
+	rep.QuantConfig.CalibrationFrames = calibN
+	rep.QuantConfig.Repeats = repeats
+
+	rng := rand.New(rand.NewSource(47))
+	frames := make([]*img.Image, numFrames)
+	for i := range frames {
+		im := img.New(sourceSize, sourceSize, img.RGB)
+		for p := range im.Pix {
+			im.Pix[p] = rng.Float32()
+		}
+		frames[i] = im
+	}
+
+	cells := []struct {
+		spec arch.Spec
+		xf   xform.Transform
+	}{
+		{arch.Spec{ConvLayers: 0, DenseWidth: 64, Kernel: 3}, xform.Transform{Size: 32, Color: img.RGB}},
+		{arch.Spec{ConvLayers: 0, DenseWidth: 128, Kernel: 3}, xform.Transform{Size: 32, Color: img.RGB}},
+		{arch.Spec{ConvLayers: 1, ConvWidth: 4, DenseWidth: 16, Kernel: 3}, xform.Transform{Size: 32, Color: img.Gray}},
+	}
+	for _, cell := range cells {
+		m, err := model.New(cell.spec, cell.xf, model.Basic, 47)
+		if err != nil {
+			return err
+		}
+		// Calibrate from representations of the sweep's own frame
+		// distribution, the way zoo install calibrates from the eval split.
+		calib := make([]*img.Image, calibN)
+		for i := range calib {
+			calib[i] = cell.xf.Apply(frames[i])
+		}
+		q, err := m.CalibrateQuant(calib)
+		if err != nil {
+			return err
+		}
+		levels := []exec.Level{{
+			Model:      m,
+			Thresholds: thresh.Thresholds{Low: 0.4, High: 0.6},
+			Last:       true,
+		}}
+		eng, err := exec.New(levels)
+		if err != nil {
+			return err
+		}
+
+		for _, batch := range []int{1, 8, 64} {
+			run := func(mode exec.QuantMode) (*exec.Report, error) {
+				opts := exec.Options{Workers: 1, Batch: batch, Quantize: mode}
+				var best *exec.Report
+				for r := 0; r < repeats+1; r++ {
+					out, err := eng.RunAll(exec.Frames(frames), opts)
+					if err != nil {
+						return nil, fmt.Errorf("quant sweep %s b=%d %v: %w", cell.spec.ID(), batch, mode, err)
+					}
+					// The first run per config is warmup (pool fill).
+					if r > 0 && (best == nil || out.Wall < best.Wall) {
+						best = out
+					}
+				}
+				return best, nil
+			}
+			f32, err := run(exec.QuantOff)
+			if err != nil {
+				return err
+			}
+			int8r, err := run(exec.QuantAuto)
+			if err != nil {
+				return err
+			}
+
+			identical := len(f32.Labels) == len(int8r.Labels)
+			if identical {
+				for i := range f32.Labels {
+					if f32.Labels[i] != int8r.Labels[i] {
+						identical = false
+						break
+					}
+				}
+			}
+			decisions := int8r.QuantScored + int8r.QuantFallbacks
+			res := quantSweepResult{
+				Arch:             cell.spec.ID(),
+				Transform:        cell.xf.ID(),
+				Batch:            batch,
+				Workers:          1,
+				Frames:           numFrames,
+				F32FramesPerSec:  f32.Throughput,
+				Int8FramesPerSec: int8r.Throughput,
+				Speedup:          int8r.Throughput / f32.Throughput,
+				BitIdentical:     identical,
+				QuantScored:      int8r.QuantScored,
+				QuantFallbacks:   int8r.QuantFallbacks,
+				MaxErr:           float64(q.MaxErr),
+				GuardBand:        float64(q.GuardBand()),
+			}
+			if decisions > 0 {
+				res.FallbackRate = float64(int8r.QuantFallbacks) / float64(decisions)
+			}
+			rep.QuantResults = append(rep.QuantResults, res)
+		}
+	}
+	return nil
+}

@@ -66,7 +66,7 @@ func loadCommittedTrace(t *testing.T, mix string) *Trace {
 // cluster, so round-robined traffic must agree across processes too.
 func TestScenarioMixes(t *testing.T) {
 	fx := sharedFixture(t)
-	for _, mix := range []string{"burst", "scan", "ingest_query", "repeat", "faults"} {
+	for _, mix := range []string{"burst", "scan", "ingest_query", "repeat", "faults", "quant"} {
 		tr := loadCommittedTrace(t, mix)
 		if testing.Short() && !tr.Short {
 			continue
@@ -77,8 +77,10 @@ func TestScenarioMixes(t *testing.T) {
 				procs = 2
 			}
 			cl := StartCluster(t, fx, procs, ServerOptions{
-				Fault:     tr.Fault,
-				ServeReps: tr.ServeReps,
+				Fault:       tr.Fault,
+				ServeReps:   tr.ServeReps,
+				Quantize:    tr.Quantize,
+				Materialize: tr.Materialize,
 			})
 
 			ref, err := NewReference(fx, false)
@@ -119,6 +121,9 @@ func TestScenarioMixes(t *testing.T) {
 			if tr.ExpectRepFallbacks && rep.RepFallbacks == 0 {
 				t.Errorf("expected rep-read fallbacks under fault %q; got none (fault never fired)", tr.Fault)
 			}
+			if tr.ExpectQuantScored && rep.QuantScored == 0 {
+				t.Errorf("expected trusted int8 scores on the quantized mix; got none (int8 path never engaged)")
+			}
 
 			stats, err := cl.Stats()
 			if err != nil {
@@ -137,8 +142,9 @@ func TestScenarioMixes(t *testing.T) {
 			if t.Failed() {
 				WriteFailureArtifacts(t, mix, tr, rep, want, cl)
 			}
-			t.Logf("%s: %d ops, %d proc(s), qps=%.1f client p50=%.1fms p99=%.1fms bitmap=%d fallbacks=%d",
-				mix, len(tr.Ops), procs, rep.QPS, rep.ClientP50MS, rep.ClientP99MS, rep.Bitmap, rep.RepFallbacks)
+			t.Logf("%s: %d ops, %d proc(s), qps=%.1f client p50=%.1fms p99=%.1fms bitmap=%d fallbacks=%d int8=%d/%d",
+				mix, len(tr.Ops), procs, rep.QPS, rep.ClientP50MS, rep.ClientP99MS, rep.Bitmap, rep.RepFallbacks,
+				rep.QuantScored, rep.QuantFallbacks)
 		})
 	}
 }

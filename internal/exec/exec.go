@@ -215,6 +215,11 @@ type Options struct {
 	// 2); negative disables the pipeline and prepares batches inline.
 	// Engine.Run ignores it — only Fused.Run has the ingest stage.
 	Prefetch int
+	// Quantize selects the scoring representation: QuantOff (the zero
+	// value) is float32 everywhere; QuantAuto scores int8 where a model
+	// carries an armed calibration, with the per-frame guard-band fallback
+	// that keeps labels bit-identical either way.
+	Quantize QuantMode
 }
 
 func (o Options) normalized() Options {
@@ -246,7 +251,8 @@ type BatchStats struct {
 	// were degraded to decode + transform instead of failing the run (they
 	// also count in RepsMaterialized — a transform really ran).
 	RepFallbacks int
-	Wall         time.Duration
+	QuantStats
+	Wall time.Duration
 }
 
 // Report is one run's accounting.
@@ -263,6 +269,10 @@ type Report struct {
 	// RepFallbacks counts RepSource read failures degraded to plain
 	// inference (see BatchStats.RepFallbacks).
 	RepFallbacks int
+	// QuantStats aggregates the batches' int8 accounting: how many
+	// (frame, level) scorings the int8 path decided and how many fell back
+	// to float32 inside the guard band. Both zero on a QuantOff run.
+	QuantStats
 	// Cancelled marks a run cut short by context cancellation or deadline.
 	// The report is partial: labels are valid only for batches that
 	// completed, and RunContext returns it alongside the context error so
@@ -415,14 +425,16 @@ func (e *Engine) Reps() []string { return append([]string(nil), e.repIDs...) }
 // called zero times when every slot is served). sv (optional) serves
 // pre-materialized slots for source frame idx; rc (optional) is the
 // cross-run representation cache consulted for slots sv does not serve. tr
-// and st, when non-nil, receive per-frame and aggregate accounting. A
-// RepSource read failure degrades to decode + transform instead of failing
-// the frame — the cache→inference degradation ladder.
-func (e *Engine) classify(ctx context.Context, levels []Level, slots []*img.Image, getSrc func() (*img.Image, error), sv *serving, rc RepCache, idx int, tr *Trace, st *BatchStats) (bool, error) {
+// and st, when non-nil, receive per-frame and aggregate accounting. quant
+// selects int8 scoring with guard-band fallback (qsc is its scratch; st must
+// be non-nil then). A RepSource read failure degrades to decode + transform
+// instead of failing the frame — the cache→inference degradation ladder.
+func (e *Engine) classify(ctx context.Context, levels []Level, slots []*img.Image, getSrc func() (*img.Image, error), sv *serving, rc RepCache, idx int, tr *Trace, st *BatchStats, quant bool, qsc *quantScratch) (bool, error) {
 	for i := range slots {
 		slots[i] = nil
 	}
-	for li, lv := range levels {
+	for li := range levels {
+		lv := &levels[li]
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
@@ -475,7 +487,7 @@ func (e *Engine) classify(ctx context.Context, levels []Level, slots []*img.Imag
 				tr.RepsCreated = append(tr.RepsCreated, e.repIDs[slot])
 			}
 		}
-		score, err := lv.Model.Score(rep)
+		score, err := scoreLevelOne(lv, rep, qsc, quant, quantCounters(st))
 		if err != nil {
 			return false, err
 		}
@@ -506,7 +518,7 @@ func (e *Engine) ClassifyOne(src *img.Image) (bool, Trace, error) {
 	}
 	var tr Trace
 	getSrc := func() (*img.Image, error) { return src, nil }
-	label, err := e.classify(context.Background(), e.levels, e.scratch, getSrc, nil, nil, -1, &tr, nil)
+	label, err := e.classify(context.Background(), e.levels, e.scratch, getSrc, nil, nil, -1, &tr, nil, false, nil)
 	return label, tr, err
 }
 
@@ -538,6 +550,8 @@ type worker struct {
 	// dropped after the batch so they never become ApplyInto targets.
 	repShared [][]bool     // [slot][pos]
 	proj      []*img.Image // [slot] projection scratch for ApplyInto
+	// qsc is the guard-band scoring scratch shared by both inner loops.
+	qsc quantScratch
 }
 
 // ensure grows the level-major scratch to batch capacity n.
@@ -585,7 +599,7 @@ func (e *Engine) cloneLevels() []Level {
 // runBatchFrameMajor is the legacy inner loop: each frame descends the
 // cascade alone via per-frame Score calls, materializing representations
 // into freshly allocated images (or taking them from the RepSource).
-func (e *Engine) runBatchFrameMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchFrameMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats, quant bool) error {
 	if w.slots == nil {
 		w.slots = make([]*img.Image, len(e.repIDs))
 	}
@@ -622,7 +636,7 @@ func (e *Engine) runBatchFrameMajor(ctx context.Context, w *worker, src Source, 
 				return err
 			}
 		}
-		label, err := e.classify(ctx, w.levels, w.slots, getSrc, sv, rc, idx, nil, st)
+		label, err := e.classify(ctx, w.levels, w.slots, getSrc, sv, rc, idx, nil, st, quant, &w.qsc)
 		if err != nil {
 			if canceled(err) {
 				return err
@@ -643,7 +657,7 @@ func (e *Engine) runBatchFrameMajor(ctx context.Context, w *worker, src Source, 
 // representations materialized and the resulting labels are exactly those
 // of the frame-major loop, just reordered — so LevelsRun/RepsMaterialized
 // accounting and labels are bit-identical to runBatchFrameMajor.
-func (e *Engine) runBatchLevelMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats) error {
+func (e *Engine) runBatchLevelMajor(ctx context.Context, w *worker, src Source, indices []int, lo, hi int, sv *serving, rc RepCache, labels []bool, st *BatchStats, quant bool) error {
 	n := hi - lo
 	w.ensure(n, len(e.repIDs))
 	// Unpin the borrowed source frames on every exit path: the worker goes
@@ -762,7 +776,7 @@ func (e *Engine) runBatchLevelMajor(ctx context.Context, w *worker, src Source, 
 			gather = append(gather, bufs[j])
 		}
 		scores := w.scores[:len(und)]
-		if err := lv.Model.ScoreBatchInto(gather, scores); err != nil {
+		if err := scoreLevelBatch(lv, gather, scores, &w.qsc, quant, &st.QuantStats); err != nil {
 			// Re-score frame by frame to attribute the failure to a corpus
 			// index (the batch error only knows gather positions). Cold
 			// path: scoring errors abort the whole run.
@@ -879,10 +893,11 @@ func (e *Engine) RunContext(ctx context.Context, src Source, indices []int, opts
 					if ferr := faults.Fire(faults.ExecWorkerPanic); ferr != nil {
 						return ferr
 					}
+					quant := opts.Quantize == QuantAuto
 					if opts.FrameMajor {
-						return e.runBatchFrameMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
+						return e.runBatchFrameMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st, quant)
 					}
-					return e.runBatchLevelMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st)
+					return e.runBatchLevelMajor(ctx, wk, src, indices, lo, hi, sv, opts.RepCache, rep.Labels, st, quant)
 				})
 				if err != nil {
 					failed.Store(true)
@@ -909,6 +924,7 @@ func (e *Engine) RunContext(ctx context.Context, src Source, indices []int, opts
 		rep.RepsMaterialized += st.RepsMaterialized
 		rep.RepHits += st.RepHits
 		rep.RepFallbacks += st.RepFallbacks
+		rep.QuantStats.add(st.QuantStats)
 	}
 	for _, l := range rep.Labels {
 		if l {

@@ -113,6 +113,9 @@ type FusedBatchStats struct {
 	// RepFallbacks counts RepSource read failures degraded to decode +
 	// transform instead of failing the run (also in RepsMaterialized).
 	RepFallbacks int
+	// QuantStats counts int8 scorings and guard-band fallbacks, summed
+	// across cascades (per-(frame,level), like LevelsRun).
+	QuantStats
 	// PrepWall is the ingest-side work (decode + first-level slots); under
 	// the async pipeline it overlaps the previous batch's Wall (scoring).
 	PrepWall time.Duration
@@ -133,6 +136,9 @@ type FusedReport struct {
 	// RepFallbacks counts RepSource read failures degraded to plain
 	// inference (see FusedBatchStats.RepFallbacks).
 	RepFallbacks int
+	// QuantStats aggregates the batches' int8 accounting (zero on a
+	// QuantOff run).
+	QuantStats
 	// Cancelled marks a run cut short by context cancellation or deadline.
 	// The report is partial — labels are valid only for batches that
 	// completed — and RunContext returns it alongside the context error.
@@ -161,6 +167,7 @@ type fusedWorker struct {
 	und      []int
 	gather   []*img.Image
 	scores   []float32
+	qsc      quantScratch
 }
 
 func (w *fusedWorker) ensure(n int) {
@@ -220,6 +227,7 @@ type fusedRun struct {
 	sv      *serving
 	rc      RepCache
 	labels  [][]bool
+	quant   bool // QuantAuto run: int8 scoring with guard-band fallback
 }
 
 // needs reports whether cascade c must classify position pos.
@@ -367,7 +375,7 @@ func (r *fusedRun) consume(w *fusedWorker, fb *fusedBatch) error {
 				gather = append(gather, fb.reps[slot][j])
 			}
 			scores := w.scores[:len(und)]
-			if err := lv.Model.ScoreBatchInto(gather, scores); err != nil {
+			if err := scoreLevelBatch(lv, gather, scores, &w.qsc, r.quant, &fb.st.QuantStats); err != nil {
 				// Re-score frame by frame to attribute the failure to a
 				// corpus index. Cold path: scoring errors abort the run.
 				for i, j := range und {
@@ -426,7 +434,7 @@ func (r *fusedRun) consumeFrameMajor(w *fusedWorker, fb *fusedBatch) error {
 						return err
 					}
 				}
-				score, err := lv.Model.Score(fb.reps[slot][j])
+				score, err := scoreLevelOne(lv, fb.reps[slot][j], &w.qsc, r.quant, &fb.st.QuantStats)
 				if err != nil {
 					return fmt.Errorf("exec: frame %d: cascade %d level %d: %w", r.indices[fb.lo+j], c, li, err)
 				}
@@ -543,7 +551,7 @@ func (f *Fused) RunContext(ctx context.Context, src Source, indices []int, need 
 		hi := min(lo+opts.Batch, len(indices))
 		rep.Batches[b] = FusedBatchStats{Start: lo, Frames: hi - lo, LevelsRun: make([]int, len(f.cascades))}
 	}
-	run := &fusedRun{ctx: ctx, f: f, src: src, indices: indices, need: need, sv: sv, rc: opts.RepCache, labels: rep.Labels}
+	run := &fusedRun{ctx: ctx, f: f, src: src, indices: indices, need: need, sv: sv, rc: opts.RepCache, labels: rep.Labels, quant: opts.Quantize == QuantAuto}
 
 	workers := opts.Workers
 	if workers > numBatches {
@@ -566,6 +574,7 @@ func (f *Fused) RunContext(ctx context.Context, src Source, indices []int, need 
 		rep.RepsMaterialized += st.RepsMaterialized
 		rep.RepHits += st.RepHits
 		rep.RepFallbacks += st.RepFallbacks
+		rep.QuantStats.add(st.QuantStats)
 		for c, lr := range st.LevelsRun {
 			rep.LevelsRun[c] += lr
 		}

@@ -1,0 +1,287 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"tahoma/internal/img"
+	"tahoma/internal/model"
+	"tahoma/internal/thresh"
+)
+
+// calibrateLevels arms the int8 path of every level model, calibrating each
+// on samples drawn from the same distribution the test frames use (transforms
+// of random RGB sources), as install-time calibration does with the eval
+// split.
+func calibrateLevels(t *testing.T, levels []Level, seed int64) {
+	t.Helper()
+	srcs := randFrames(seed, 48, 32)
+	done := make(map[*model.Model]bool)
+	for _, lv := range levels {
+		if done[lv.Model] {
+			continue
+		}
+		done[lv.Model] = true
+		reps := make([]*img.Image, len(srcs))
+		for i, src := range srcs {
+			reps[i] = lv.Model.Xform.Apply(src)
+		}
+		if _, err := lv.Model.CalibrateQuant(reps); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuantRunParity: a QuantAuto run must emit bit-identical labels and
+// identical LevelsRun accounting to the float32 run, at every worker count,
+// batch size and loop order — the parity wall. The int8 counters must also be
+// identical across all of those configurations: trust-or-fallback is a pure
+// per-(frame, level) decision, so nothing about scheduling may move it.
+func TestQuantRunParity(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		levels := buildLevels(t, 821+int64(depth), depth)
+		calibrateLevels(t, levels, 899)
+		eng, err := New(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := randFrames(877, 45, 32)
+
+		want, err := eng.RunAll(Frames(frames), Options{Workers: 1, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.QuantScored != 0 || want.QuantFallbacks != 0 {
+			t.Fatalf("QuantOff run counted int8 work: %+v", want.QuantStats)
+		}
+
+		wantQuant := QuantStats{QuantScored: -1}
+		for _, workers := range []int{1, 3, 4} {
+			for _, batch := range []int{1, 7, 64} {
+				for _, frameMajor := range []bool{false, true} {
+					name := fmt.Sprintf("depth=%d/w=%d/b=%d/frameMajor=%v", depth, workers, batch, frameMajor)
+					t.Run(name, func(t *testing.T) {
+						rep, err := eng.RunAll(Frames(frames), Options{
+							Workers: workers, Batch: batch, FrameMajor: frameMajor, Quantize: QuantAuto,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range frames {
+							if rep.Labels[i] != want.Labels[i] {
+								t.Fatalf("label %d = %v, float32 run = %v", i, rep.Labels[i], want.Labels[i])
+							}
+						}
+						if rep.LevelsRun != want.LevelsRun {
+							t.Fatalf("LevelsRun = %d, float32 run = %d", rep.LevelsRun, want.LevelsRun)
+						}
+						if got := rep.QuantScored + rep.QuantFallbacks; got != rep.LevelsRun {
+							t.Fatalf("int8 scorings (%d trusted + %d fallbacks) != %d levels run",
+								rep.QuantScored, rep.QuantFallbacks, rep.LevelsRun)
+						}
+						if wantQuant.QuantScored < 0 {
+							wantQuant = rep.QuantStats
+						} else if rep.QuantStats != wantQuant {
+							t.Fatalf("counters %+v differ from first config's %+v — scheduling moved a trust decision", rep.QuantStats, wantQuant)
+						}
+						var agg QuantStats
+						for _, st := range rep.Batches {
+							agg.add(st.QuantStats)
+						}
+						if agg != rep.QuantStats {
+							t.Fatalf("batch stats sum to %+v, report says %+v", agg, rep.QuantStats)
+						}
+					})
+				}
+			}
+		}
+		if wantQuant.QuantScored <= 0 {
+			t.Fatalf("depth %d: int8 path never trusted a score (QuantStats %+v) — quantization is not engaged", depth, wantQuant)
+		}
+	}
+}
+
+// TestQuantOffUncalibrated: QuantAuto over a cascade with no armed models is
+// exactly the float32 run — no counters, same labels.
+func TestQuantOffUncalibrated(t *testing.T) {
+	levels := buildLevels(t, 941, 3)
+	eng, err := New(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(947, 20, 32)
+	want, err := eng.RunAll(Frames(frames), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunAll(Frames(frames), Options{Quantize: QuantAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	if got.QuantScored != 0 || got.QuantFallbacks != 0 {
+		t.Fatalf("uncalibrated cascade counted int8 work: %+v", got.QuantStats)
+	}
+}
+
+// TestFusedQuantParity: the fused engine's QuantAuto runs (level-major,
+// frame-major, pipelined and inline) all match the float32 fused run label
+// for label, with identical counters across configurations.
+func TestFusedQuantParity(t *testing.T) {
+	c1 := buildLevels(t, 1021, 3)
+	c2 := buildLevels(t, 1051, 2)
+	calibrateLevels(t, c1, 1087)
+	calibrateLevels(t, c2, 1091)
+	f, err := NewFused(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := randFrames(1093, 37, 32)
+
+	want, err := f.RunAll(Frames(frames), Options{Workers: 1, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQuant := QuantStats{QuantScored: -1}
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{5, 64} {
+			for _, mode := range []struct {
+				name       string
+				frameMajor bool
+				prefetch   int
+			}{{"levelmajor", false, 0}, {"framemajor", true, 0}, {"inline", false, -1}} {
+				t.Run(fmt.Sprintf("w=%d/b=%d/%s", workers, batch, mode.name), func(t *testing.T) {
+					rep, err := f.RunAll(Frames(frames), Options{
+						Workers: workers, Batch: batch, FrameMajor: mode.frameMajor,
+						Prefetch: mode.prefetch, Quantize: QuantAuto,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for c := range want.Labels {
+						for i := range frames {
+							if rep.Labels[c][i] != want.Labels[c][i] {
+								t.Fatalf("cascade %d label %d = %v, float32 run = %v", c, i, rep.Labels[c][i], want.Labels[c][i])
+							}
+						}
+						if rep.LevelsRun[c] != want.LevelsRun[c] {
+							t.Fatalf("cascade %d LevelsRun = %d, float32 run = %d", c, rep.LevelsRun[c], want.LevelsRun[c])
+						}
+					}
+					if wantQuant.QuantScored < 0 {
+						wantQuant = rep.QuantStats
+					} else if rep.QuantStats != wantQuant {
+						t.Fatalf("counters %+v differ from first config's %+v", rep.QuantStats, wantQuant)
+					}
+				})
+			}
+		}
+	}
+	if wantQuant.QuantScored <= 0 {
+		t.Fatalf("fused int8 path never trusted a score: %+v", wantQuant)
+	}
+}
+
+// TestQuantGuardBandSweep places the decision thresholds directly onto the
+// observed float32 score distribution — including bands exactly MaxErr wide
+// around individual scores, the tightest calibrated margin — and requires
+// label parity at every placement. This is the adversarial case for the
+// guard band: scores sit as close to the boundary as the calibration says
+// they ever can.
+func TestQuantGuardBandSweep(t *testing.T) {
+	levels := buildLevels(t, 1201, 2)
+	calibrateLevels(t, levels, 1217)
+	frames := randFrames(1231, 40, 32)
+
+	// The float32 scores of level 0 drive the threshold placements.
+	m := levels[0].Model
+	reps := make([]*img.Image, len(frames))
+	for i, src := range frames {
+		reps[i] = m.Xform.Apply(src)
+	}
+	scores := make([]float32, len(reps))
+	if err := m.ScoreBatchInto(reps, scores); err != nil {
+		t.Fatal(err)
+	}
+	maxErr := m.Quant.MaxErr
+
+	var cuts []float32
+	for _, s := range scores[:8] {
+		cuts = append(cuts, s, s+maxErr, s-maxErr, s+maxErr/2)
+	}
+	cuts = append(cuts, 0.5)
+
+	sawFallback := false
+	for ci, cut := range cuts {
+		lo, hi := cut-maxErr/2, cut+maxErr/2
+		if lo < 0 || hi > 1 {
+			continue
+		}
+		sweep := []Level{
+			{Model: levels[0].Model, Thresholds: thresh.Thresholds{Low: lo, High: hi}},
+			{Model: levels[1].Model, Last: true},
+		}
+		eng, err := New(sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.RunAll(Frames(frames), Options{Workers: 2, Batch: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunAll(Frames(frames), Options{Workers: 2, Batch: 8, Quantize: QuantAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("cut %d (%.6f): label %d = %v, float32 = %v (MaxErr %.6f)", ci, cut, i, got.Labels[i], want.Labels[i], maxErr)
+			}
+		}
+		if got.LevelsRun != want.LevelsRun {
+			t.Fatalf("cut %d: LevelsRun %d vs %d", ci, got.LevelsRun, want.LevelsRun)
+		}
+		if got.QuantFallbacks > 0 {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatal("thresholds placed on the score distribution never triggered a guard-band fallback — the sweep is not exercising the band")
+	}
+}
+
+// TestQuantTrusted pins the trust rule's boundary semantics: inclusive
+// where Decide is strict and strict where Decide is inclusive, so a float32
+// score sitting exactly on a threshold can never be decided from int8.
+func TestQuantTrusted(t *testing.T) {
+	mid := &Level{Thresholds: thresh.Thresholds{Low: 0.3, High: 0.7}}
+	last := &Level{Last: true}
+	band := float32(0.01)
+	cases := []struct {
+		lv   *Level
+		q    float32
+		want bool
+	}{
+		{mid, 0.71, true},   // clears High+band
+		{mid, 0.705, false}, // inside [High, High+band)
+		{mid, 0.695, false}, // inside (High-band, High]
+		{mid, 0.6, true},    // strictly inside the undecided zone
+		{mid, 0.31, false},  // inside (Low, Low+band]
+		{mid, 0.295, false}, // inside (Low-band, Low)
+		{mid, 0.29, true},   // exactly Low-band: f32 ≤ Low, Decide inclusive
+		{mid, 0.28, true},   // clears Low-band
+		{last, 0.52, true},
+		{last, 0.51, false}, // exactly 0.5+band: f32 could sit on 0.5
+		{last, 0.49, false},
+		{last, 0.48, true},
+	}
+	for _, c := range cases {
+		if got := quantTrusted(c.q, c.lv, band); got != c.want {
+			t.Errorf("quantTrusted(%v, last=%v) = %v, want %v", c.q, c.lv.Last, got, c.want)
+		}
+	}
+}

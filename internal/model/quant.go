@@ -1,0 +1,101 @@
+// Int8 scoring path. A model's quantized path is calibrated once — at zoo
+// install time, from the eval split — and the calibration record travels with
+// the zoo, so restoring a repo restores the exact same quantized operator.
+package model
+
+import (
+	"fmt"
+
+	"tahoma/internal/img"
+)
+
+// Quantization is a model's int8 calibration record: the per-tensor
+// activation scales EnableQuant needs to rebuild the quantized operator, and
+// the measured score error that sizes the guard band. nil means the model
+// serves float32 only.
+type Quantization struct {
+	// ActScales holds one absmax activation scale per conv/dense layer in
+	// stack order, measured on the calibration split.
+	ActScales []float32 `json:"act_scales"`
+	// MaxErr is the largest |p_int8 − p_f32| probability gap observed over
+	// the calibration split. The executor trusts an int8 score only when
+	// it clears the level threshold by more than the guard band derived
+	// from this; anything closer re-runs float32, which is what keeps
+	// emitted labels bit-identical.
+	MaxErr float32 `json:"max_err"`
+}
+
+// CalibrateQuant calibrates and arms the int8 path from a sample set (the
+// eval split at install time): it measures per-layer activation scales on the
+// float32 path, quantizes the weights, scores the same samples both ways, and
+// records the worst probability gap. The returned record is what the zoo
+// persists; it is also retained on m.Quant.
+func (m *Model) CalibrateQuant(reps []*img.Image) (*Quantization, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("model %s: quantization calibration needs a non-empty sample set", m.ID())
+	}
+	f32 := make([]float32, len(reps))
+	if err := m.ScoreBatchInto(reps, f32); err != nil { // also validates geometry
+		return nil, err
+	}
+	pix := make([][]float32, len(reps))
+	for i, rep := range reps {
+		pix[i] = rep.Pix
+	}
+	scales := m.Net.CalibrateQuant(pix)
+	if err := m.Net.EnableQuant(scales); err != nil {
+		return nil, fmt.Errorf("model %s: %w", m.ID(), err)
+	}
+	qs := make([]float32, len(reps))
+	if err := m.ScoreBatchQuantInto(reps, qs); err != nil {
+		return nil, err
+	}
+	var maxErr float32
+	for i := range f32 {
+		d := qs[i] - f32[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	q := &Quantization{ActScales: scales, MaxErr: maxErr}
+	m.Quant = q
+	return q, nil
+}
+
+// GuardBand is the radius of the score interval around a decision boundary
+// inside which an int8 score is not trusted: the executor re-runs float32 for
+// any frame whose int8 score lands within it, and takes the int8 decision
+// otherwise. Twice the measured worst gap plus a small floor pads the finite
+// calibration set — serving-time samples can exceed the recorded activation
+// absmax, clamp, and carry more error than any calibration sample did.
+func (q *Quantization) GuardBand() float32 {
+	return 2*q.MaxErr + 1e-3
+}
+
+// EnableQuant arms the int8 path from a previously persisted calibration
+// record (the zoo-restore path — no samples needed, same operator bits as the
+// install that produced q).
+func (m *Model) EnableQuant(q *Quantization) error {
+	if q == nil {
+		return fmt.Errorf("model %s: EnableQuant needs a calibration record", m.ID())
+	}
+	if err := m.Net.EnableQuant(q.ActScales); err != nil {
+		return fmt.Errorf("model %s: %w", m.ID(), err)
+	}
+	m.Quant = q
+	return nil
+}
+
+// Quantized reports whether the model has an armed int8 path.
+func (m *Model) Quantized() bool { return m.Quant != nil && m.Net.Quantized() }
+
+// ScoreBatchQuantInto is ScoreBatchInto over the int8 kernels. Scores are
+// deterministic (same bits at every batch size and from every clone) but not
+// equal to the float32 scores; callers own the guard-band comparison. On a
+// model without an armed quantized path it scores float32.
+func (m *Model) ScoreBatchQuantInto(reps []*img.Image, out []float32) error {
+	return m.scoreBatchInto(reps, out, true)
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/arch"
+	"tahoma/internal/img"
+	"tahoma/internal/xform"
+)
+
+// TestCalibrateQuantRecord: calibration must produce a complete record and
+// arm a deterministic quantized operator — identical bits at every batch
+// size and from every clone.
+func TestCalibrateQuantRecord(t *testing.T) {
+	spec := arch.Spec{ConvLayers: 2, ConvWidth: 8, DenseWidth: 16, Kernel: 3}
+	xf := xform.Transform{Size: 16, Color: img.RGB}
+	m, err := New(spec, xf, Basic, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(701))
+	reps := make([]*img.Image, 24)
+	for i := range reps {
+		reps[i] = randRep(rng, xf.Size, xf.Color)
+	}
+	q, err := m.CalibrateQuant(reps[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Quantized() {
+		t.Fatal("model not quantized after CalibrateQuant")
+	}
+	if want := m.Net.QuantLayerCount(); len(q.ActScales) != want {
+		t.Fatalf("record has %d scales, network has %d quantizable layers", len(q.ActScales), want)
+	}
+	if q.MaxErr <= 0 || q.MaxErr > 0.2 {
+		t.Fatalf("MaxErr = %v, want small and positive", q.MaxErr)
+	}
+
+	want := make([]float32, len(reps))
+	if err := m.ScoreBatchQuantInto(reps, want); err != nil {
+		t.Fatal(err)
+	}
+	clone := m.Clone()
+	if !clone.Quantized() {
+		t.Fatal("clone lost the quantized path")
+	}
+	for _, bsz := range []int{1, 3, 8, 24} {
+		t.Run(fmt.Sprintf("b=%d", bsz), func(t *testing.T) {
+			got := make([]float32, bsz)
+			if err := clone.ScoreBatchQuantInto(reps[:bsz], got); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < bsz; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("rep %d: clone quant score %v != parent %v at b=%d", i, got[i], want[i], bsz)
+				}
+			}
+		})
+	}
+}
+
+// TestEnableQuantRestoresSameOperator is the zoo-restore property: arming a
+// fresh copy of the same weights from the persisted record must reproduce the
+// calibrated model's quantized scores bit for bit — no samples needed.
+func TestEnableQuantRestoresSameOperator(t *testing.T) {
+	spec := arch.Spec{ConvLayers: 1, ConvWidth: 4, DenseWidth: 8, Kernel: 3}
+	xf := xform.Transform{Size: 16, Color: img.Gray}
+	m1, err := New(spec, xf, Basic, 710)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(spec, xf, Basic, 710) // same seed → same weights
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(711))
+	reps := make([]*img.Image, 12)
+	for i := range reps {
+		reps[i] = randRep(rng, xf.Size, xf.Color)
+	}
+	q, err := m1.CalibrateQuant(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.EnableQuant(q); err != nil {
+		t.Fatal(err)
+	}
+	s1 := make([]float32, len(reps))
+	s2 := make([]float32, len(reps))
+	if err := m1.ScoreBatchQuantInto(reps, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.ScoreBatchQuantInto(reps, s2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("rep %d: restored operator score %v != calibrated %v", i, s2[i], s1[i])
+		}
+	}
+	if err := m2.EnableQuant(nil); err == nil {
+		t.Fatal("EnableQuant(nil) must error")
+	}
+}
+
+func TestCalibrateQuantValidation(t *testing.T) {
+	m, err := New(testSpec, xform.Transform{Size: 16, Color: img.Gray}, Basic, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CalibrateQuant(nil); err == nil {
+		t.Fatal("empty calibration set must error")
+	}
+	rng := rand.New(rand.NewSource(721))
+	if _, err := m.CalibrateQuant([]*img.Image{randRep(rng, 8, img.Gray)}); err == nil {
+		t.Fatal("geometry mismatch must error")
+	}
+	if m.Quantized() {
+		t.Fatal("failed calibration left the model quantized")
+	}
+}

@@ -1,0 +1,263 @@
+// Int8 inference path. EnableQuant quantizes every conv and dense weight
+// matrix to offset int8 with per-channel (output row) scales and records a
+// per-tensor activation scale per layer; forwardBatchQuant then replaces each
+// layer's f32 GEMM with the SWAR int8 kernel — quantize input, byte im2col
+// (conv), pack, GemmInt8, dequantize folding weight scale × activation scale
+// and the f32 bias back in. Activations between layers stay float32, so ReLU,
+// pooling and flatten are untouched and quantized layers interleave freely
+// with float32 ones.
+//
+// Quantized outputs are NOT bit-identical to the float32 path — that is the
+// point of the representation trade. The parity story lives one level up:
+// model/exec compare the quantized score against a calibrated guard band
+// around the decision threshold and re-run the float32 path for any frame
+// whose int8 score lands inside it, which restores bit-identical labels.
+// What IS pinned here is determinism: a quantized score is a pure function of
+// (pixels, weights, scales) — integer accumulation is exact, so it cannot
+// depend on batch size, chunking, or which clone ran it. The guard-band
+// fallback would be unsound without this.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tahoma/internal/tensor"
+)
+
+// QuantLayerCount returns how many layers carry a quantizable GEMM (conv and
+// dense layers, in stack order). This is the length of the activation-scale
+// slice EnableQuant expects and CalibrateQuant returns.
+func (n *Network) QuantLayerCount() int {
+	c := 0
+	for _, l := range n.Layers {
+		switch l.(type) {
+		case *Conv2D, *Dense:
+			c++
+		}
+	}
+	return c
+}
+
+// Quantized reports whether EnableQuant has prepared the int8 path.
+func (n *Network) Quantized() bool { return n.quant }
+
+// QuantSupported reports whether every quantizable layer's inner dimension
+// fits the exact-int32 accumulation bound — i.e. whether EnableQuant can
+// succeed. Networks past the bound simply keep serving float32.
+func (n *Network) QuantSupported() bool {
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			if v.W.Value.Shape[1] > tensor.GemmInt8MaxK {
+				return false
+			}
+		case *Dense:
+			if v.In > tensor.GemmInt8MaxK {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnableQuant quantizes all conv/dense weights to offset int8 and arms the
+// int8 forward path. actScales holds one per-tensor activation scale per
+// quantizable layer in stack order (see CalibrateQuant); each must be finite
+// and positive. Call it on the root network before Clone: the quantized
+// weights are immutable and shared by every clone, so the (small) quantization
+// cost is paid once, not per worker.
+func (n *Network) EnableQuant(actScales []float32) error {
+	want := n.QuantLayerCount()
+	if len(actScales) != want {
+		return fmt.Errorf("nn: EnableQuant got %d activation scales for %d quantizable layers", len(actScales), want)
+	}
+	for i, s := range actScales {
+		if !(s > 0) || math.IsInf(float64(s), 0) {
+			return fmt.Errorf("nn: EnableQuant activation scale %d is %v, want finite and positive", i, s)
+		}
+	}
+	qi := 0
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			if k := v.W.Value.Shape[1]; k > tensor.GemmInt8MaxK {
+				return fmt.Errorf("nn: layer %s inner dimension %d exceeds the exact-int32 bound %d", v.Name(), k, tensor.GemmInt8MaxK)
+			}
+			v.qw = tensor.NewInt8Weights(v.W.Value)
+			v.actScale = actScales[qi]
+			qi++
+		case *Dense:
+			if v.In > tensor.GemmInt8MaxK {
+				return fmt.Errorf("nn: layer %s inner dimension %d exceeds the exact-int32 bound %d", v.Name(), v.In, tensor.GemmInt8MaxK)
+			}
+			v.qw = tensor.NewInt8Weights(v.W.Value)
+			v.actScale = actScales[qi]
+			qi++
+		}
+	}
+	n.quant = true
+	return nil
+}
+
+// CalibrateQuant runs the float32 path over a calibration set and returns the
+// per-layer activation scales: absmax of each quantizable layer's observed
+// input, divided down to the int8 range (absmax quantization). The walk is
+// chunked exactly like ForwardBatch, so calibration sees bit-for-bit the
+// tensors inference will quantize. Samples outside the calibration set can
+// still exceed the recorded absmax at serving time; they clamp, and the guard
+// band absorbs the error.
+func (n *Network) CalibrateQuant(samples [][]float32) []float32 {
+	maxs := make([]float32, n.QuantLayerCount())
+	logits := make([]float32, len(samples))
+	n.forwardChunks(samples, logits, false, func(qi int, in *tensor.Tensor) {
+		if m := tensor.AbsMax(in.Data); m > maxs[qi] {
+			maxs[qi] = m
+		}
+	})
+	scales := make([]float32, len(maxs))
+	for i, m := range maxs {
+		scales[i] = tensor.QuantScale(m)
+	}
+	return scales
+}
+
+// ForwardBatchQuant is ForwardBatch over the int8 kernels for every layer
+// EnableQuant prepared (float32 for the rest). Same contract as ForwardBatch
+// — chunking, scratch reuse, no concurrent use — except bit-parity with
+// Forward, which the quantized representation deliberately gives up. On a
+// network without EnableQuant it is exactly ForwardBatch.
+func (n *Network) ForwardBatchQuant(samples [][]float32, out []float32) {
+	n.forwardChunks(samples, out, true, nil)
+}
+
+// PredictBatchQuant is ForwardBatchQuant followed by the sigmoid.
+func (n *Network) PredictBatchQuant(samples [][]float32, out []float32) {
+	n.ForwardBatchQuant(samples, out)
+	for i := range out[:len(samples)] {
+		out[i] = tensor.Sigmoid(out[i])
+	}
+}
+
+// QuantWeightBytes returns the resident size of the quantized GEMM weights
+// and of the float32 weight matrices they shadow — the cache-footprint shrink
+// the cheaper representation buys (biases, which stay f32, are excluded from
+// both sides).
+func (n *Network) QuantWeightBytes() (int8Bytes, f32Bytes int64) {
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			if v.qw != nil {
+				int8Bytes += v.qw.Bytes()
+			}
+			f32Bytes += 4 * int64(v.W.Value.Len())
+		case *Dense:
+			if v.qw != nil {
+				int8Bytes += v.qw.Bytes()
+			}
+			f32Bytes += 4 * int64(v.W.Value.Len())
+		}
+	}
+	return int8Bytes, f32Bytes
+}
+
+// growBytes returns s resized to n elements, reallocating only on growth —
+// the same never-shrink policy as the tensor batch scratch.
+func growBytes(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// forwardBatchQuant is Conv2D.ForwardBatch over the int8 kernel family. The
+// input plane is quantized before im2col — [C, B, H, W] bytes, K² smaller
+// than quantizing the expanded column matrix — and the dequantize pass folds
+// the per-filter weight scale, the activation scale and the f32 bias into the
+// float32 output in one sweep.
+func (c *Conv2D) forwardBatchQuant(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 4 || x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: conv batch input must be [%d B H W], got %v", c.InC, x.Shape))
+	}
+	bsz := x.Shape[1]
+	c.ensureGeom(x.Shape[2], x.Shape[3])
+	ohow := c.geom.ColCols()
+	cols := bsz * ohow
+	rows := c.geom.ColRows()
+	if c.bcol == nil {
+		c.bcol, c.bout, c.bout2 = &tensor.Tensor{}, &tensor.Tensor{}, &tensor.Tensor{Shape: make([]int, 2)}
+	}
+	c.bout.EnsureShape(c.OutC, bsz, c.geom.OutH(), c.geom.OutW())
+	c.qin = growBytes(c.qin, len(x.Data))
+	tensor.QuantizeOffset(c.qin, x.Data, c.actScale)
+	c.qcol = growBytes(c.qcol, rows*cols)
+	tensor.Im2ColBatchBytes(c.qcol, c.qin, bsz, c.geom)
+	c.qpack.Pack(c.qcol, rows, cols)
+	c.qacc = growInt32(c.qacc, c.OutC*cols)
+	tensor.GemmInt8(c.qacc, c.qw, &c.qpack)
+	bias := c.B.Value.Data
+	for o := 0; o < c.OutC; o++ {
+		s := c.qw.Scale[o] * c.actScale
+		b := bias[o]
+		acc := c.qacc[o*cols : (o+1)*cols]
+		dst := c.bout.Data[o*cols : (o+1)*cols]
+		for j, v := range acc {
+			dst[j] = float32(v)*s + b
+		}
+	}
+	return c.bout
+}
+
+// forwardBatchQuant is Dense.ForwardBatch over the int8 kernels: the [In, B]
+// input is already the GEMM operand, so it quantizes and packs directly.
+func (d *Dense) forwardBatchQuant(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[0] != d.In {
+		panic(fmt.Sprintf("nn: dense batch input must be [%d B], got %v", d.In, x.Shape))
+	}
+	bsz := x.Shape[1]
+	d.qpack.PackQuant(x.Data[:d.In*bsz], d.In, bsz, d.actScale)
+	return d.quantGemmOut(bsz)
+}
+
+// forwardBatchQuantCHW is forwardBatchQuant consuming the channel-major
+// [C, B, H, W] tensor a Flatten layer would otherwise transpose: the fused
+// packer reads the planes directly, so the quantized path skips the float32
+// transpose entirely. Output bits match forwardBatchQuant over the flattened
+// input exactly.
+func (d *Dense) forwardBatchQuantCHW(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 4 || x.Shape[0]*x.Shape[2]*x.Shape[3] != d.In {
+		panic(fmt.Sprintf("nn: dense CHW batch input must flatten to %d features, got %v", d.In, x.Shape))
+	}
+	bsz := x.Shape[1]
+	d.qpack.PackQuantPlanes(x.Data, x.Shape[0], x.Shape[2]*x.Shape[3], bsz, d.actScale)
+	return d.quantGemmOut(bsz)
+}
+
+// quantGemmOut runs the int8 GEMM over the packed activations already in
+// d.qpack and dequantizes with bias into the batch output scratch.
+func (d *Dense) quantGemmOut(bsz int) *tensor.Tensor {
+	if d.bout == nil {
+		d.bout = &tensor.Tensor{}
+	}
+	d.bout.EnsureShape(d.Out, bsz)
+	d.qacc = growInt32(d.qacc, d.Out*bsz)
+	tensor.GemmInt8(d.qacc, d.qw, &d.qpack)
+	bias := d.B.Value.Data
+	for o := 0; o < d.Out; o++ {
+		s := d.qw.Scale[o] * d.actScale
+		b := bias[o]
+		acc := d.qacc[o*bsz : (o+1)*bsz]
+		dst := d.bout.Data[o*bsz : (o+1)*bsz]
+		for j, v := range acc {
+			dst[j] = float32(v)*s + b
+		}
+	}
+	return d.bout
+}

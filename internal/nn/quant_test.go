@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tahoma/internal/tensor"
+)
+
+func quantTestSamples(rng *rand.Rand, count, n int) [][]float32 {
+	samples := make([][]float32, count)
+	for s := range samples {
+		pix := make([]float32, n)
+		for i := range pix {
+			pix[i] = rng.Float32()
+		}
+		samples[s] = pix
+	}
+	return samples
+}
+
+// calibrateAndEnable is the zoo-install sequence in miniature: measure
+// activation scales on the f32 path, then arm the int8 path.
+func calibrateAndEnable(t *testing.T, net *Network, samples [][]float32) {
+	t.Helper()
+	scales := net.CalibrateQuant(samples)
+	if err := net.EnableQuant(scales); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantForwardDeterministic is the property the guard-band fallback is
+// built on: a quantized score is a pure function of the sample — identical
+// bits at every batch size, at every position within a batch, and from every
+// clone. Without this, "the int8 score cleared the guard band" would not be a
+// batch-invariant statement and fused/sequential parity would break.
+func TestQuantForwardDeterministic(t *testing.T) {
+	configs := []struct {
+		conv, cw, dw, ch, size int
+	}{
+		{0, 0, 4, 1, 4},
+		{1, 4, 8, 3, 16},
+		{2, 8, 16, 3, 16},
+		{3, 4, 8, 1, 32},
+	}
+	for ci, cfg := range configs {
+		net := batchTestNet(t, 300+int64(ci), cfg.conv, cfg.cw, cfg.dw, cfg.ch, cfg.size)
+		rng := rand.New(rand.NewSource(400 + int64(ci)))
+		samples := quantTestSamples(rng, 17, cfg.ch*cfg.size*cfg.size)
+		calibrateAndEnable(t, net, samples[:8])
+
+		// Reference: every sample scored alone.
+		want := make([]float32, len(samples))
+		for s := range samples {
+			one := make([]float32, 1)
+			net.ForwardBatchQuant(samples[s:s+1], one)
+			want[s] = one[0]
+		}
+		clone := net.Clone()
+		if !clone.Quantized() {
+			t.Fatal("clone lost quantized state")
+		}
+		for _, bsz := range []int{1, 2, 3, 5, 8, 17} {
+			t.Run(fmt.Sprintf("cfg=%d/b=%d", ci, bsz), func(t *testing.T) {
+				got := make([]float32, bsz)
+				net.ForwardBatchQuant(samples[:bsz], got)
+				for s := 0; s < bsz; s++ {
+					if got[s] != want[s] {
+						t.Fatalf("sample %d: batch %v != single %v", s, got[s], want[s])
+					}
+				}
+				clone.ForwardBatchQuant(samples[:bsz], got)
+				for s := 0; s < bsz; s++ {
+					if got[s] != want[s] {
+						t.Fatalf("sample %d: clone %v != original %v", s, got[s], want[s])
+					}
+				}
+			})
+		}
+		// Survivor-batch shrink/regrow over shared scratch.
+		got := make([]float32, len(samples))
+		for _, bsz := range []int{17, 5, 1, 9, 17} {
+			net.ForwardBatchQuant(samples[:bsz], got)
+			for s := 0; s < bsz; s++ {
+				if got[s] != want[s] {
+					t.Fatalf("cfg %d resize to b=%d: sample %d diverged", ci, bsz, s)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantTracksF32 bounds the representation error: quantized probabilities
+// must stay near the f32 probabilities on in-calibration-range inputs. The
+// bound is loose — the guard band, not this test, is the correctness
+// mechanism — but catastrophic scale bugs (wrong layer order, double
+// dequant) blow it by orders of magnitude.
+func TestQuantTracksF32(t *testing.T) {
+	net := batchTestNet(t, 51, 2, 8, 16, 3, 16)
+	rng := rand.New(rand.NewSource(52))
+	samples := quantTestSamples(rng, 32, 3*16*16)
+	calibrateAndEnable(t, net, samples)
+
+	f32 := make([]float32, len(samples))
+	q := make([]float32, len(samples))
+	net.PredictBatch(samples, f32)
+	net.PredictBatchQuant(samples, q)
+	var worst float64
+	for s := range samples {
+		if d := math.Abs(float64(q[s] - f32[s])); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("max |quant - f32| probability gap %v, want < 0.15", worst)
+	}
+	if worst == 0 {
+		t.Fatal("quantized path is bit-identical to f32 — it is not actually running int8 kernels")
+	}
+}
+
+// TestQuantWithoutEnableIsF32: before EnableQuant, the quant entry points are
+// exactly the float32 path.
+func TestQuantWithoutEnableIsF32(t *testing.T) {
+	net := batchTestNet(t, 61, 1, 4, 8, 1, 8)
+	rng := rand.New(rand.NewSource(62))
+	samples := quantTestSamples(rng, 5, 64)
+	want := make([]float32, len(samples))
+	got := make([]float32, len(samples))
+	net.ForwardBatch(samples, want)
+	net.ForwardBatchQuant(samples, got)
+	for s := range samples {
+		if got[s] != want[s] {
+			t.Fatalf("sample %d: un-enabled quant path %v != f32 %v", s, got[s], want[s])
+		}
+	}
+	if net.Quantized() {
+		t.Fatal("Quantized() true before EnableQuant")
+	}
+}
+
+func TestEnableQuantValidation(t *testing.T) {
+	net := batchTestNet(t, 71, 1, 4, 8, 1, 8)
+	if n := net.QuantLayerCount(); n != 3 { // conv + 2 dense
+		t.Fatalf("QuantLayerCount = %d, want 3", n)
+	}
+	if err := net.EnableQuant([]float32{1, 1}); err == nil {
+		t.Fatal("wrong scale count accepted")
+	}
+	if err := net.EnableQuant([]float32{1, 0, 1}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := net.EnableQuant([]float32{1, -2, 1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	nan := float32(math.NaN())
+	if err := net.EnableQuant([]float32{1, nan, 1}); err == nil {
+		t.Fatal("NaN scale accepted")
+	}
+	if net.Quantized() {
+		t.Fatal("failed EnableQuant left the network marked quantized")
+	}
+	if err := net.EnableQuant([]float32{1, 0.5, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quantized() {
+		t.Fatal("EnableQuant did not mark the network quantized")
+	}
+}
+
+// TestCalibrateQuantScales: calibration must cover the observed activations —
+// quantizing any calibration-set activation with the returned scale stays
+// inside the clamp range (that is what absmax calibration means).
+func TestCalibrateQuantScales(t *testing.T) {
+	net := batchTestNet(t, 81, 1, 4, 8, 1, 8)
+	rng := rand.New(rand.NewSource(82))
+	samples := quantTestSamples(rng, 16, 64)
+	scales := net.CalibrateQuant(samples)
+	if len(scales) != net.QuantLayerCount() {
+		t.Fatalf("got %d scales for %d quantizable layers", len(scales), net.QuantLayerCount())
+	}
+	for i, s := range scales {
+		if !(s > 0) {
+			t.Fatalf("scale %d = %v, want positive", i, s)
+		}
+	}
+	// The first layer's input is the raw pixels; its scale must cover them.
+	var absMax float32
+	for _, pix := range samples {
+		if m := tensor.AbsMax(pix); m > absMax {
+			absMax = m
+		}
+	}
+	if got := scales[0]; got != tensor.QuantScale(absMax) {
+		t.Fatalf("layer-0 scale %v, want QuantScale(%v) = %v", got, absMax, tensor.QuantScale(absMax))
+	}
+}
+
+// TestQuantWeightBytes pins the footprint shrink the cheaper representation
+// buys: int8 weights must be under 30% of the f32 matrices they shadow
+// (exactly 25% plus per-row scale/rowsum overhead).
+func TestQuantWeightBytes(t *testing.T) {
+	net := batchTestNet(t, 91, 2, 8, 16, 3, 16)
+	calibrateAndEnable(t, net, quantTestSamples(rand.New(rand.NewSource(92)), 4, 3*16*16))
+	q, f := net.QuantWeightBytes()
+	if f == 0 || q == 0 {
+		t.Fatalf("QuantWeightBytes = (%d, %d), want both nonzero", q, f)
+	}
+	if float64(q) > 0.3*float64(f) {
+		t.Fatalf("int8 weights %d bytes vs f32 %d: shrink worse than 0.3×", q, f)
+	}
+}

@@ -1,0 +1,917 @@
+package tensor
+
+import "fmt"
+
+// Int8 inference kernels: symmetric int8 quantization helpers and a blocked
+// int8×int8→int32 GEMM. The quantized path exists to make the cheap early
+// cascade levels cheaper still — weights shrink 4×, and the hot GEMM loop
+// computes three multiply-accumulates per 64-bit integer multiply.
+//
+// Representation. Values are quantized symmetrically: q = round(x/scale)
+// clamped to [-127, 127]. Both operands are STORED in offset form
+// (q + 128 ∈ [1, 255], a uint8) so the kernel works on non-negative lanes,
+// and the kernel removes the offset algebraically afterwards: with
+// a′ = qa + 128 and b′ = qb + 128,
+//
+//	Σ_p qa·qb = Σ_p a′·b′ − 128·Σ_p a′ − 128·Σ_p b′ + 128²·k
+//
+// so precomputed row sums of A′ and column sums of B′ turn the offset GEMM
+// back into the signed product exactly.
+//
+// Vectorization. The kernel is pure Go, so it vectorizes within a 64-bit
+// word (SWAR): three adjacent output columns of B′ ride one uint64 in 21-bit
+// lanes, and one multiply by a broadcast weight byte a′ computes all three
+// lane products at once. A lane product is at most 255·255 < 2¹⁷, which
+// leaves 21−17 bits of headroom: a lane can absorb swarChunk = 32 k-steps
+// before it could carry into its neighbor, so the kernel drains the lanes
+// into 64-bit per-column sums every 32 steps and keeps going. The inner loop
+// runs two output rows against two words — twelve multiply-accumulates per
+// pass, with every packed word loaded once and multiplied twice.
+//
+// Bit-determinism. Everything after quantization is integer arithmetic, which
+// is exact and associative: the blocked kernel is bit-identical to the naive
+// int32 triple loop by construction, with no accumulation-order pinning
+// needed (GemmInt8Naive is kept as the in-package oracle the property tests
+// compare against). Quantization itself rounds half away from zero per
+// element, so a quantized activation depends only on (value, scale) — never
+// on batch composition — which is what makes quantized scores identical
+// across batch sizes, workers and engines.
+
+const (
+	// QuantMaxQ is the symmetric quantization range: q ∈ [-QuantMaxQ, QuantMaxQ].
+	QuantMaxQ = 127
+	// quantOffset shifts signed int8 values into the unsigned storage form.
+	quantOffset = 128
+	// QuantZeroByte is the offset form of a quantized 0.0 — the value byte
+	// im2col pads with, mirroring the f32 path's zero padding.
+	QuantZeroByte = quantOffset
+	// laneBits is the SWAR lane width: three lanes per uint64 with one spare
+	// bit (3·21 = 63).
+	laneBits = 21
+	laneMask = 1<<laneBits - 1
+	// swarChunk is how many k-steps a 21-bit lane absorbs before a product
+	// sum could overflow into the neighboring lane: 32 · 255² < 2²¹.
+	swarChunk = laneMask / (255 * 255)
+)
+
+// QuantScale returns the symmetric int8 scale for values up to absMax in
+// magnitude: round(x/scale) stays within [-127, 127]. A non-positive absMax
+// (an all-zero tensor) yields scale 1 so quantization is well-defined.
+func QuantScale(absMax float32) float32 {
+	if absMax <= 0 {
+		return 1
+	}
+	return absMax / QuantMaxQ
+}
+
+// AbsMax returns max_i |xs[i]| (0 for an empty slice).
+func AbsMax(xs []float32) float32 {
+	var m float32
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// quantByte quantizes one pre-scaled value: clamp(round(v), -127, 127) + 128,
+// rounding half away from zero.
+func quantByte(v float32) uint8 {
+	var q int32
+	if v >= 0 {
+		q = int32(v + 0.5)
+	} else {
+		q = int32(v - 0.5)
+	}
+	if q > QuantMaxQ {
+		q = QuantMaxQ
+	} else if q < -QuantMaxQ {
+		q = -QuantMaxQ
+	}
+	return uint8(q + quantOffset)
+}
+
+// QuantizeOffset quantizes src with the given scale into dst as offset bytes:
+// dst[i] = clamp(round(src[i]/scale), -127, 127) + 128. len(dst) must be at
+// least len(src).
+func QuantizeOffset(dst []uint8, src []float32, scale float32) {
+	inv := 1 / scale
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = quantByte(v * inv)
+	}
+}
+
+// DequantByte recovers the float a single offset byte represents.
+func DequantByte(b uint8, scale float32) float32 {
+	return float32(int32(b)-quantOffset) * scale
+}
+
+// Int8Weights is a weight matrix prepared once for quantized inference: every
+// row (one output channel) quantized with its own symmetric scale, stored as
+// offset bytes with the per-row byte sums the zero-point correction needs.
+// Prepared weights are immutable and safely shared across goroutines.
+type Int8Weights struct {
+	M, K   int
+	Off    []uint8   // offset bytes, M×K row-major
+	RowSum []int32   // per-row sum of offset bytes
+	Scale  []float32 // per-row (per-output-channel) quantization scale
+}
+
+// NewInt8Weights quantizes a [M, K] float32 matrix row by row (per output
+// channel), choosing each row's scale from its own absmax.
+func NewInt8Weights(w *Tensor) *Int8Weights {
+	if len(w.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: NewInt8Weights wants a 2-d matrix, got shape %v", w.Shape))
+	}
+	m, k := w.Shape[0], w.Shape[1]
+	q := &Int8Weights{
+		M: m, K: k,
+		Off:    make([]uint8, m*k),
+		RowSum: make([]int32, m),
+		Scale:  make([]float32, m),
+	}
+	for i := 0; i < m; i++ {
+		row := w.Data[i*k : (i+1)*k]
+		off := q.Off[i*k : (i+1)*k]
+		scale := QuantScale(AbsMax(row))
+		q.Scale[i] = scale
+		QuantizeOffset(off, row, scale)
+		var s int32
+		for _, b := range off {
+			s += int32(b)
+		}
+		q.RowSum[i] = s
+	}
+	return q
+}
+
+// Bytes reports the resident footprint of the prepared weights — the number
+// the ~4× weight-cache shrink is measured from.
+func (w *Int8Weights) Bytes() int64 {
+	return int64(len(w.Off)) + 4*int64(len(w.RowSum)) + 4*int64(len(w.Scale))
+}
+
+// Int8Packed is a quantized activation matrix packed for the SWAR kernel:
+// word w holds output columns 3w, 3w+1, 3w+2 in its 21-bit lanes, and the K
+// values of one word are contiguous (column-triple-major) so the kernel's k
+// sweep reads sequential streams. Col sums feed the zero-point correction.
+// Buffers grow as needed and are reused across Pack calls; an Int8Packed is
+// single-goroutine scratch.
+type Int8Packed struct {
+	K, N   int
+	Words  int      // column-triple count: ceil(N/3)
+	Data   []uint64 // Words×K, word-major: word w's k-run starts at w*K
+	ColSum []int32  // per-column sum of offset bytes, length N
+}
+
+// Pack fills p from offset bytes q laid out [k, n] row-major. Trailing
+// columns short of a triple leave their word's high lanes zero; the kernel
+// never stores padding lanes.
+func (p *Int8Packed) Pack(q []uint8, k, n int) {
+	if len(q) < k*n {
+		panic(fmt.Sprintf("tensor: Int8Packed.Pack got %d bytes for a %d×%d matrix", len(q), k, n))
+	}
+	words := (n + 2) / 3
+	p.K, p.N, p.Words = k, n, words
+	if cap(p.Data) < words*k {
+		p.Data = make([]uint64, words*k)
+	}
+	p.Data = p.Data[:words*k]
+	if cap(p.ColSum) < n {
+		p.ColSum = make([]int32, n)
+	}
+	p.ColSum = p.ColSum[:n]
+	for w := 0; w < words; w++ {
+		j := 3 * w
+		out := p.Data[w*k : (w+1)*k]
+		var s0, s1, s2 int32
+		switch {
+		case j+3 <= n:
+			for pi := 0; pi < k; pi++ {
+				b0 := q[pi*n+j]
+				b1 := q[pi*n+j+1]
+				b2 := q[pi*n+j+2]
+				out[pi] = uint64(b0) | uint64(b1)<<laneBits | uint64(b2)<<(2*laneBits)
+				s0 += int32(b0)
+				s1 += int32(b1)
+				s2 += int32(b2)
+			}
+			p.ColSum[j], p.ColSum[j+1], p.ColSum[j+2] = s0, s1, s2
+		case j+2 <= n:
+			for pi := 0; pi < k; pi++ {
+				b0 := q[pi*n+j]
+				b1 := q[pi*n+j+1]
+				out[pi] = uint64(b0) | uint64(b1)<<laneBits
+				s0 += int32(b0)
+				s1 += int32(b1)
+			}
+			p.ColSum[j], p.ColSum[j+1] = s0, s1
+		default:
+			for pi := 0; pi < k; pi++ {
+				b0 := q[pi*n+j]
+				out[pi] = uint64(b0)
+				s0 += int32(b0)
+			}
+			p.ColSum[j] = s0
+		}
+	}
+}
+
+// PackQuant is Pack fused with quantization: it fills p directly from a
+// [k, n] row-major float32 matrix, producing bit-identical state to
+// QuantizeOffset into a scratch buffer followed by Pack. One row-major pass
+// replaces Pack's column-triple-major sweep, so the source is read in
+// sequential order exactly once and the intermediate byte matrix never
+// exists — on the dense inference path that removes a full quantize
+// write+read round trip over the activation matrix.
+func (p *Int8Packed) PackQuant(src []float32, k, n int, scale float32) {
+	if len(src) < k*n {
+		panic(fmt.Sprintf("tensor: Int8Packed.PackQuant got %d values for a %d×%d matrix", len(src), k, n))
+	}
+	words := (n + 2) / 3
+	p.K, p.N, p.Words = k, n, words
+	if cap(p.Data) < words*k {
+		p.Data = make([]uint64, words*k)
+	}
+	p.Data = p.Data[:words*k]
+	if cap(p.ColSum) < n {
+		p.ColSum = make([]int32, n)
+	}
+	p.ColSum = p.ColSum[:n]
+	colSum := p.ColSum
+	for j := range colSum {
+		colSum[j] = 0
+	}
+	inv := 1 / scale
+	data := p.Data
+	for pi := 0; pi < k; pi++ {
+		row := src[pi*n : (pi+1)*n]
+		j := 0
+		for ; j+3 <= n; j += 3 {
+			b0 := quantByte(row[j] * inv)
+			b1 := quantByte(row[j+1] * inv)
+			b2 := quantByte(row[j+2] * inv)
+			data[(j/3)*k+pi] = uint64(b0) | uint64(b1)<<laneBits | uint64(b2)<<(2*laneBits)
+			colSum[j] += int32(b0)
+			colSum[j+1] += int32(b1)
+			colSum[j+2] += int32(b2)
+		}
+		if j < n {
+			var wv uint64
+			for l := 0; j+l < n; l++ {
+				b := quantByte(row[j+l] * inv)
+				wv |= uint64(b) << (laneBits * l)
+				colSum[j+l] += int32(b)
+			}
+			data[(j/3)*k+pi] = wv
+		}
+	}
+}
+
+// PackQuantPlanes is PackQuant for a channel-major [C, B, H·W] activation
+// batch: it packs sample columns straight out of the planar layout, producing
+// bit-identical state to transposing into [C·H·W, B] first (the Flatten
+// layer's job) and then quantizing and packing. Word w's k-run interleaves
+// three sample planes read sequentially, so the f32 transpose disappears from
+// the quantized dense path entirely and the column sums accumulate in
+// registers across each word's whole k sweep.
+func (p *Int8Packed) PackQuantPlanes(src []float32, chans, hw, n int, scale float32) {
+	k := chans * hw
+	if len(src) < k*n {
+		panic(fmt.Sprintf("tensor: Int8Packed.PackQuantPlanes got %d values for %d×%d×%d planes", len(src), chans, n, hw))
+	}
+	words := (n + 2) / 3
+	p.K, p.N, p.Words = k, n, words
+	if cap(p.Data) < words*k {
+		p.Data = make([]uint64, words*k)
+	}
+	p.Data = p.Data[:words*k]
+	if cap(p.ColSum) < n {
+		p.ColSum = make([]int32, n)
+	}
+	p.ColSum = p.ColSum[:n]
+	inv := 1 / scale
+	for w := 0; w < words; w++ {
+		j := 3 * w
+		out := p.Data[w*k : (w+1)*k]
+		var s0, s1, s2 int32
+		switch {
+		case j+3 <= n:
+			for ci := 0; ci < chans; ci++ {
+				base := (ci*n + j) * hw
+				r0 := src[base : base+hw]
+				r1 := src[base+hw : base+2*hw]
+				r2 := src[base+2*hw : base+3*hw]
+				o := out[ci*hw : (ci+1)*hw]
+				for q := 0; q < hw; q++ {
+					b0 := quantByte(r0[q] * inv)
+					b1 := quantByte(r1[q] * inv)
+					b2 := quantByte(r2[q] * inv)
+					o[q] = uint64(b0) | uint64(b1)<<laneBits | uint64(b2)<<(2*laneBits)
+					s0 += int32(b0)
+					s1 += int32(b1)
+					s2 += int32(b2)
+				}
+			}
+			p.ColSum[j], p.ColSum[j+1], p.ColSum[j+2] = s0, s1, s2
+		case j+2 <= n:
+			for ci := 0; ci < chans; ci++ {
+				base := (ci*n + j) * hw
+				r0 := src[base : base+hw]
+				r1 := src[base+hw : base+2*hw]
+				o := out[ci*hw : (ci+1)*hw]
+				for q := 0; q < hw; q++ {
+					b0 := quantByte(r0[q] * inv)
+					b1 := quantByte(r1[q] * inv)
+					o[q] = uint64(b0) | uint64(b1)<<laneBits
+					s0 += int32(b0)
+					s1 += int32(b1)
+				}
+			}
+			p.ColSum[j], p.ColSum[j+1] = s0, s1
+		default:
+			for ci := 0; ci < chans; ci++ {
+				base := (ci*n + j) * hw
+				r0 := src[base : base+hw]
+				o := out[ci*hw : (ci+1)*hw]
+				for q := 0; q < hw; q++ {
+					b0 := quantByte(r0[q] * inv)
+					o[q] = uint64(b0)
+					s0 += int32(b0)
+				}
+			}
+			p.ColSum[j] = s0
+		}
+	}
+}
+
+// GemmInt8 computes the signed int8 product C = QA·QB into c (M×N row-major
+// int32), where QA and QB are the signed values underlying the offset forms:
+// c[i,j] = Σ_p (a.Off[i,p]−128)·(qb[p,j]−128), exactly. Bit-identical to
+// GemmInt8Naive at every shape; k must not exceed GemmInt8MaxK.
+func GemmInt8(c []int32, a *Int8Weights, b *Int8Packed) {
+	m, k, n := a.M, a.K, b.N
+	if k != b.K {
+		panic(fmt.Sprintf("tensor: GemmInt8 inner dims %d != %d", k, b.K))
+	}
+	if k > GemmInt8MaxK {
+		panic(fmt.Sprintf("tensor: GemmInt8 k=%d exceeds the exact-int32 bound %d", k, GemmInt8MaxK))
+	}
+	if len(c) < m*n {
+		panic(fmt.Sprintf("tensor: GemmInt8 output holds %d values for a %d×%d result", len(c), m, n))
+	}
+	if n == 0 {
+		return
+	}
+	if k > kSlabBound && k <= kAccumMax {
+		gemmInt8LargeK(c, a, b)
+		return
+	}
+	gemmInt8SmallK(c, a, b)
+}
+
+// kSlabBound splits the drivers: at or below it a pair of packed B words
+// (≤ 2·kSlabBound·8 bytes) is small enough to stay cache-resident while every
+// row of A sweeps it, so the small-k driver runs each word group to completion
+// with direct stores. Above it the large-k driver slices k into slabs of this
+// size and accumulates partial sums into c, which keeps the working set (slab
+// words + slab weight rows + the c block) in L1 even for the wide dense
+// layers whose packed matrix would otherwise re-stream from L2 per row pair.
+const kSlabBound = 512
+
+// kAccumMax bounds k for the slabbed driver: its running c values hold the
+// zero-point pre-fill (magnitude ≤ 2·128·255·k) plus partial raw lane sums
+// (≤ 255²·k), so intermediates are bounded by (255² + 128²)·k after the
+// pre-fill's positive 128²k term cancels — that must fit int32. Beyond this
+// (far past any model layer) the small-k driver still handles every
+// k ≤ GemmInt8MaxK exactly, just without slab blocking.
+const kAccumMax = (1<<31 - 1) / ((2*QuantMaxQ+1)*(2*QuantMaxQ+1) + quantOffset*quantOffset)
+
+// GemmInt8MaxK bounds k so the signed product Σ qa·qb (≤ k·127²) fits int32.
+const GemmInt8MaxK = (1<<31 - 1) / (QuantMaxQ * QuantMaxQ)
+
+// lane extracts SWAR lane l (0..2) of a drained accumulator.
+func lane(acc uint64, l int) int64 {
+	return int64((acc >> (laneBits * l)) & laneMask)
+}
+
+// swarDot2x2 runs one SWAR accumulation chunk: two packed words against two
+// weight rows, all four dot products at once. It is kept out of line so the
+// four accumulators live in registers — inlined into the caller's big frame
+// the allocator spills them to the stack inside the hot loop.
+//
+//go:noinline
+func swarDot2x2(e0, e1 []uint64, a0, a1 []uint8) (x0, x1, y0, y1 uint64) {
+	e1 = e1[:len(e0)]
+	a0 = a0[:len(e0)]
+	a1 = a1[:len(e0)]
+	// Two k-steps per iteration: eight multiplies between loop-control ops
+	// keeps the multiplier port saturated.
+	p := 0
+	for ; p+2 <= len(e0); p += 2 {
+		u := uint64(a0[p])
+		v := uint64(a1[p])
+		bv0 := e0[p]
+		bv1 := e1[p]
+		x0 += u * bv0
+		x1 += u * bv1
+		y0 += v * bv0
+		y1 += v * bv1
+		u = uint64(a0[p+1])
+		v = uint64(a1[p+1])
+		bv0 = e0[p+1]
+		bv1 = e1[p+1]
+		x0 += u * bv0
+		x1 += u * bv1
+		y0 += v * bv0
+		y1 += v * bv1
+	}
+	if p < len(e0) {
+		u := uint64(a0[p])
+		v := uint64(a1[p])
+		x0 += u * e0[p]
+		x1 += u * e1[p]
+		y0 += v * e0[p]
+		y1 += v * e1[p]
+	}
+	return
+}
+
+// swarDot2x1 is the single-word tail chunk: one packed word, two weight rows.
+//
+//go:noinline
+func swarDot2x1(e []uint64, a0, a1 []uint8) (x, y uint64) {
+	a0 = a0[:len(e)]
+	a1 = a1[:len(e)]
+	for p, bv := range e {
+		x += uint64(a0[p]) * bv
+		y += uint64(a1[p]) * bv
+	}
+	return
+}
+
+// swarDot1x2 is the odd-row chunk against a word group: two packed words,
+// one weight row.
+//
+//go:noinline
+func swarDot1x2(e0, e1 []uint64, a []uint8) (x, y uint64) {
+	e1 = e1[:len(e0)]
+	a = a[:len(e0)]
+	for p, bv0 := range e0 {
+		u := uint64(a[p])
+		x += u * bv0
+		y += u * e1[p]
+	}
+	return
+}
+
+// swarDot1x1 is the odd-row chunk: one packed word, one weight row.
+//
+//go:noinline
+func swarDot1x1(e []uint64, a []uint8) (x uint64) {
+	a = a[:len(e)]
+	for p, bv := range e {
+		x += uint64(a[p]) * bv
+	}
+	return
+}
+
+// gemmInt8SmallK runs word groups outermost and row pairs inside, so each
+// pair of packed B words (≤ 2·kSlabBound·8 bytes, cache-resident) is read
+// once per GEMM instead of re-streamed per row pair — at conv shapes that
+// cuts the packed-matrix traffic by m/2×. Each inner sweep is the 2×2 SWAR
+// micro-kernel: six columns, twelve multiply-accumulates per iteration, three
+// per 64-bit multiply, with the 21-bit lanes drained into 64-bit sums every
+// swarChunk steps. Integer accumulation is exact, so the loop order is chosen
+// purely for locality — the output bits match the oracle either way.
+func gemmInt8SmallK(c []int32, a *Int8Weights, b *Int8Packed) {
+	m, k, n, words := a.M, a.K, b.N, b.Words
+	data, colSum := b.Data, b.ColSum
+	kTerm := quantOffset * quantOffset * int64(k)
+	w := 0
+	for ; 3*(w+2) <= n; w += 2 {
+		base := w * k
+		b0 := data[base : base+k]
+		b1 := data[base+k : base+2*k]
+		j := 3 * w
+		cs := colSum[j : j+6 : j+6]
+		var cc [6]int64
+		for l := range cc {
+			cc[l] = quantOffset * int64(cs[l])
+		}
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			ar0 := a.Off[i*k : (i+1)*k]
+			ar1 := a.Off[(i+1)*k : (i+2)*k]
+			corr0 := int64(a.RowSum[i])*quantOffset - kTerm
+			corr1 := int64(a.RowSum[i+1])*quantOffset - kTerm
+			var sx0, sx1, sx2, sx3, sx4, sx5 int64
+			var sy0, sy1, sy2, sy3, sy4, sy5 int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x0, x1, y0, y1 := swarDot2x2(b0[p0:pe], b1[p0:pe], ar0[p0:pe], ar1[p0:pe])
+				sx0 += int64(x0 & laneMask)
+				sx1 += int64(x0 >> laneBits & laneMask)
+				sx2 += int64(x0 >> (2 * laneBits))
+				sx3 += int64(x1 & laneMask)
+				sx4 += int64(x1 >> laneBits & laneMask)
+				sx5 += int64(x1 >> (2 * laneBits))
+				sy0 += int64(y0 & laneMask)
+				sy1 += int64(y0 >> laneBits & laneMask)
+				sy2 += int64(y0 >> (2 * laneBits))
+				sy3 += int64(y1 & laneMask)
+				sy4 += int64(y1 >> laneBits & laneMask)
+				sy5 += int64(y1 >> (2 * laneBits))
+			}
+			o0 := c[i*n+j : i*n+j+6 : i*n+j+6]
+			o1 := c[(i+1)*n+j : (i+1)*n+j+6 : (i+1)*n+j+6]
+			o0[0] = int32(sx0 - corr0 - cc[0])
+			o0[1] = int32(sx1 - corr0 - cc[1])
+			o0[2] = int32(sx2 - corr0 - cc[2])
+			o0[3] = int32(sx3 - corr0 - cc[3])
+			o0[4] = int32(sx4 - corr0 - cc[4])
+			o0[5] = int32(sx5 - corr0 - cc[5])
+			o1[0] = int32(sy0 - corr1 - cc[0])
+			o1[1] = int32(sy1 - corr1 - cc[1])
+			o1[2] = int32(sy2 - corr1 - cc[2])
+			o1[3] = int32(sy3 - corr1 - cc[3])
+			o1[4] = int32(sy4 - corr1 - cc[4])
+			o1[5] = int32(sy5 - corr1 - cc[5])
+		}
+		if i < m {
+			arow := a.Off[i*k : (i+1)*k]
+			corr := int64(a.RowSum[i])*quantOffset - kTerm
+			var s [6]int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x, y := swarDot1x2(b0[p0:pe], b1[p0:pe], arow[p0:pe])
+				for l := 0; l < 3; l++ {
+					s[l] += lane(x, l)
+					s[3+l] += lane(y, l)
+				}
+			}
+			o := c[i*n+j : i*n+j+6 : i*n+j+6]
+			for l := 0; l < 6; l++ {
+				o[l] = int32(s[l] - corr - cc[l])
+			}
+		}
+	}
+	// Trailing pair whose second word is padded: same 2×2 sweep as the fast
+	// groups (full multiply throughput), with guarded stores for the short
+	// columns. Only the store loop differs, and it runs once per row pair.
+	if w+2 <= words {
+		base := w * k
+		b0 := data[base : base+k]
+		b1 := data[base+k : base+2*k]
+		j := 3 * w
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			ar0 := a.Off[i*k : (i+1)*k]
+			ar1 := a.Off[(i+1)*k : (i+2)*k]
+			corr0 := int64(a.RowSum[i])*quantOffset - kTerm
+			corr1 := int64(a.RowSum[i+1])*quantOffset - kTerm
+			var sx, sy [6]int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x0, x1, y0, y1 := swarDot2x2(b0[p0:pe], b1[p0:pe], ar0[p0:pe], ar1[p0:pe])
+				for l := 0; l < 3; l++ {
+					sx[l] += lane(x0, l)
+					sx[3+l] += lane(x1, l)
+					sy[l] += lane(y0, l)
+					sy[3+l] += lane(y1, l)
+				}
+			}
+			for l := 0; l < 6 && j+l < n; l++ {
+				cc := quantOffset * int64(colSum[j+l])
+				c[i*n+j+l] = int32(sx[l] - corr0 - cc)
+				c[(i+1)*n+j+l] = int32(sy[l] - corr1 - cc)
+			}
+		}
+		if i < m {
+			arow := a.Off[i*k : (i+1)*k]
+			corr := int64(a.RowSum[i])*quantOffset - kTerm
+			var s [6]int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x, y := swarDot1x2(b0[p0:pe], b1[p0:pe], arow[p0:pe])
+				for l := 0; l < 3; l++ {
+					s[l] += lane(x, l)
+					s[3+l] += lane(y, l)
+				}
+			}
+			for l := 0; l < 6 && j+l < n; l++ {
+				c[i*n+j+l] = int32(s[l] - corr - quantOffset*int64(colSum[j+l]))
+			}
+		}
+		w += 2
+	}
+	// Lone trailing word (odd word count), possibly padded.
+	if w < words {
+		bw := data[w*k : (w+1)*k]
+		j := 3 * w
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			ar0 := a.Off[i*k : (i+1)*k]
+			ar1 := a.Off[(i+1)*k : (i+2)*k]
+			corr0 := int64(a.RowSum[i])*quantOffset - kTerm
+			corr1 := int64(a.RowSum[i+1])*quantOffset - kTerm
+			var s [6]int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x, y := swarDot2x1(bw[p0:pe], ar0[p0:pe], ar1[p0:pe])
+				for l := 0; l < 3; l++ {
+					s[l] += lane(x, l)
+					s[3+l] += lane(y, l)
+				}
+			}
+			for l := 0; l < 3 && j+l < n; l++ {
+				cc := quantOffset * int64(colSum[j+l])
+				c[i*n+j+l] = int32(s[l] - corr0 - cc)
+				c[(i+1)*n+j+l] = int32(s[3+l] - corr1 - cc)
+			}
+		}
+		if i < m {
+			arow := a.Off[i*k : (i+1)*k]
+			corr := int64(a.RowSum[i])*quantOffset - kTerm
+			var s [3]int64
+			for p0 := 0; p0 < k; p0 += swarChunk {
+				pe := min(p0+swarChunk, k)
+				x := swarDot1x1(bw[p0:pe], arow[p0:pe])
+				for l := 0; l < 3; l++ {
+					s[l] += lane(x, l)
+				}
+			}
+			for l := 0; l < 3 && j+l < n; l++ {
+				c[i*n+j+l] = int32(s[l] - corr - quantOffset*int64(colSum[j+l]))
+			}
+		}
+	}
+}
+
+// gemmInt8LargeK is the slab-blocked driver for deep inner dimensions (wide
+// dense layers): c is pre-filled with the zero-point correction terms, then k
+// is swept in kSlabBound-sized slabs with word groups outer and row pairs
+// inner, accumulating each slab's raw lane sums into c. Per slab the working
+// set — two packed slab words (8 KB), two weight-row slabs (1 KB) and the c
+// block — fits L1, so neither the packed matrix nor the weights re-stream
+// from L2 per row pair. Intermediate c values stay within int32 for any
+// k ≤ kAccumMax; exact integer addition makes the slab split invisible in
+// the output bits.
+func gemmInt8LargeK(c []int32, a *Int8Weights, b *Int8Packed) {
+	m, k, n, words := a.M, a.K, b.N, b.Words
+	data, colSum := b.Data, b.ColSum
+	kTerm := quantOffset * quantOffset * int64(k)
+	for i := 0; i < m; i++ {
+		base := kTerm - int64(a.RowSum[i])*quantOffset
+		ci := c[i*n : i*n+n]
+		for j, s := range colSum {
+			ci[j] = int32(base - quantOffset*int64(s))
+		}
+	}
+	w := 0
+	for ; 3*(w+2) <= n; w += 2 {
+		base := w * k
+		wb0 := data[base : base+k]
+		wb1 := data[base+k : base+2*k]
+		j := 3 * w
+		for t0 := 0; t0 < k; t0 += kSlabBound {
+			t1 := min(t0+kSlabBound, k)
+			sb0, sb1 := wb0[t0:t1], wb1[t0:t1]
+			i := 0
+			for ; i+2 <= m; i += 2 {
+				ar0 := a.Off[i*k+t0 : i*k+t1]
+				ar1 := a.Off[(i+1)*k+t0 : (i+1)*k+t1]
+				var sx0, sx1, sx2, sx3, sx4, sx5 int64
+				var sy0, sy1, sy2, sy3, sy4, sy5 int64
+				for p0 := 0; p0 < len(sb0); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb0))
+					x0, x1, y0, y1 := swarDot2x2(sb0[p0:pe], sb1[p0:pe], ar0[p0:pe], ar1[p0:pe])
+					sx0 += int64(x0 & laneMask)
+					sx1 += int64(x0 >> laneBits & laneMask)
+					sx2 += int64(x0 >> (2 * laneBits))
+					sx3 += int64(x1 & laneMask)
+					sx4 += int64(x1 >> laneBits & laneMask)
+					sx5 += int64(x1 >> (2 * laneBits))
+					sy0 += int64(y0 & laneMask)
+					sy1 += int64(y0 >> laneBits & laneMask)
+					sy2 += int64(y0 >> (2 * laneBits))
+					sy3 += int64(y1 & laneMask)
+					sy4 += int64(y1 >> laneBits & laneMask)
+					sy5 += int64(y1 >> (2 * laneBits))
+				}
+				o0 := c[i*n+j : i*n+j+6 : i*n+j+6]
+				o1 := c[(i+1)*n+j : (i+1)*n+j+6 : (i+1)*n+j+6]
+				o0[0] += int32(sx0)
+				o0[1] += int32(sx1)
+				o0[2] += int32(sx2)
+				o0[3] += int32(sx3)
+				o0[4] += int32(sx4)
+				o0[5] += int32(sx5)
+				o1[0] += int32(sy0)
+				o1[1] += int32(sy1)
+				o1[2] += int32(sy2)
+				o1[3] += int32(sy3)
+				o1[4] += int32(sy4)
+				o1[5] += int32(sy5)
+			}
+			if i < m {
+				arow := a.Off[i*k+t0 : i*k+t1]
+				var s [6]int64
+				for p0 := 0; p0 < len(sb0); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb0))
+					x, y := swarDot1x2(sb0[p0:pe], sb1[p0:pe], arow[p0:pe])
+					for l := 0; l < 3; l++ {
+						s[l] += lane(x, l)
+						s[3+l] += lane(y, l)
+					}
+				}
+				o := c[i*n+j : i*n+j+6 : i*n+j+6]
+				for l := 0; l < 6; l++ {
+					o[l] += int32(s[l])
+				}
+			}
+		}
+	}
+	// Trailing pair whose second word is padded: full 2×2 multiply
+	// throughput, guarded accumulate stores.
+	if w+2 <= words {
+		base := w * k
+		wb0 := data[base : base+k]
+		wb1 := data[base+k : base+2*k]
+		j := 3 * w
+		for t0 := 0; t0 < k; t0 += kSlabBound {
+			t1 := min(t0+kSlabBound, k)
+			sb0, sb1 := wb0[t0:t1], wb1[t0:t1]
+			i := 0
+			for ; i+2 <= m; i += 2 {
+				ar0 := a.Off[i*k+t0 : i*k+t1]
+				ar1 := a.Off[(i+1)*k+t0 : (i+1)*k+t1]
+				var sx, sy [6]int64
+				for p0 := 0; p0 < len(sb0); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb0))
+					x0, x1, y0, y1 := swarDot2x2(sb0[p0:pe], sb1[p0:pe], ar0[p0:pe], ar1[p0:pe])
+					for l := 0; l < 3; l++ {
+						sx[l] += lane(x0, l)
+						sx[3+l] += lane(x1, l)
+						sy[l] += lane(y0, l)
+						sy[3+l] += lane(y1, l)
+					}
+				}
+				for l := 0; l < 6 && j+l < n; l++ {
+					c[i*n+j+l] += int32(sx[l])
+					c[(i+1)*n+j+l] += int32(sy[l])
+				}
+			}
+			if i < m {
+				arow := a.Off[i*k+t0 : i*k+t1]
+				var s [6]int64
+				for p0 := 0; p0 < len(sb0); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb0))
+					x, y := swarDot1x2(sb0[p0:pe], sb1[p0:pe], arow[p0:pe])
+					for l := 0; l < 3; l++ {
+						s[l] += lane(x, l)
+						s[3+l] += lane(y, l)
+					}
+				}
+				for l := 0; l < 6 && j+l < n; l++ {
+					c[i*n+j+l] += int32(s[l])
+				}
+			}
+		}
+		w += 2
+	}
+	// Lone trailing word (odd word count), possibly padded.
+	if w < words {
+		bw := data[w*k : (w+1)*k]
+		j := 3 * w
+		for t0 := 0; t0 < k; t0 += kSlabBound {
+			t1 := min(t0+kSlabBound, k)
+			sb := bw[t0:t1]
+			i := 0
+			for ; i+2 <= m; i += 2 {
+				ar0 := a.Off[i*k+t0 : i*k+t1]
+				ar1 := a.Off[(i+1)*k+t0 : (i+1)*k+t1]
+				var s [6]int64
+				for p0 := 0; p0 < len(sb); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb))
+					x, y := swarDot2x1(sb[p0:pe], ar0[p0:pe], ar1[p0:pe])
+					for l := 0; l < 3; l++ {
+						s[l] += lane(x, l)
+						s[3+l] += lane(y, l)
+					}
+				}
+				for l := 0; l < 3 && j+l < n; l++ {
+					c[i*n+j+l] += int32(s[l])
+					c[(i+1)*n+j+l] += int32(s[3+l])
+				}
+			}
+			if i < m {
+				arow := a.Off[i*k+t0 : i*k+t1]
+				var s [3]int64
+				for p0 := 0; p0 < len(sb); p0 += swarChunk {
+					pe := min(p0+swarChunk, len(sb))
+					x := swarDot1x1(sb[p0:pe], arow[p0:pe])
+					for l := 0; l < 3; l++ {
+						s[l] += lane(x, l)
+					}
+				}
+				for l := 0; l < 3 && j+l < n; l++ {
+					c[i*n+j+l] += int32(s[l])
+				}
+			}
+		}
+	}
+}
+
+// GemmInt8Naive is the in-package oracle: the plain int32 triple loop over
+// the offset bytes of A (m×k) and B (k×n), both row-major. Every blocked
+// variant must produce bit-identical output.
+func GemmInt8Naive(c []int32, aOff, bOff []uint8, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for p := 0; p < k; p++ {
+				qa := int32(aOff[i*k+p]) - quantOffset
+				qb := int32(bOff[p*n+j]) - quantOffset
+				s += qa * qb
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// im2colRowBytes fills one byte im2col output row for kernel offset (kh, kw)
+// from one input channel plane, exactly as im2colRow does for float32 —
+// except padding reads become QuantZeroByte, the offset form of a quantized
+// 0.0, mirroring the f32 path's zero padding.
+func im2colRowBytes(out, plane []uint8, g ConvGeom, kh, kw, oh, ow int) {
+	oxLo, oxHi := inSpan(ow, g.StrideW, g.PadW, kw, g.InW)
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*g.StrideH - g.PadH + kh
+		if iy < 0 || iy >= g.InH {
+			fillBytes(out[idx:idx+ow], QuantZeroByte)
+			idx += ow
+			continue
+		}
+		rowBase := iy * g.InW
+		fillBytes(out[idx:idx+oxLo], QuantZeroByte)
+		if oxHi == oxLo {
+			fillBytes(out[idx+oxLo:idx+ow], QuantZeroByte)
+			idx += ow
+			continue
+		}
+		if g.StrideW == 1 {
+			srcLo := rowBase + oxLo - g.PadW + kw
+			copy(out[idx+oxLo:idx+oxHi], plane[srcLo:srcLo+oxHi-oxLo])
+		} else {
+			for ox := oxLo; ox < oxHi; ox++ {
+				out[idx+ox] = plane[rowBase+ox*g.StrideW-g.PadW+kw]
+			}
+		}
+		fillBytes(out[idx+oxHi:idx+ow], QuantZeroByte)
+		idx += ow
+	}
+}
+
+func fillBytes(s []uint8, v uint8) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// Im2ColBatchBytes is Im2ColBatch over offset bytes: x is a quantized
+// [C, B, H, W] batch flattened row-major, col receives the [C·KH·KW, B·OH·OW]
+// byte column matrix. Together with quantizing the layer input once, this is
+// what lets the quantized conv path skip the f32 im2col entirely — the
+// column matrix it builds moves a quarter of the bytes.
+func Im2ColBatchBytes(col, x []uint8, bsz int, g ConvGeom) {
+	oh, ow := g.OutH(), g.OutW()
+	ohow := oh * ow
+	cols := bsz * ohow
+	planeLen := g.InH * g.InW
+	if len(x) < g.InC*bsz*planeLen {
+		panic(fmt.Sprintf("tensor: Im2ColBatchBytes input has %d bytes, want %d", len(x), g.InC*bsz*planeLen))
+	}
+	if len(col) < g.ColRows()*cols {
+		panic(fmt.Sprintf("tensor: Im2ColBatchBytes col has %d bytes, want %d", len(col), g.ColRows()*cols))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * cols
+				for s := 0; s < bsz; s++ {
+					plane := x[(c*bsz+s)*planeLen : (c*bsz+s+1)*planeLen]
+					im2colRowBytes(col[base+s*ohow:base+(s+1)*ohow], plane, g, kh, kw, oh, ow)
+				}
+				row++
+			}
+		}
+	}
+}

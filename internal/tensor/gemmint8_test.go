@@ -1,0 +1,370 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randOffsetBytes(rng *rand.Rand, n int) []uint8 {
+	b := make([]uint8, n)
+	for i := range b {
+		// Offset form of q ∈ [-127, 127]: bytes in [1, 255].
+		b[i] = uint8(rng.Intn(255) + 1)
+	}
+	return b
+}
+
+// TestGemmInt8BitIdenticalToNaiveOracle: the blocked SWAR kernel must match
+// the naive int32 triple loop bit-for-bit at every unrolling edge case —
+// odd column counts that leave a padding lane, column counts straddling the
+// 8-wide groups, tiny and empty inner dimensions.
+func TestGemmInt8BitIdenticalToNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ms := []int{1, 2, 3, 4, 5, 16}
+	// 512/513/1025 straddle kSlabBound — the small-k → slab-accumulate
+	// driver switch and partial trailing slabs must be invisible in the bits.
+	ks := []int{0, 1, 2, 3, 9, 27, 64, 67, 512, 513, 1025}
+	ns := []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100}
+	var packed Int8Packed // reused across shapes, like a layer's scratch
+	for _, m := range ms {
+		for _, k := range ks {
+			for _, n := range ns {
+				t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+					aOff := randOffsetBytes(rng, m*k)
+					bOff := randOffsetBytes(rng, k*n)
+					a := &Int8Weights{M: m, K: k, Off: aOff, RowSum: make([]int32, m), Scale: make([]float32, m)}
+					for i := 0; i < m; i++ {
+						var s int32
+						for _, b := range aOff[i*k : (i+1)*k] {
+							s += int32(b)
+						}
+						a.RowSum[i] = s
+					}
+					packed.Pack(bOff, k, n)
+					got := make([]int32, m*n)
+					for i := range got {
+						got[i] = -999 // stale state must be overwritten
+					}
+					GemmInt8(got, a, &packed)
+					want := make([]int32, m*n)
+					GemmInt8Naive(want, aOff, bOff, m, k, n)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("element %d: blocked %d != oracle %d", i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// FuzzGemmInt8 drives the same blocked-vs-oracle comparison over fuzzer-chosen
+// shapes and byte contents.
+func FuzzGemmInt8(f *testing.F) {
+	f.Add(3, 9, 17, int64(1))
+	f.Add(1, 1, 1, int64(2))
+	f.Add(5, 67, 33, int64(3))
+	f.Add(4, 2, 8, int64(4))
+	f.Fuzz(func(t *testing.T, m, k, n int, seed int64) {
+		m = m&7 + 1
+		k = k & 2047 // crosses kSlabBound so the fuzzer hits both drivers
+		n = n&127 + 1
+		rng := rand.New(rand.NewSource(seed))
+		aOff := randOffsetBytes(rng, m*k)
+		bOff := randOffsetBytes(rng, k*n)
+		a := &Int8Weights{M: m, K: k, Off: aOff, RowSum: make([]int32, m)}
+		for i := 0; i < m; i++ {
+			var s int32
+			for _, b := range aOff[i*k : (i+1)*k] {
+				s += int32(b)
+			}
+			a.RowSum[i] = s
+		}
+		var packed Int8Packed
+		packed.Pack(bOff, k, n)
+		got := make([]int32, m*n)
+		GemmInt8(got, a, &packed)
+		want := make([]int32, m*n)
+		GemmInt8Naive(want, aOff, bOff, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d element %d: blocked %d != oracle %d", m, k, n, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestQuantizeOffsetRounding pins the rounding contract: half away from zero,
+// clamped to ±127, offset by 128 — a pure function of (value, scale).
+func TestQuantizeOffsetRounding(t *testing.T) {
+	cases := []struct {
+		v    float32
+		want uint8
+	}{
+		{0, 128}, {0.4, 128}, {0.5, 129}, {1.49, 129}, {1.5, 130},
+		{-0.4, 128}, {-0.5, 127}, {-1.5, 126},
+		{127, 255}, {126.5, 255}, {200, 255}, {-127, 1}, {-200, 1},
+	}
+	dst := make([]uint8, 1)
+	for _, c := range cases {
+		QuantizeOffset(dst, []float32{c.v}, 1)
+		if dst[0] != c.want {
+			t.Errorf("quantize(%v, scale=1) = %d, want %d", c.v, dst[0], c.want)
+		}
+	}
+	// Scale scales before rounding.
+	QuantizeOffset(dst, []float32{3}, 2)
+	if dst[0] != 128+2 {
+		t.Errorf("quantize(3, scale=2) = %d, want 130", dst[0])
+	}
+	if got := DequantByte(130, 2); got != 4 {
+		t.Errorf("DequantByte(130, 2) = %v, want 4", got)
+	}
+}
+
+// TestPackQuantMatchesQuantizeThenPack: the fused pass must leave the packed
+// matrix in bit-identical state to the two-pass reference, including column
+// sums, padding lanes, and dirty reused buffers.
+func TestPackQuantMatchesQuantizeThenPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var fused, ref Int8Packed
+	for _, shape := range [][2]int{{1, 1}, {3, 2}, {2, 3}, {9, 7}, {16, 16}, {64, 5}, {7, 100}, {130, 9}} {
+		k, n := shape[0], shape[1]
+		src := make([]float32, k*n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64()) * 40
+		}
+		scale := float32(0.31)
+		q := make([]uint8, k*n)
+		QuantizeOffset(q, src, scale)
+		ref.Pack(q, k, n)
+		fused.PackQuant(src, k, n, scale)
+		if fused.K != ref.K || fused.N != ref.N || fused.Words != ref.Words {
+			t.Fatalf("%dx%d: geometry (%d,%d,%d) != (%d,%d,%d)", k, n, fused.K, fused.N, fused.Words, ref.K, ref.N, ref.Words)
+		}
+		for i := range ref.Data {
+			if fused.Data[i] != ref.Data[i] {
+				t.Fatalf("%dx%d: word %d: fused %x != ref %x", k, n, i, fused.Data[i], ref.Data[i])
+			}
+		}
+		for j := range ref.ColSum {
+			if fused.ColSum[j] != ref.ColSum[j] {
+				t.Fatalf("%dx%d: colsum %d: fused %d != ref %d", k, n, j, fused.ColSum[j], ref.ColSum[j])
+			}
+		}
+	}
+}
+
+// TestPackQuantPlanesMatchesFlattenThenPack: packing straight from the
+// channel-major [C, B, H·W] layout must be bit-identical to flattening
+// (transposing to [C·H·W, B]) first and then quantize+pack — the fusion
+// contract the quantized Flatten→Dense shortcut relies on.
+func TestPackQuantPlanesMatchesFlattenThenPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var fused, ref Int8Packed
+	for _, shape := range [][3]int{{1, 1, 1}, {1, 3, 5}, {3, 2, 4}, {2, 7, 9}, {3, 18, 16}, {8, 5, 25}, {1, 100, 7}, {4, 64, 64}} {
+		chans, n, hw := shape[0], shape[1], shape[2]
+		k := chans * hw
+		src := make([]float32, chans*n*hw) // [C, B, H·W]
+		for i := range src {
+			src[i] = float32(rng.NormFloat64()) * 40
+		}
+		scale := float32(0.31)
+		// Reference: the Flatten transpose — row r = c·hw + p, column j.
+		flat := make([]float32, k*n)
+		for c := 0; c < chans; c++ {
+			for j := 0; j < n; j++ {
+				for p := 0; p < hw; p++ {
+					flat[(c*hw+p)*n+j] = src[(c*n+j)*hw+p]
+				}
+			}
+		}
+		q := make([]uint8, k*n)
+		QuantizeOffset(q, flat, scale)
+		ref.Pack(q, k, n)
+		fused.PackQuantPlanes(src, chans, hw, n, scale)
+		if fused.K != ref.K || fused.N != ref.N || fused.Words != ref.Words {
+			t.Fatalf("C=%d B=%d HW=%d: geometry (%d,%d,%d) != (%d,%d,%d)", chans, n, hw, fused.K, fused.N, fused.Words, ref.K, ref.N, ref.Words)
+		}
+		for i := range ref.Data {
+			if fused.Data[i] != ref.Data[i] {
+				t.Fatalf("C=%d B=%d HW=%d: word %d: fused %x != ref %x", chans, n, hw, i, fused.Data[i], ref.Data[i])
+			}
+		}
+		for j := range ref.ColSum {
+			if fused.ColSum[j] != ref.ColSum[j] {
+				t.Fatalf("C=%d B=%d HW=%d: colsum %d: fused %d != ref %d", chans, n, hw, j, fused.ColSum[j], ref.ColSum[j])
+			}
+		}
+	}
+}
+
+// TestNewInt8WeightsRoundTrip: per-channel scales must bound the per-element
+// reconstruction error by half a quantization step of that row's own scale.
+func TestNewInt8WeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	w := New(6, 40)
+	for i := range w.Data {
+		w.Data[i] = (rng.Float32()*2 - 1) * float32(1+i%6) // rows at very different magnitudes
+	}
+	q := NewInt8Weights(w)
+	for i := 0; i < q.M; i++ {
+		scale := q.Scale[i]
+		for p := 0; p < q.K; p++ {
+			orig := w.Data[i*q.K+p]
+			back := DequantByte(q.Off[i*q.K+p], scale)
+			if d := back - orig; d > scale/2+1e-6 || d < -scale/2-1e-6 {
+				t.Fatalf("row %d elem %d: dequant %v vs %v exceeds half-step %v", i, p, back, orig, scale/2)
+			}
+		}
+	}
+	if q.Bytes() >= 4*int64(len(w.Data)) {
+		t.Fatalf("int8 weights (%d bytes) not smaller than f32 (%d bytes)", q.Bytes(), 4*len(w.Data))
+	}
+	// An all-zero row must still get a positive, finite scale.
+	zw := New(1, 8)
+	zq := NewInt8Weights(zw)
+	if zq.Scale[0] <= 0 {
+		t.Fatalf("zero row scale = %v", zq.Scale[0])
+	}
+	if zq.Off[0] != QuantZeroByte {
+		t.Fatalf("quantized zero byte = %d, want %d", zq.Off[0], QuantZeroByte)
+	}
+}
+
+// TestIm2ColBatchBytesMatchesFloatPath: on integer-valued inputs quantized at
+// scale 1, the byte im2col must equal the f32 im2col plus the 128 offset at
+// every position — including the padding, where a quantized 0.0 is byte 128.
+func TestIm2ColBatchBytesMatchesFloatPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	geoms := []ConvGeom{
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 2, InH: 9, InW: 7, KH: 5, KW: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 1},
+		{InC: 1, InH: 6, InW: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 0, PadW: 0},
+		{InC: 1, InH: 2, InW: 2, KH: 7, KW: 7, StrideH: 1, StrideW: 1, PadH: 3, PadW: 3},
+	}
+	for gi, g := range geoms {
+		for _, bsz := range []int{1, 3} {
+			t.Run(fmt.Sprintf("geom=%d/b=%d", gi, bsz), func(t *testing.T) {
+				x := New(g.InC, bsz, g.InH, g.InW)
+				for i := range x.Data {
+					x.Data[i] = float32(rng.Intn(255) - 127)
+				}
+				qx := make([]uint8, len(x.Data))
+				QuantizeOffset(qx, x.Data, 1)
+				cols := bsz * g.ColCols()
+				qcol := make([]uint8, g.ColRows()*cols)
+				for i := range qcol {
+					qcol[i] = 7 // stale bytes must be fully overwritten
+				}
+				Im2ColBatchBytes(qcol, qx, bsz, g)
+				fcol := New(g.ColRows(), cols)
+				Im2ColBatch(fcol, x, g)
+				for i := range fcol.Data {
+					want := uint8(int32(fcol.Data[i]) + 128)
+					if qcol[i] != want {
+						t.Fatalf("col byte %d = %d, want %d (f32 %v)", i, qcol[i], want, fcol.Data[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestGemmInt8PanicsOnBadShapes(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	var p Int8Packed
+	p.Pack(make([]uint8, 6), 2, 3)
+	expectPanic("inner", func() {
+		a := NewInt8Weights(New(2, 3))
+		var b Int8Packed
+		b.Pack(make([]uint8, 8), 4, 2)
+		GemmInt8(make([]int32, 4), a, &b)
+	})
+	expectPanic("out", func() {
+		a := NewInt8Weights(New(2, 3))
+		var b Int8Packed
+		b.Pack(make([]uint8, 9), 3, 3)
+		GemmInt8(make([]int32, 5), a, &b)
+	})
+	expectPanic("pack", func() { p.Pack(make([]uint8, 5), 2, 3) })
+	expectPanic("weights-rank", func() { NewInt8Weights(New(2, 2, 2)) })
+}
+
+func TestGemmInt8ZeroDims(t *testing.T) {
+	a := NewInt8Weights(New(2, 0))
+	var b Int8Packed
+	b.Pack(nil, 0, 3)
+	c := []int32{9, 9, 9, 9, 9, 9}
+	GemmInt8(c, a, &b)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("k=0 product element %d = %d, want 0", i, v)
+		}
+	}
+	b.Pack(nil, 0, 0)
+	a2 := NewInt8Weights(New(2, 0))
+	GemmInt8(nil, a2, &b) // n=0 must not panic
+}
+
+// benchInt8Operands builds GEMM operands at a given shape from a fixed seed.
+func benchInt8Operands(m, k, n int) (*Int8Weights, *Int8Packed, []uint8, []uint8) {
+	rng := rand.New(rand.NewSource(31))
+	w := randTensor(rng, m, k)
+	a := NewInt8Weights(w)
+	bOff := randOffsetBytes(rng, k*n)
+	var packed Int8Packed
+	packed.Pack(bOff, k, n)
+	return a, &packed, a.Off, bOff
+}
+
+// BenchmarkGemmInt8 compares the SWAR kernel against the naive int8 oracle
+// and against the f32 Gemm at the same logical shape — the early-cascade conv
+// shape (outC × inC·K·K × batch·oh·ow) and the wide dense shape.
+func BenchmarkGemmInt8(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"conv16x27xN", 16, 27, 4096},
+		{"dense64x1024x16", 64, 1024, 16},
+	}
+	for _, sh := range shapes {
+		a, packed, aOff, bOff := benchInt8Operands(sh.m, sh.k, sh.n)
+		c32 := make([]int32, sh.m*sh.n)
+		b.Run(sh.name+"/blocked", func(b *testing.B) {
+			b.SetBytes(int64(sh.m * sh.k * sh.n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GemmInt8(c32, a, packed)
+			}
+		})
+		b.Run(sh.name+"/naive", func(b *testing.B) {
+			b.SetBytes(int64(sh.m * sh.k * sh.n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GemmInt8Naive(c32, aOff, bOff, sh.m, sh.k, sh.n)
+			}
+		})
+		rng := rand.New(rand.NewSource(32))
+		fa := randTensor(rng, sh.m, sh.k)
+		fb := randTensor(rng, sh.k, sh.n)
+		fc := New(sh.m, sh.n)
+		b.Run(sh.name+"/f32", func(b *testing.B) {
+			b.SetBytes(int64(sh.m * sh.k * sh.n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Gemm(fc, fa, fb)
+			}
+		})
+	}
+}

@@ -103,11 +103,23 @@ func (db *DB) plannerStep(input int, cc ContentCond, pred *Predicate, res cascad
 	evalN := float64(pred.System.Evaluator.N())
 	for i, ref := range res.Spec.Levels() {
 		m := pred.System.Models[ref.Model]
+		// A level scores int8 exactly when the DB runs quantized and the
+		// model carries an armed calibration — the same condition execution
+		// tests — so the plan prices the representation that will run.
+		quant := db.quant == exec.QuantAuto && m.Quantized()
+		infer := db.costModel.InferCost(m)
+		if quant {
+			infer = db.costModel.QuantInferCost(m)
+			if band := float64(m.Quant.GuardBand()); band > st.QuantBand {
+				st.QuantBand = band
+			}
+		}
 		st.Levels = append(st.Levels, planner.LevelCost{
 			RepID:     m.Xform.ID(),
 			RepCost:   db.costModel.RepCost(m.Xform),
-			InferCost: db.costModel.InferCost(m),
+			InferCost: infer,
 			Occupancy: float64(occ[i].Reached) / evalN,
+			Quantized: quant,
 		})
 	}
 	st.Selectivity, st.SelSamples = db.catalog.Selectivity(pred.Category)
@@ -366,6 +378,8 @@ func executeFused(ctx context.Context, plan *queryPlan, snap *querySnapshot, res
 	res.RepsMaterialized += frep.RepsMaterialized
 	res.RepHits += frep.RepHits
 	res.RepFallbacks += frep.RepFallbacks
+	res.QuantScored += frep.QuantScored
+	res.QuantFallbacks += frep.QuantFallbacks
 	if frep.HasCache {
 		res.HasRepCache = true
 		res.RepCache = frep.Cache
@@ -429,6 +443,8 @@ func executeSequential(ctx context.Context, plan *queryPlan, snap *querySnapshot
 			res.RepsMaterialized += rep.RepsMaterialized
 			res.RepHits += rep.RepHits
 			res.RepFallbacks += rep.RepFallbacks
+			res.QuantScored += rep.QuantScored
+			res.QuantFallbacks += rep.QuantFallbacks
 			res.Observed = append(res.Observed, ObservedSelectivity{
 				Category:  cs.pred.Category,
 				Cascade:   cs.spec.ID(),

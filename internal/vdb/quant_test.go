@@ -1,0 +1,80 @@
+package vdb
+
+import (
+	"strings"
+	"testing"
+
+	"tahoma/internal/core"
+	"tahoma/internal/exec"
+)
+
+// TestQueryQuantParity: the same content query under QuantOff and QuantAuto
+// returns identical rows (the parity wall holds through the whole DB stack),
+// and the auto run reports its int8 accounting on the Result and in the
+// DB's cumulative counters.
+func TestQueryQuantParity(t *testing.T) {
+	db, _ := buildTestDB(t)
+	// Materialization off so both runs actually classify instead of the
+	// second one reading the first one's bitmap.
+	db.SetMaterialization(MatOff)
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+	sql := "SELECT id FROM images WHERE contains_object('cloak')"
+
+	db.SetQuantization(exec.QuantOff)
+	off, err := db.Query(sql, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.QuantScored != 0 || off.QuantFallbacks != 0 {
+		t.Fatalf("QuantOff query counted int8 work: %d/%d", off.QuantScored, off.QuantFallbacks)
+	}
+	if u := db.QuantUsage(); u.Scored != 0 || u.Fallbacks != 0 {
+		t.Fatalf("QuantOff query moved cumulative counters: %+v", u)
+	}
+
+	db.SetQuantization(exec.QuantAuto)
+	auto, err := db.Query(sql, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Count != off.Count || len(auto.Rows) != len(off.Rows) {
+		t.Fatalf("row counts differ: auto %d, off %d", auto.Count, off.Count)
+	}
+	for i := range off.Rows {
+		if auto.Rows[i][0].Int != off.Rows[i][0].Int {
+			t.Fatalf("row %d: auto id %d, off id %d", i, auto.Rows[i][0].Int, off.Rows[i][0].Int)
+		}
+	}
+	if auto.QuantScored == 0 {
+		t.Fatal("QuantAuto query never trusted an int8 score — quantization is not engaged")
+	}
+	u := db.QuantUsage()
+	if u.Scored != int64(auto.QuantScored) || u.Fallbacks != int64(auto.QuantFallbacks) {
+		t.Fatalf("cumulative counters %+v, query reported %d/%d", u, auto.QuantScored, auto.QuantFallbacks)
+	}
+}
+
+// TestExplainQuant: EXPLAIN prints the int8 levels and the guard band
+// exactly when the DB will run quantized, and drops them under QuantOff.
+func TestExplainQuant(t *testing.T) {
+	db, _ := buildTestDB(t)
+	cons := core.Constraints{MaxAccuracyLoss: 0.05}
+	sql := "SELECT id FROM images WHERE contains_object('cloak')"
+
+	plan, err := db.Explain(sql, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "int8") || !strings.Contains(plan, "guard band") {
+		t.Fatalf("default (QuantAuto) EXPLAIN lacks int8 pricing:\n%s", plan)
+	}
+
+	db.SetQuantization(exec.QuantOff)
+	plan, err = db.Explain(sql, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "int8") {
+		t.Fatalf("QuantOff EXPLAIN still prices int8:\n%s", plan)
+	}
+}

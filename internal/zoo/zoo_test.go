@@ -25,6 +25,19 @@ func buildRepo(t *testing.T) *Repo {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Calibrate m1's int8 path so the round trip covers the quant record;
+	// m2 stays float32-only, covering absence.
+	rng := rand.New(rand.NewSource(7))
+	reps := make([]*img.Image, 8)
+	for i := range reps {
+		reps[i] = img.New(8, 8, img.Gray)
+		for p := range reps[i].Pix {
+			reps[i].Pix[p] = rng.Float32()
+		}
+	}
+	if _, err := m1.CalibrateQuant(reps); err != nil {
+		t.Fatal(err)
+	}
 	return &Repo{
 		Predicate: "fence",
 		EvalTruth: []bool{true, false, true},
@@ -80,6 +93,24 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal("missing scores should stay nil")
 	}
 
+	// The quant calibration record survives, re-arms the int8 path, and its
+	// absence is preserved.
+	q, origQ := got.Entries[0].Model.Quant, r.Entries[0].Model.Quant
+	if q == nil || q.MaxErr != origQ.MaxErr || len(q.ActScales) != len(origQ.ActScales) {
+		t.Fatalf("quant record not preserved: %+v vs %+v", q, origQ)
+	}
+	for i := range q.ActScales {
+		if q.ActScales[i] != origQ.ActScales[i] {
+			t.Fatalf("act scale %d: %v vs %v", i, q.ActScales[i], origQ.ActScales[i])
+		}
+	}
+	if !got.Entries[0].Model.Quantized() {
+		t.Fatal("reloaded model must have an armed int8 path")
+	}
+	if got.Entries[1].Model.Quant != nil || got.Entries[1].Model.Quantized() {
+		t.Fatal("uncalibrated model must stay float32-only")
+	}
+
 	// The reloaded network must produce identical outputs.
 	rng := rand.New(rand.NewSource(3))
 	rep := img.New(8, 8, img.Gray)
@@ -96,6 +127,18 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if want != gotScore {
 		t.Fatalf("reloaded model scores %v, want %v", gotScore, want)
+	}
+	// ... and the restored quantized operator too: same scales + same weights
+	// means the same int8 bits.
+	wantQ, gotQ := make([]float32, 1), make([]float32, 1)
+	if err := r.Entries[0].Model.ScoreBatchQuantInto([]*img.Image{rep}, wantQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Entries[0].Model.ScoreBatchQuantInto([]*img.Image{rep}, gotQ); err != nil {
+		t.Fatal(err)
+	}
+	if wantQ[0] != gotQ[0] {
+		t.Fatalf("reloaded quantized model scores %v, want %v", gotQ[0], wantQ[0])
 	}
 }
 
